@@ -1,0 +1,161 @@
+"""E11 — Ablations of the design choices DESIGN.md calls out.
+
+1. Disjointness check on/off (the PutGet guard).
+2. Transparency sweep: the Abstraction<->Coverage dial of section 3.4,
+   measured as surface-trace length on multi-arm Or/And/Cond programs.
+3. Stand-in environments in head tags: rules that drop variables can
+   still resugar.
+4. Desugaring order: top-down (the paper's) vs bottom-up agree on every
+   tower program.
+"""
+
+from repro.confection import Confection
+from repro.core import DisjointnessError, DisjointnessMode, desugar, strip_tags
+from repro.lambdacore import make_stepper, parse_program, pretty
+from repro.lang import parse_rulelist
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+from benchmarks.conftest import report
+
+PROGRAMS = [
+    "(or #f #f #f #t)",
+    "(and #t #t #t #f)",
+    "(cond ((< 2 1) 1) ((< 3 1) 2) ((< 1 2) 3) (else 4))",
+]
+
+
+def test_ablation_disjointness_check(benchmark):
+    broken = """
+    Max([]) -> Raise("empty");
+    Max(xs) -> MaxAcc(xs, -infinity);
+    """
+
+    def run():
+        outcomes = {}
+        for mode in DisjointnessMode:
+            try:
+                parse_rulelist(broken, mode)
+                outcomes[mode.value] = "accepted"
+            except DisjointnessError:
+                outcomes[mode.value] = "rejected"
+        return outcomes
+
+    outcomes = benchmark(run)
+    report(
+        "Ablation: disjointness modes on the overlapping Max rules",
+        [f"{mode:12} -> {result}" for mode, result in outcomes.items()],
+    )
+    assert outcomes["strict"] == "rejected"
+    assert outcomes["off"] == "accepted"
+
+
+def test_ablation_transparency_dial(benchmark):
+    def run():
+        rows = []
+        for transparent in (False, True):
+            confection = Confection(
+                make_scheme_rules(transparent_recursion=transparent),
+                make_stepper(),
+            )
+            shown = [
+                confection.lift(parse_program(p)).shown_count
+                for p in PROGRAMS
+            ]
+            rows.append((transparent, shown))
+        return rows
+
+    rows = benchmark(run)
+    lines = []
+    for transparent, shown in rows:
+        label = "transparent" if transparent else "opaque"
+        lines.append(
+            f"{label:12} surface steps: "
+            + ", ".join(
+                f"{p.split(' ')[0][1:]}={n}" for p, n in zip(PROGRAMS, shown)
+            )
+        )
+    report("Ablation: the Abstraction<->Coverage dial", lines)
+    opaque_steps, transparent_steps = rows[0][1], rows[1][1]
+    assert all(t >= o for o, t in zip(opaque_steps, transparent_steps))
+    assert sum(transparent_steps) > sum(opaque_steps)
+
+
+def test_ablation_stand_in_environments(benchmark):
+    # A rule that drops a variable: unexpansion must restore it from the
+    # head tag's stand-in environment.
+    rules = parse_rulelist(
+        'KeepFirst(x, y) -> Wrap(x);', DisjointnessMode.STRICT
+    )
+    from repro.core import resugar
+    from repro.lang import parse_term
+
+    def run():
+        t = parse_term("KeepFirst(A(), Heavy(B(), C()))")
+        return resugar(rules, desugar(rules, t)) == t
+
+    ok = benchmark(run)
+    report(
+        "Ablation: stand-in environments restore dropped variables",
+        [f"roundtrip with dropped variable: {'ok' if ok else 'FAIL'}"],
+    )
+    assert ok
+
+
+def test_ablation_desugaring_order(benchmark):
+    rules = make_scheme_rules()
+
+    def run():
+        agreements = []
+        for source in PROGRAMS + ["(letrec ((x y) (y 2)) (+ x y))"]:
+            term = parse_program(source)
+            td = strip_tags(desugar(rules, term, order="topdown"))
+            bu = strip_tags(desugar(rules, term, order="bottomup"))
+            agreements.append(td == bu)
+        return agreements
+
+    agreements = benchmark(run)
+    report(
+        "Ablation: top-down vs bottom-up desugaring",
+        [f"{sum(agreements)}/{len(agreements)} programs agree"],
+    )
+    assert all(agreements)
+
+
+def test_ablation_body_tags(benchmark):
+    """Strip the body tags off a rulelist's RHSs and lift the section 3.4
+    program: without them nothing marks sugar-origin code, so the trace
+    leaks the Or's internal let/if — Abstraction is gone (and Coverage
+    rises, since nothing is ever skipped for opacity)."""
+    def make_untagged_rules():
+        rules = make_scheme_rules()
+        for rule in rules.rules:
+            # Undo the section 5.2.1 tag insertion (test-only surgery on
+            # the frozen dataclass).
+            object.__setattr__(rule, "tagged_rhs", rule.rhs)
+        return rules
+
+    def run():
+        tagged = Confection(make_scheme_rules(), make_stepper())
+        untagged = Confection(make_untagged_rules(), make_stepper())
+        program = "(or #f #f #t)"
+        with_tags = tagged.lift(parse_program(program))
+        without_tags = untagged.lift(
+            parse_program(program), check_emulation=False
+        )
+        return with_tags, without_tags
+
+    with_tags, without_tags = benchmark(run)
+    tagged_steps = [pretty(t) for t in with_tags.surface_sequence]
+    untagged_steps = [pretty(t) for t in without_tags.surface_sequence]
+    report(
+        "Ablation: body tags removed (Abstraction broken)",
+        [
+            "with tags:    " + "  ~~>  ".join(tagged_steps),
+            "without tags: " + "  ~~>  ".join(untagged_steps),
+        ],
+    )
+    # With tags: the internal let/if never appears.
+    assert not any("lambda" in s or "if " in s for s in tagged_steps)
+    # Without tags: sugar internals leak into the surface trace.
+    assert any("lambda" in s or "if " in s for s in untagged_steps)
+    assert without_tags.shown_count > with_tags.shown_count

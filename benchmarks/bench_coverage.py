@@ -1,0 +1,79 @@
+"""E14 — the Coverage property, evaluated in practice.
+
+The paper has no formalization of Coverage: "we can only strive to
+attain it in our systems and evaluate it in practice.  Our examples
+(section 4 and section 8) show that we do indeed obtain detailed and
+useful surface evaluation sequences."  This benchmark makes that
+evaluation systematic: it lifts the whole golden corpus and reports, per
+program and in aggregate, how many core steps had surface
+representations and how *useful* the sequences are (more than just the
+first and last term whenever evaluation does interesting work).
+"""
+
+from pathlib import Path
+
+from repro.confection import Confection
+
+from benchmarks.conftest import report
+
+GOLDEN_DIR = Path(__file__).parent.parent / "tests" / "golden"
+
+
+def _configs():
+    import tests.test_golden_traces as golden
+
+    return golden._configs()
+
+
+def _load_corpus():
+    import tests.test_golden_traces as golden
+
+    corpus = []
+    for path in sorted(GOLDEN_DIR.glob("*.trace")):
+        sugar, program, trace, stats = golden.parse_golden(path)
+        corpus.append((path.stem, sugar, program))
+    return corpus
+
+
+def test_coverage_across_the_corpus(benchmark):
+    configs = _configs()
+    corpus = _load_corpus()
+
+    def lift_all():
+        out = []
+        for name, sugar, program in corpus:
+            make_rules, make_stepper, parse, pretty = configs[sugar]
+            confection = Confection(make_rules(), make_stepper())
+            result = confection.lift(parse(program))
+            out.append((name, result))
+        return out
+
+    results = benchmark(lift_all)
+
+    lines = [f"{'program':28} {'shown':>5} {'core':>5} {'coverage':>9}"]
+    total_shown = total_core = 0
+    for name, result in results:
+        lines.append(
+            f"{name:28} {result.shown_count:5d} "
+            f"{result.core_step_count:5d} {result.coverage:9.0%}"
+        )
+        total_shown += result.shown_count
+        total_core += result.core_step_count
+    lines.append(
+        f"{'TOTAL':28} {total_shown:5d} {total_core:5d} "
+        f"{total_shown / total_core:9.0%}"
+    )
+    report("Coverage across the golden corpus", lines)
+
+    # Usefulness: every program shows at least its initial term and its
+    # final value; programs with >3 core steps almost always show at
+    # least one intermediate step.
+    for name, result in results:
+        assert result.shown_count >= 1, name
+    multi = [r for _, r in results if r.core_step_count > 3]
+    with_intermediate = [r for r in multi if r.shown_count >= 3]
+    assert len(with_intermediate) >= len(multi) * 0.7
+
+    # Abstraction keeps coverage below 100% whenever sugar machinery
+    # runs; but the lifted sequences are never *empty* of content.
+    assert 0.05 < total_shown / total_core < 0.95

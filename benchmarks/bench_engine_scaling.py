@@ -1,0 +1,104 @@
+"""Engine scaling: how the pipeline's cost grows with program size.
+
+Not a paper table — an engineering companion: per-operation costs of
+matching, desugaring, resugaring, and full lifting as terms grow, so
+regressions in the engine's asymptotics show up here.
+"""
+
+from repro.confection import Confection
+from repro.core.desugar import desugar, resugar
+from repro.core.matching import match
+from repro.lambdacore import make_stepper, parse_program
+from repro.lang import parse_pattern, parse_term
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+from benchmarks.conftest import report
+
+RULES = make_scheme_rules()
+
+
+def _or_chain(n: int) -> str:
+    return "(or " + " ".join(["#f"] * n) + " #t)"
+
+
+def test_lift_scales_with_or_chain_length(benchmark):
+    confection = Confection(RULES, make_stepper())
+
+    def sweep():
+        return {
+            n: confection.lift(parse_program(_or_chain(n)))
+            for n in (2, 8, 32)
+        }
+
+    results = benchmark(sweep)
+    lines = [
+        f"{n:3d} arms: {r.core_step_count:4d} core steps, "
+        f"{r.shown_count} shown"
+        for n, r in results.items()
+    ]
+    report("Lift cost vs Or-chain length", lines)
+    # Core steps grow linearly in the number of arms.
+    assert results[32].core_step_count < 20 * results[2].core_step_count
+
+
+def test_desugar_resugar_roundtrip_scaling(benchmark):
+    programs = {
+        n: parse_program(_or_chain(n)) for n in (2, 8, 32, 128)
+    }
+
+    def roundtrip_all():
+        out = {}
+        for n, program in programs.items():
+            core = desugar(RULES, program)
+            out[n] = resugar(RULES, core) == program
+        return out
+
+    results = benchmark(roundtrip_all)
+    report(
+        "Desugar/resugar roundtrip by size",
+        [f"{n:4d} arms: {'ok' if ok else 'FAIL'}" for n, ok in results.items()],
+    )
+    assert all(results.values())
+
+
+def test_matching_throughput(benchmark):
+    pattern = parse_pattern("Or([x, y, ys ...])")
+    terms = [
+        parse_term("Or([" + ", ".join(["A()"] * n) + "])")
+        for n in (2, 16, 128)
+    ]
+
+    def match_all():
+        return [match(t, pattern) is not None for t in terms]
+
+    results = benchmark(match_all)
+    report(
+        "Ellipsis matching across list sizes",
+        [f"sizes 2/16/128 all match: {all(results)}"],
+    )
+    assert all(results)
+
+
+def test_deep_nesting_lift(benchmark):
+    confection = Confection(RULES, make_stepper())
+
+    def nested(n: int) -> str:
+        source = "1"
+        for _ in range(n):
+            source = f"(let ((x {source})) (+ x 1))"
+        return source
+
+    def run():
+        return {
+            n: confection.lift(parse_program(nested(n))) for n in (2, 8, 24)
+        }
+
+    results = benchmark(run)
+    lines = [
+        f"depth {n:3d}: value {str(r.surface_sequence[-1])}, "
+        f"{r.core_step_count} core steps"
+        for n, r in results.items()
+    ]
+    report("Lift cost vs let-nesting depth", lines)
+    for n, r in results.items():
+        assert str(r.surface_sequence[-1]) == str(n + 1)

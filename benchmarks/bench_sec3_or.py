@@ -1,0 +1,79 @@
+"""E1/E2 — Section 3's Or traces: the running example and the
+Abstraction/Coverage trade-off.
+
+Paper series:
+  3.1:  not(true) OR not(false) ~~> false OR not(false)
+                                ~~> not(false) ~~> true
+  3.4:  opaque:      false OR false OR true ~~> true
+        transparent: false OR false OR true ~~> false OR true ~~> true
+"""
+
+from repro.confection import Confection
+from repro.lambdacore import make_stepper, parse_program, pretty
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+from benchmarks.conftest import report
+
+
+def lift(source, transparent=False):
+    confection = Confection(
+        make_scheme_rules(transparent_recursion=transparent), make_stepper()
+    )
+    return confection.lift(parse_program(source))
+
+
+def test_section_31_trace(benchmark):
+    result = benchmark(lift, "(or (not #t) (not #f))")
+    shown = [pretty(t) for t in result.surface_sequence]
+    report(
+        "Section 3.1: not(true) OR not(false)",
+        shown
+        + [
+            f"[core steps: {result.core_step_count}, "
+            f"skipped: {result.skipped_count}]"
+        ],
+    )
+    assert shown == [
+        "(or (not #t) (not #f))",
+        "(or #f (not #f))",
+        "(not #f)",
+        "#t",
+    ]
+    # Exactly one core step (the reduced if) lacks a surface form.
+    assert result.skipped_count == 1
+
+
+def test_section_34_opaque(benchmark):
+    result = benchmark(lift, "(or #f #f #t)")
+    shown = [pretty(t) for t in result.surface_sequence]
+    report("Section 3.4, opaque recursion", shown)
+    assert shown == ["(or #f #f #t)", "#t"]
+
+
+def test_section_34_transparent(benchmark):
+    result = benchmark(lift, "(or #f #f #t)", transparent=True)
+    shown = [pretty(t) for t in result.surface_sequence]
+    report("Section 3.4, transparent (!) recursion", shown)
+    assert shown == ["(or #f #f #t)", "(or #f #t)", "#t"]
+
+
+def test_transparency_trades_abstraction_for_coverage(benchmark):
+    def both():
+        return (
+            lift("(or #f #f #f #f #t)"),
+            lift("(or #f #f #f #f #t)", transparent=True),
+        )
+
+    opaque, transparent = benchmark(both)
+    report(
+        "Coverage vs transparency (5-arm Or)",
+        [
+            f"opaque:      {opaque.shown_count} surface steps "
+            f"of {opaque.core_step_count} core",
+            f"transparent: {transparent.shown_count} surface steps "
+            f"of {transparent.core_step_count} core",
+        ],
+    )
+    # Same semantics, same core work; transparency only adds visibility.
+    assert opaque.core_step_count == transparent.core_step_count
+    assert transparent.shown_count > opaque.shown_count

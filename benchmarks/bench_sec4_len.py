@@ -1,0 +1,71 @@
+"""E3 — Section 4: CONFECTION at work on Pyret's list-length program.
+
+Paper series (abridged): the lifted trace steps through
+``<func>([1, 2])``, the cases expression at each list suffix,
+``<func>([2]) + 1``, ``0 + 1 + 1``, ``1 + 1``, ``2`` — hiding the
+``_match`` dispatch, the branch object, and the temp bindings entirely.
+"""
+
+from repro.confection import Confection
+from repro.pyretcore import make_stepper, parse_program, pretty
+from repro.sugars.pyret_sugars import make_pyret_rules
+
+from benchmarks.conftest import report
+
+LEN = """
+fun len(x):
+  cases(List) x:
+    | empty() => 0
+    | link(f, tail) => len(tail) + 1
+  end
+end
+len({list})
+"""
+
+
+def lift(list_literal: str):
+    confection = Confection(make_pyret_rules(), make_stepper())
+    return confection.lift(parse_program(LEN.replace("{list}", list_literal)))
+
+
+def test_len_of_two_element_list(benchmark):
+    result = benchmark(lift, "[1, 2]")
+    shown = [pretty(t) for t in result.surface_sequence]
+    report(
+        "Section 4: len([1, 2])",
+        shown
+        + [
+            f"[core steps: {result.core_step_count}, "
+            f"skipped: {result.skipped_count}]"
+        ],
+    )
+    assert shown[-1] == "2"
+    assert any(s.startswith("cases(List) [1, 2]:") for s in shown)
+    assert any(s.startswith("cases(List) [2]:") for s in shown)
+    assert any(s.startswith("cases(List) []:") for s in shown)
+    assert "0 + 1 + 1" in shown and "1 + 1" in shown
+    # Abstraction: none of the desugaring's internals appear.
+    assert not any("_match" in s or "%temp" in s for s in shown)
+
+
+def test_hiding_ratio_grows_with_input(benchmark):
+    def sweep():
+        return {
+            n: lift("[" + ", ".join(str(i) for i in range(n)) + "]")
+            for n in (0, 1, 2, 4, 8)
+        }
+
+    results = benchmark(sweep)
+    lines = []
+    for n, result in results.items():
+        lines.append(
+            f"len(list of {n}): {result.core_step_count:4d} core steps, "
+            f"{result.shown_count:3d} shown, "
+            f"{result.skipped_count:4d} hidden"
+        )
+    report("Core-vs-surface step counts by input size", lines)
+    # Hidden work grows linearly with the list; the surface trace stays
+    # proportional to the *meaningful* steps.
+    assert results[8].skipped_count > results[2].skipped_count > 0
+    for result in results.values():
+        assert pretty(result.surface_sequence[-1]).isdigit()

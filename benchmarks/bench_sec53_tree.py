@@ -1,0 +1,85 @@
+"""E12 — Section 5.3's nondeterministic lifting: evaluation trees.
+
+"For a nondeterministic language, the aim is to lift an evaluation tree
+instead of an evaluation sequence."  The paper describes the algorithm
+(a queue of as-yet-unexplored core terms, resugaring each) without a
+figure; this benchmark exercises it over ``amb`` and checks its shape:
+the surface tree contracts skipped core states, every leaf is a value,
+and the outcome set matches the cartesian product of the choices.
+"""
+
+import itertools
+
+from repro.confection import Confection
+from repro.lambdacore import make_stepper, parse_program, pretty
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+from benchmarks.conftest import report
+
+
+def lift_tree(source: str):
+    confection = Confection(make_scheme_rules(), make_stepper())
+    return confection.lift_tree(parse_program(source))
+
+
+def test_amb_outcomes_are_exhaustive(benchmark):
+    tree = benchmark(lift_tree, "(+ (amb 1 10) (amb 2 20))")
+    leaves = sorted(pretty(tree.nodes[n]) for n in tree.leaves())
+    expected = sorted(
+        str(a + b) for a, b in itertools.product((1, 10), (2, 20))
+    )
+    report(
+        "Section 5.3: evaluation tree of (+ (amb 1 10) (amb 2 20))",
+        [
+            f"outcomes: {', '.join(leaves)}",
+            f"surface nodes: {len(tree.nodes)}, "
+            f"core states: {tree.core_node_count}, "
+            f"skipped: {tree.skipped_count}",
+        ],
+    )
+    assert leaves == expected
+
+
+def test_sugar_inside_amb_branches(benchmark):
+    tree = benchmark(lift_tree, "(amb (or #f 5) (and #t 6))")
+    leaves = sorted(pretty(tree.nodes[n]) for n in tree.leaves())
+    report(
+        "Sugar under amb: (amb (or #f 5) (and #t 6))",
+        [f"outcomes: {', '.join(leaves)}"],
+    )
+    assert leaves == ["5", "6"]
+    # The Or sugar's internals are skipped inside the branch too.
+    assert tree.skipped_count >= 1
+
+
+def test_tree_growth_with_choice_count(benchmark):
+    def sweep():
+        out = {}
+        for n in (1, 2, 3):
+            choices = " ".join(f"(amb 1 2)" for _ in range(n))
+            source = f"(+ {choices})" if n > 1 else "(amb 1 2)"
+            out[n] = lift_tree(source)
+        return out
+
+    trees = benchmark(sweep)
+    lines = [
+        f"{n} amb(s): {len(t.nodes):3d} surface nodes, "
+        f"{t.core_node_count:4d} core states, depth {t.depth()}"
+        for n, t in trees.items()
+    ]
+    report("Tree size vs number of nondeterministic choices", lines)
+    # Exponential growth in leaves with the number of binary choices.
+    assert len(trees[3].leaves()) > len(trees[2].leaves()) > len(
+        trees[1].leaves()
+    ) - 1
+
+
+def test_dot_export(benchmark):
+    tree = benchmark(lift_tree, "(amb 1 (+ 1 1))")
+    dot = tree.to_dot(label=pretty)
+    report(
+        "DOT export (first lines)",
+        dot.splitlines()[:5],
+    )
+    assert dot.startswith("digraph")
+    assert "->" in dot

@@ -1,0 +1,114 @@
+"""E4 — Section 5.1.5: overlapping rules break Emulation; disjointness
+(or the dynamic check) restores it.
+
+Paper narrative: Max([-infinity]) expands to MaxAcc([-infinity],
+-infinity), which reduces to MaxAcc([], -infinity), which unexpands —
+through the wrong rule — to Max([]); but Max([]) means Raise(...).  The
+rewritten rules make the LHSs disjoint and the offending step is safely
+skipped instead.
+"""
+
+import pytest
+
+from repro.core import (
+    DisjointnessError,
+    DisjointnessMode,
+    EmulationViolation,
+    FunctionStepper,
+    lift_evaluation,
+)
+from repro.core.terms import Node, PList, Tagged
+from repro.lang import parse_rulelist, parse_term, render
+
+from benchmarks.conftest import report
+
+BROKEN = """
+Max([]) -> Raise("empty list");
+Max(xs) -> MaxAcc(xs, -infinity);
+"""
+
+FIXED = """
+Max([]) -> Raise("Max: given empty list");
+Max([x, xs ...]) -> MaxAcc([x, xs ...], -infinity);
+"""
+
+
+def step_maxacc(t):
+    if isinstance(t, Tagged):
+        inner = step_maxacc(t.term)
+        return None if inner is None else Tagged(t.tag, inner)
+    if isinstance(t, Node) and t.label == "MaxAcc":
+        lst = t.children[0]
+        while isinstance(lst, Tagged):
+            lst = lst.term
+        if isinstance(lst, PList) and lst.items:
+            return Node("MaxAcc", (PList(lst.items[1:]), t.children[1]))
+    return None
+
+
+def test_static_check_rejects_overlap(benchmark):
+    def check():
+        try:
+            parse_rulelist(BROKEN, DisjointnessMode.STRICT)
+        except DisjointnessError as exc:
+            return str(exc)
+        return None
+
+    message = benchmark(check)
+    report("Static disjointness check on the broken Max rules", [message[:100]])
+    assert message is not None and "overlap" in message
+
+
+def test_dynamic_check_catches_violation(benchmark):
+    rules = parse_rulelist(BROKEN, DisjointnessMode.OFF)
+
+    def run():
+        try:
+            lift_evaluation(
+                rules,
+                FunctionStepper(step_maxacc),
+                parse_term("Max([-infinity])"),
+            )
+        except EmulationViolation as exc:
+            return str(exc)
+        return None
+
+    message = benchmark(run)
+    report("Dynamic emulation check on the broken Max rules", [message[:100]])
+    assert message is not None
+
+
+def test_broken_rules_show_the_lying_step_unchecked(benchmark):
+    rules = parse_rulelist(BROKEN, DisjointnessMode.OFF)
+
+    def run():
+        return lift_evaluation(
+            rules,
+            FunctionStepper(step_maxacc),
+            parse_term("Max([-infinity])"),
+            check_emulation=False,
+        )
+
+    result = benchmark(run)
+    shown = [render(t, show_tags=False) for t in result.surface_sequence]
+    report("Unchecked lift through the broken rules (the paper's bad trace)", shown)
+    # The flagrant Emulation violation of the paper: Max([]) is shown.
+    assert "Max([])" in shown
+
+
+def test_fixed_rules_skip_safely(benchmark):
+    rules = parse_rulelist(FIXED, DisjointnessMode.STRICT)
+
+    def run():
+        return lift_evaluation(
+            rules, FunctionStepper(step_maxacc), parse_term("Max([-infinity])")
+        )
+
+    result = benchmark(run)
+    shown = [render(t, show_tags=False) for t in result.surface_sequence]
+    report(
+        "Lift through the fixed rules",
+        shown + [f"[skipped: {result.skipped_count}]"],
+    )
+    assert shown == ["Max([-infinity])"]
+    assert result.skipped_count == 1

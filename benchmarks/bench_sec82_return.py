@@ -1,0 +1,73 @@
+"""E7 — Section 8.2: return via call/cc.
+
+Paper series::
+
+    (+ 1 ((function (x) (+ 1 (return (+ x 2)))) (+ 3 4)))
+    ~~> (+ 1 ((function (x) (+ 1 (return (+ x 2)))) 7))
+    ~~> (+ 1 (+ 1 (return (+ 7 2))))
+    ~~> (+ 1 (+ 1 (return 9)))
+    ~~> (+ 1 9)
+    ~~> 10
+"""
+
+from repro.confection import Confection
+from repro.lambdacore import make_stepper, parse_program, pretty
+from repro.sugars.returns import make_return_rules
+
+from benchmarks.conftest import report
+
+
+def lift(source: str):
+    confection = Confection(make_return_rules(), make_stepper())
+    return confection.lift(parse_program(source))
+
+
+def test_section_82_series_exactly(benchmark):
+    result = benchmark(
+        lift, "(+ 1 ((function (x) (+ 1 (return (+ x 2)))) (+ 3 4)))"
+    )
+    shown = [pretty(t) for t in result.surface_sequence]
+    report(
+        "Section 8.2: return through call/cc",
+        shown
+        + [
+            f"[core steps: {result.core_step_count}, "
+            f"skipped: {result.skipped_count}]"
+        ],
+    )
+    assert shown == [
+        "(+ 1 ((function (x) (+ 1 (return (+ x 2)))) (+ 3 4)))",
+        "(+ 1 ((function (x) (+ 1 (return (+ x 2)))) 7))",
+        "(+ 1 (+ 1 (return (+ 7 2))))",
+        "(+ 1 (+ 1 (return 9)))",
+        "(+ 1 9)",
+        "10",
+    ]
+
+
+def test_return_abandons_pending_work(benchmark):
+    result = benchmark(
+        lift, '((function (x) (* 100 (return (+ x 1)))) 4)'
+    )
+    shown = [pretty(t) for t in result.surface_sequence]
+    report("return discards its local context", shown)
+    assert shown[-1] == "5"
+    # The (* 100 _) frame never completes.
+    assert not any(s.startswith("500") for s in shown)
+
+
+def test_dynamic_control_flow_hidden_cost(benchmark):
+    # The call/cc machinery (capture, cell write, invocation) is all
+    # hidden: count how much core work each shown step stands for.
+    result = benchmark(
+        lift, "(+ 1 ((function (x) (+ 1 (return (+ x 2)))) (+ 3 4)))"
+    )
+    report(
+        "Hidden machinery for return",
+        [
+            f"{result.core_step_count} core steps for "
+            f"{result.shown_count} surface steps "
+            f"({result.skipped_count} hidden)"
+        ],
+    )
+    assert result.skipped_count >= 5

@@ -1,0 +1,78 @@
+"""E9 — Section 8.3's closing discussion and Figure 6: two desugarings
+of binary operators.
+
+Paper series:
+  naive (Pyret's):    1 + (2 + 3) ~~> 6
+  Figure 6 (object):  1 + (2 + 3) ~~> 1 + 5 ~~> 6
+"""
+
+from repro.confection import Confection
+from repro.pyretcore import make_stepper, parse_program, pretty
+from repro.sugars.pyret_sugars import make_pyret_rules
+
+from benchmarks.conftest import report
+
+
+def lift(source: str, mode: str):
+    confection = Confection(make_pyret_rules(mode), make_stepper())
+    return confection.lift(parse_program(source))
+
+
+def test_naive_hides_intermediate_sums(benchmark):
+    result = benchmark(lift, "1 + (2 + 3)", "naive")
+    shown = [pretty(t) for t in result.surface_sequence]
+    report("Naive op desugaring: 1 + (2 + 3)", shown)
+    assert shown == ["1 + (2 + 3)", "6"]
+
+
+def test_figure_6_shows_intermediate_sums(benchmark):
+    result = benchmark(lift, "1 + (2 + 3)", "object")
+    shown = [pretty(t) for t in result.surface_sequence]
+    report("Figure 6 op desugaring: 1 + (2 + 3)", shown)
+    assert shown == ["1 + (2 + 3)", "1 + 5", "6"]
+
+
+def test_crossover_on_deeper_expressions(benchmark):
+    source = "1 + (2 + (3 + (4 + 5)))"
+
+    def both():
+        return lift(source, "naive"), lift(source, "object")
+
+    naive, obj = benchmark(both)
+    naive_shown = [pretty(t) for t in naive.surface_sequence]
+    obj_shown = [pretty(t) for t in obj.surface_sequence]
+    report(
+        f"Coverage on {source}",
+        [
+            f"naive  ({naive.shown_count} steps): " + "  ~~>  ".join(naive_shown),
+            f"object ({obj.shown_count} steps): " + "  ~~>  ".join(obj_shown),
+        ],
+    )
+    # Figure 6 dominates on coverage: one visible step per addition.
+    assert obj.shown_count > naive.shown_count
+    assert obj_shown == [
+        "1 + (2 + (3 + (4 + 5)))",
+        "1 + (2 + (3 + 9))",
+        "1 + (2 + 12)",
+        "1 + 14",
+        "15",
+    ]
+
+
+def test_figure_6_costs_more_core_steps(benchmark):
+    source = "1 + (2 + (3 + (4 + 5)))"
+
+    def both():
+        return lift(source, "naive"), lift(source, "object")
+
+    naive, obj = benchmark(both)
+    report(
+        "The price of Figure 6: core steps",
+        [
+            f"naive:  {naive.core_step_count} core steps",
+            f"object: {obj.core_step_count} core steps",
+        ],
+    )
+    # The temporary object is not free — the paper trades a slight
+    # semantic change and extra core work for a liftable trace.
+    assert obj.core_step_count > naive.core_step_count

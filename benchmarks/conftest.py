@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+prints the same rows/series the paper reports (via ``report``), asserts
+the qualitative shape (who wins, what is hidden, where crossovers fall),
+and times the underlying pipeline with pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def report(title: str, lines) -> None:
+    """Print a regenerated table/figure so it appears in benchmark runs
+    (and in ``pytest -s`` output)."""
+    out = sys.stdout
+    out.write("\n")
+    out.write(f"--- {title} ---\n")
+    for line in lines:
+        out.write(f"  {line}\n")
+    out.flush()

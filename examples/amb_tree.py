@@ -1,0 +1,41 @@
+"""Lifting a nondeterministic evaluation *tree* (section 5.3).
+
+The lambda core's ``amb`` chooses among its arguments.  "For a
+nondeterministic language, the aim is to lift an evaluation tree instead
+of an evaluation sequence": every resugarable core state becomes a node,
+attached to its nearest resugarable ancestor.
+
+Run:  python examples/amb_tree.py
+"""
+
+from repro import Confection
+from repro.lambdacore import make_stepper, parse_program, pretty
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+
+def print_tree(tree, node_id, depth=0) -> None:
+    print("    " + "  " * depth + pretty(tree.nodes[node_id]))
+    for child in tree.children(node_id):
+        print_tree(tree, child, depth + 1)
+
+
+def main() -> None:
+    confection = Confection(make_scheme_rules(), make_stepper())
+
+    program = parse_program("(+ (amb 1 10) (amb 2 (or #f 20)))")
+    print("surface program:", pretty(program))
+    print()
+    tree = confection.lift_tree(program)
+    print("lifted evaluation tree:")
+    print_tree(tree, tree.root)
+    print()
+    leaves = sorted(pretty(tree.nodes[n]) for n in tree.leaves())
+    print("outcomes:", ", ".join(leaves))
+    print(
+        f"core states explored: "
+        f"{tree.core_node_count}, skipped: {tree.skipped_count}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""The Max pitfall: why rules must be disjoint (section 5.1.5).
+
+With overlapping rules, a core term can unexpand through one rule into a
+surface term that *expands through another* — the lifted trace then lies
+about the program's meaning (an Emulation violation).  The static
+disjointness check rejects such rulelists; the dynamic emulation check
+catches any violation that slips past a relaxed mode.
+
+Run:  python examples/max_pitfall.py
+"""
+
+from repro.core import (
+    DisjointnessError,
+    DisjointnessMode,
+    EmulationViolation,
+    FunctionStepper,
+    lift_evaluation,
+)
+from repro.core.terms import Node, Pattern, PList, Tagged
+from repro.lang import parse_rulelist, parse_term, render
+
+BROKEN = """
+Max([]) -> Raise("empty list");
+Max(xs) -> MaxAcc(xs, -infinity);
+"""
+
+FIXED = """
+Max([]) -> Raise("Max: given empty list");
+Max([x, xs ...]) -> MaxAcc([x, xs ...], -infinity);
+"""
+
+
+def step_maxacc(t: Pattern):
+    """A toy core: MaxAcc pops its list one element per step."""
+    if isinstance(t, Tagged):
+        inner = step_maxacc(t.term)
+        return None if inner is None else Tagged(t.tag, inner)
+    if isinstance(t, Node) and t.label == "MaxAcc":
+        lst = t.children[0]
+        while isinstance(lst, Tagged):
+            lst = lst.term
+        if isinstance(lst, PList) and lst.items:
+            return Node("MaxAcc", (PList(lst.items[1:]), t.children[1]))
+    return None
+
+
+def main() -> None:
+    print("1. the static check rejects the overlapping rules:")
+    try:
+        parse_rulelist(BROKEN, DisjointnessMode.STRICT)
+    except DisjointnessError as exc:
+        print("   DisjointnessError:", str(exc)[:90], "...")
+    print()
+
+    print("2. forcing them through (checks off) breaks Emulation:")
+    rules = parse_rulelist(BROKEN, DisjointnessMode.OFF)
+    try:
+        lift_evaluation(
+            rules, FunctionStepper(step_maxacc), parse_term("Max([-infinity])")
+        )
+    except EmulationViolation as exc:
+        print("   EmulationViolation:", str(exc)[:90], "...")
+    print()
+
+    print("3. the rewritten rules are disjoint and lift safely:")
+    rules = parse_rulelist(FIXED, DisjointnessMode.STRICT)
+    result = lift_evaluation(
+        rules, FunctionStepper(step_maxacc), parse_term("Max([-infinity])")
+    )
+    for term in result.surface_sequence:
+        print("   ", render(term, show_tags=False))
+    print(
+        f"    (the MaxAcc([], -infinity) step is skipped: "
+        f"{result.skipped_count} skip)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""A surface-level algebraic stepper, the paper's motivating tool.
+
+"Many debugging and comprehension tools — such as an algebraic stepper
+or reduction semantics explorer — present their output using terms in
+the language... when applied to core language terms resulting from
+desugaring, their output is also in terms of the core."  This example
+is the tool resugaring makes possible: a stepper whose every displayed
+state is *surface* syntax, with a side-by-side view of what the core
+actually did and an HTML report for sharing.
+
+Run:  python examples/surface_debugger.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Confection
+from repro.lambdacore import make_stepper, parse_program, pretty
+from repro.sugars.scheme_sugars import make_scheme_rules
+from repro.viz import render_html, render_text
+
+PROGRAM = """
+(letrec ((sum (lambda (xs)
+                (if (null? xs) 0 (+ (car xs) (sum (cdr xs)))))))
+  (cond ((< 1 0) -1)
+        (else (sum (list 1 2 3)))))
+"""
+
+
+def main() -> None:
+    confection = Confection(make_scheme_rules(), make_stepper())
+    program = parse_program(PROGRAM)
+
+    result = confection.lift(program)
+
+    print("surface stepper view (what a user debugs with):")
+    for i, term in enumerate(result.surface_sequence):
+        print(f"  step {i}: {pretty(term)}")
+    print()
+
+    print("what actually happened (core | surface):")
+    print(render_text(result, pretty, width=66))
+    print()
+
+    out = Path(tempfile.gettempdir()) / "resugaring-trace.html"
+    out.write_text(render_html(result, pretty, title="sum over a list"))
+    print(f"HTML report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

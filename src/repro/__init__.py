@@ -1,0 +1,77 @@
+"""repro: a reproduction of "Resugaring: Lifting Evaluation Sequences
+through Syntactic Sugar" (Pombrio & Krishnamurthi, PLDI 2014).
+
+The package implements the paper's CONFECTION tool — desugaring with
+origin tags, resugaring, and lifting of core evaluation sequences into
+surface evaluation sequences — together with the substrates the paper's
+evaluation depends on: a reduction-semantics engine (``repro.redex``), a
+stateful lambda-calculus core language (``repro.lambdacore``), a
+Pyret-like core object language (``repro.pyretcore``), and libraries of
+syntactic sugar (``repro.sugars``).
+"""
+
+from repro.core import (
+    BodyTag,
+    Const,
+    DisjointnessMode,
+    HeadTag,
+    Node,
+    Pattern,
+    PList,
+    PVar,
+    Rule,
+    RuleList,
+    Symbol,
+    Tagged,
+    desugar,
+    lift_evaluation,
+    lift_evaluation_tree,
+    match,
+    resugar,
+    subst,
+    transparent,
+    unify,
+)
+from repro.lang import parse_pattern, parse_rulelist, parse_rules, parse_term, render
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Confection",
+    "Const",
+    "Node",
+    "PList",
+    "PVar",
+    "Pattern",
+    "Symbol",
+    "Tagged",
+    "HeadTag",
+    "BodyTag",
+    "Rule",
+    "RuleList",
+    "DisjointnessMode",
+    "match",
+    "subst",
+    "unify",
+    "desugar",
+    "resugar",
+    "transparent",
+    "lift_evaluation",
+    "lift_evaluation_tree",
+    "parse_pattern",
+    "parse_rules",
+    "parse_rulelist",
+    "parse_term",
+    "render",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Confection pulls in the stepper machinery; import it lazily so that
+    # ``import repro`` stays cheap for users of the core only.
+    if name == "Confection":
+        from repro.confection import Confection
+
+        return Confection
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,317 @@
+"""Command-line interface: CONFECTION as a tool.
+
+The paper's artifact is a command-line program fed a grammar file and
+rewrite rules; this CLI plays the same role for the two bundled
+languages and any user rules file.
+
+Examples::
+
+    python -m repro lift --lang lambda '(or (not #t) (not #f))'
+    python -m repro lift --lang pyret  '1 + (2 + 3)' --op object
+    python -m repro lift --lang lambda --sugar automaton --tree '(amb 1 2)'
+    python -m repro desugar --lang pyret 'not true'
+    python -m repro trace --lang lambda '(+ 1 (* 2 3))'
+    python -m repro check my_rules.confection
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+from repro.confection import Confection
+from repro.core.errors import ReproError
+from repro.core.wellformed import DisjointnessMode
+
+__all__ = ["main", "build_parser"]
+
+
+class _Language:
+    """Everything the CLI needs to know about one object language."""
+
+    def __init__(self, parse, pretty, make_stepper, sugar_factories):
+        self.parse = parse
+        self.pretty = pretty
+        self.make_stepper = make_stepper
+        self.sugar_factories = sugar_factories
+
+
+def _lambda_language() -> _Language:
+    from repro.lambdacore import make_stepper, parse_program, pretty
+    from repro.sugars.automaton import make_automaton_rules
+    from repro.sugars.returns import make_return_rules
+    from repro.sugars.scheme_sugars import make_scheme_rules
+
+    return _Language(
+        parse_program,
+        pretty,
+        make_stepper,
+        {
+            "scheme": make_scheme_rules,
+            "automaton": lambda **kw: make_automaton_rules(
+                transparent_recursion=kw.get("transparent_recursion", False)
+            ),
+            "return": lambda **kw: make_return_rules(**kw),
+        },
+    )
+
+
+def _pyret_language() -> _Language:
+    from repro.pyretcore import make_stepper, parse_program, pretty
+    from repro.sugars.pyret_sugars import make_pyret_rules
+
+    return _Language(
+        parse_program,
+        pretty,
+        make_stepper,
+        {
+            "pyret": lambda op_desugaring="naive", **kw: make_pyret_rules(
+                op_desugaring
+            ),
+        },
+    )
+
+
+_LANGUAGES: dict[str, Callable[[], _Language]] = {
+    "lambda": _lambda_language,
+    "pyret": _pyret_language,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resugaring: lift core evaluation sequences through "
+        "syntactic sugar (PLDI 2014 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_program=True):
+        p.add_argument(
+            "--lang",
+            choices=sorted(_LANGUAGES),
+            default="lambda",
+            help="object language (default: lambda)",
+        )
+        p.add_argument(
+            "--sugar",
+            default=None,
+            help="bundled sugar set (lambda: scheme/automaton/return; "
+            "pyret: pyret); default: the language's standard set",
+        )
+        p.add_argument(
+            "--rules-file",
+            default=None,
+            help="a rule-DSL file to use instead of a bundled sugar set",
+        )
+        p.add_argument(
+            "--transparent",
+            action="store_true",
+            help="mark recursive sugar invocations transparent (!)",
+        )
+        p.add_argument(
+            "--op",
+            choices=("naive", "object"),
+            default="naive",
+            help="pyret only: binary-operator desugaring (section 8.3)",
+        )
+        if with_program:
+            p.add_argument("program", help="program text (or @file to read one)")
+
+    lift = sub.add_parser("lift", help="lift a surface evaluation sequence")
+    common(lift)
+    lift.add_argument(
+        "--tree", action="store_true", help="lift a nondeterministic tree"
+    )
+    lift.add_argument("--max-steps", type=int, default=100_000)
+    lift.add_argument(
+        "--show-skipped",
+        action="store_true",
+        help="also print skipped core steps, marked with 'x'",
+    )
+    lift.add_argument(
+        "--table",
+        action="store_true",
+        help="two-column core/surface view of every step",
+    )
+    lift.add_argument(
+        "--html",
+        metavar="FILE",
+        default=None,
+        help="write a standalone HTML trace report to FILE",
+    )
+
+    desugar = sub.add_parser("desugar", help="show a program's core form")
+    common(desugar)
+    desugar.add_argument(
+        "--tags", action="store_true", help="show origin tags in the output"
+    )
+
+    trace = sub.add_parser("trace", help="show the raw core trace (no lifting)")
+    common(trace)
+    trace.add_argument("--max-steps", type=int, default=100_000)
+
+    check = sub.add_parser("check", help="statically check a rule-DSL file")
+    check.add_argument("rules_file")
+    check.add_argument(
+        "--disjointness",
+        choices=[m.value for m in DisjointnessMode],
+        default="strict",
+    )
+    check.add_argument(
+        "--hygiene",
+        action="store_true",
+        help="also lint binder names against the %%-namespace convention",
+    )
+    return parser
+
+
+def _read_program(arg: str) -> str:
+    if arg.startswith("@"):
+        with open(arg[1:]) as handle:
+            return handle.read()
+    return arg
+
+
+def _build_confection(args) -> tuple[Confection, _Language]:
+    language = _LANGUAGES[args.lang]()
+    if args.rules_file:
+        with open(args.rules_file) as handle:
+            rules_source = handle.read()
+        confection = Confection(rules_source, language.make_stepper())
+        return confection, language
+    sugar = args.sugar or next(iter(language.sugar_factories))
+    try:
+        factory = language.sugar_factories[sugar]
+    except KeyError:
+        known = ", ".join(sorted(language.sugar_factories))
+        raise SystemExit(
+            f"unknown sugar set {sugar!r} for --lang {args.lang} "
+            f"(choose from: {known})"
+        )
+    kwargs = {}
+    if args.transparent:
+        kwargs["transparent_recursion"] = True
+    if args.lang == "pyret":
+        kwargs = {"op_desugaring": args.op}
+    rules = factory(**kwargs)
+    return Confection(rules, language.make_stepper()), language
+
+
+def _cmd_lift(args) -> int:
+    confection, language = _build_confection(args)
+    program = language.parse(_read_program(args.program))
+    if args.tree:
+        tree = confection.lift_tree(program)
+
+        def walk(node_id, depth):
+            print("  " * depth + language.pretty(tree.nodes[node_id]))
+            for child in tree.children(node_id):
+                walk(child, depth + 1)
+
+        walk(tree.root, 0)
+        print(
+            f"[{tree.core_node_count} core states, "
+            f"{tree.skipped_count} skipped]",
+            file=sys.stderr,
+        )
+        return 0
+    result = confection.lift(program, max_steps=args.max_steps)
+    if args.html:
+        from repro.viz import render_html
+
+        with open(args.html, "w") as handle:
+            handle.write(render_html(result, language.pretty))
+        print(f"wrote {args.html}", file=sys.stderr)
+        return 0
+    if args.table:
+        from repro.viz import render_text
+
+        print(render_text(result, language.pretty))
+        return 0
+    if args.show_skipped:
+        for step in result.steps:
+            mark = " " if step.emitted else ("x" if step.skipped else "=")
+            print(f"{mark} {language.pretty(step.core_term)}")
+    else:
+        for term in result.surface_sequence:
+            print(language.pretty(term))
+    print(
+        f"[{result.core_step_count} core steps, "
+        f"{result.skipped_count} skipped, "
+        f"coverage {result.coverage:.0%}]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_desugar(args) -> int:
+    confection, language = _build_confection(args)
+    core = confection.desugar(language.parse(_read_program(args.program)))
+    if args.tags:
+        from repro.lang.render import render
+
+        print(render(core, show_tags=True))
+    else:
+        print(language.pretty(core))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    confection, language = _build_confection(args)
+    core = confection.desugar(language.parse(_read_program(args.program)))
+    stepper = confection.stepper
+    state = stepper.load(core)
+    for _ in range(args.max_steps):
+        print(language.pretty(stepper.term(state)))
+        successors = stepper.step(state)
+        if not successors:
+            return 0
+        if len(successors) > 1:
+            print("[nondeterministic branch; use lift --tree]", file=sys.stderr)
+            return 1
+        state = successors[0]
+    print(f"[stopped after {args.max_steps} steps]", file=sys.stderr)
+    return 1
+
+
+def _cmd_check(args) -> int:
+    from repro.lang.rule_parser import parse_rulelist
+
+    with open(args.rules_file) as handle:
+        source = handle.read()
+    mode = DisjointnessMode(args.disjointness)
+    rules = parse_rulelist(source, mode)
+    print(
+        f"ok: {len(rules)} rule(s), labels: "
+        + ", ".join(sorted(rules.labels))
+    )
+    if args.hygiene:
+        from repro.core.hygiene import lint_hygiene
+
+        warnings = lint_hygiene(rules)
+        for warning in warnings:
+            print(f"hygiene: {warning}", file=sys.stderr)
+        if any(w.kind == "capturable-binder" for w in warnings):
+            return 2
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "lift": _cmd_lift,
+        "desugar": _cmd_desugar,
+        "trace": _cmd_trace,
+        "check": _cmd_check,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

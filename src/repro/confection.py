@@ -1,0 +1,134 @@
+"""The CONFECTION facade: rules + a core stepper + the lifting loop.
+
+This is the top-level object a user of the library interacts with, the
+analogue of the paper's CONFECTION tool: it owns a checked rulelist and a
+black-box core-language stepper, and exposes desugaring, resugaring, and
+the lifted surface evaluation sequence/tree.
+
+Terms can be passed either as :class:`~repro.core.terms.Pattern` values
+or as rule-DSL source strings (``"Or([Not(True_()), ...])"``), and the
+results can be rendered back to strings with :meth:`Confection.show`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.desugar import desugar as _desugar
+from repro.core.desugar import resugar as _resugar
+from repro.core.lift import (
+    LiftResult,
+    Stepper,
+    SurfaceTree,
+    lift_evaluation,
+    lift_evaluation_tree,
+)
+from repro.core.rules import Rule, RuleList
+from repro.core.terms import Pattern
+from repro.core.wellformed import DisjointnessMode
+from repro.lang.render import render
+from repro.lang.rule_parser import parse_pattern, parse_rulelist
+
+__all__ = ["Confection"]
+
+TermLike = Union[Pattern, str]
+
+
+class Confection:
+    """Lift core evaluation sequences through syntactic sugar.
+
+    ``rules`` may be a :class:`RuleList`, a list of :class:`Rule`, or
+    rule-DSL source text.  ``stepper`` is any object satisfying the
+    :class:`~repro.core.lift.Stepper` protocol; it may be omitted for
+    uses that only desugar/resugar.
+    """
+
+    def __init__(
+        self,
+        rules: Union[RuleList, List[Rule], str],
+        stepper: Optional[Stepper] = None,
+        disjointness: DisjointnessMode = DisjointnessMode.PRIORITIZED,
+    ) -> None:
+        if isinstance(rules, str):
+            rules = parse_rulelist(rules, disjointness)
+        elif not isinstance(rules, RuleList):
+            rules = RuleList(rules, disjointness)
+        self.rules: RuleList = rules
+        self.stepper = stepper
+
+    # --- term plumbing -----------------------------------------------
+
+    def term(self, term: TermLike) -> Pattern:
+        """Coerce DSL source text to a term (terms pass through)."""
+        if isinstance(term, str):
+            return parse_pattern(term)
+        return term
+
+    @staticmethod
+    def show(term: Pattern) -> str:
+        """Render a term for display (tags hidden)."""
+        return render(term, show_tags=False)
+
+    # --- desugar / resugar -------------------------------------------
+
+    def desugar(self, term: TermLike) -> Pattern:
+        """Fully desugar a surface term into a tagged core term."""
+        return _desugar(self.rules, self.term(term))
+
+    def resugar(self, core_term: TermLike) -> Optional[Pattern]:
+        """Resugar a tagged core term, or ``None`` when it has no
+        faithful surface representation."""
+        return _resugar(self.rules, self.term(core_term))
+
+    # --- lifting -------------------------------------------------------
+
+    def lift(
+        self,
+        surface_term: TermLike,
+        max_steps: int = 100_000,
+        dedup: bool = True,
+        check_emulation: bool = True,
+    ) -> LiftResult:
+        """Run the program and lift its core evaluation sequence into a
+        surface evaluation sequence, with per-step bookkeeping."""
+        self._require_stepper()
+        return lift_evaluation(
+            self.rules,
+            self.stepper,
+            self.term(surface_term),
+            max_steps=max_steps,
+            dedup=dedup,
+            check_emulation=check_emulation,
+        )
+
+    def surface_steps(self, surface_term: TermLike, **kwargs) -> List[Pattern]:
+        """Just the surface evaluation sequence (the paper's
+        ``showSurfaceSequence``)."""
+        return self.lift(surface_term, **kwargs).surface_sequence
+
+    def show_steps(self, surface_term: TermLike, **kwargs) -> List[str]:
+        """The surface evaluation sequence, rendered for display."""
+        return [self.show(t) for t in self.surface_steps(surface_term, **kwargs)]
+
+    def lift_tree(
+        self,
+        surface_term: TermLike,
+        max_nodes: int = 100_000,
+        check_emulation: bool = True,
+    ) -> SurfaceTree:
+        """Lift a nondeterministic evaluation into a surface tree."""
+        self._require_stepper()
+        return lift_evaluation_tree(
+            self.rules,
+            self.stepper,
+            self.term(surface_term),
+            max_nodes=max_nodes,
+            check_emulation=check_emulation,
+        )
+
+    def _require_stepper(self) -> None:
+        if self.stepper is None:
+            raise ValueError(
+                "this Confection has no stepper; pass one at construction "
+                "to lift evaluation sequences"
+            )

@@ -1,0 +1,183 @@
+"""Recursive desugaring and resugaring (section 5.2.2).
+
+*Desugaring* traverses a term top-down (the order Scheme macros use —
+footnote 3 of the paper), expanding each node a rulelist rewrites and
+wrapping the expansion in a head tag that records the rule index and the
+stand-in environment::
+
+    desugar a            = a
+    desugar l(T1..Tn)    = desugar (Tag (Head i sigma) T')
+                              when exp l(T1..Tn) = (i, T')
+    desugar l(T1..Tn)    = l(desugar T1, ..., desugar Tn)   otherwise
+    desugar (T1 ... Tn)  = (desugar T1 ... desugar Tn)
+    desugar (Tag O T)    = (Tag O (desugar T))
+
+*Resugaring* traverses bottom-up, unexpanding at every head tag and
+failing — for the whole term — if any unexpansion fails or any opaque
+body tag survives (that code originated in sugar and must not leak)::
+
+    R a                       = a
+    R (Tag (Body b) T)        = (Tag (Body b) (R T))
+    R (Tag (Head i sigma) T') = unexp (i, R T') sigma
+    R l(T1..Tn)               = l(R T1, ..., R Tn)
+    R (T1 ... Tn)             = (R T1 ... R Tn)
+
+    resugar T' = R T'  when R T' succeeds and has no opaque body tags
+    resugar T' = None  otherwise
+
+The public ``resugar`` additionally strips surviving *transparent* body
+tags so its output is a surface term (Definition 2: no tags at all).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import ExpansionError
+from repro.core.recursion import deep_recursion
+from repro.core.rules import RuleList
+from repro.core.tags import has_head_tags, has_opaque_body_tags
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    HeadTag,
+    Node,
+    Pattern,
+    PList,
+    Tagged,
+    strip_body_tags,
+)
+
+__all__ = [
+    "desugar",
+    "resugar",
+    "resugar_raw",
+    "DEFAULT_MAX_EXPANSIONS",
+    "DEFAULT_MAX_EXPANSION_DEPTH",
+]
+
+DEFAULT_MAX_EXPANSIONS = 10_000
+"""Expansion fuel: guards against diverging sugar definitions, which the
+pattern language cannot rule out statically."""
+
+DEFAULT_MAX_EXPANSION_DEPTH = 1_000
+"""Nesting guard: a rule whose RHS re-invokes sugar *around* its result
+(rather than on smaller arguments) nests expansions without bound; this
+trips before the (raised) recursion headroom runs out while leaving
+room for legitimately deep recursive sugar (a 128-arm Or nests ~256
+expansions)."""
+
+
+def desugar(
+    rules: RuleList,
+    term: Pattern,
+    max_expansions: int = DEFAULT_MAX_EXPANSIONS,
+    order: str = "topdown",
+    max_expansion_depth: int = DEFAULT_MAX_EXPANSION_DEPTH,
+) -> Pattern:
+    """Fully desugar ``term``: recursively expand every sugar node,
+    tagging expansions with head tags and their internals with body tags.
+
+    ``order`` selects the traversal: ``"topdown"`` (the paper's choice and
+    Scheme's) expands a node before its children, so sugar may generate
+    further sugar; ``"bottomup"`` expands children first.
+    """
+    if order not in ("topdown", "bottomup"):
+        raise ValueError(f"unknown desugaring order {order!r}")
+    fuel = [max_expansions]
+
+    def spend() -> None:
+        fuel[0] -= 1
+        if fuel[0] < 0:
+            raise ExpansionError(
+                f"desugaring exceeded {max_expansions} expansions; the "
+                f"rulelist likely contains a diverging sugar"
+            )
+
+    def walk(t: Pattern, depth: int) -> Pattern:
+        if isinstance(t, Const):
+            return t
+        if isinstance(t, Tagged):
+            return Tagged(t.tag, walk(t.term, depth))
+        if isinstance(t, PList):
+            ell = walk(t.ellipsis, depth) if t.ellipsis is not None else None
+            return PList(tuple(walk(c, depth) for c in t.items), ell)
+        assert isinstance(t, Node)
+        if order == "bottomup":
+            t = Node(t.label, tuple(walk(c, depth) for c in t.children))
+        expansion = rules.expand(t)
+        if expansion is None:
+            if order == "bottomup":
+                return t
+            return Node(t.label, tuple(walk(c, depth) for c in t.children))
+        spend()
+        if depth >= max_expansion_depth:
+            raise ExpansionError(
+                f"expansions nested more than {max_expansion_depth} deep; "
+                f"the rulelist likely contains a diverging sugar"
+            )
+        head = HeadTag(expansion.index, expansion.stand_in)
+        # Either order re-walks the freshly substituted RHS: it may
+        # itself contain sugar.
+        return Tagged(head, walk(expansion.term, depth + 1))
+
+    with deep_recursion():
+        return walk(term, 0)
+
+
+def resugar_raw(rules: RuleList, term: Pattern) -> Optional[Pattern]:
+    """The paper's ``R``: unexpand every head tag, bottom-up, keeping
+    body tags in place.  ``None`` if any unexpansion fails."""
+
+    def walk(t: Pattern) -> Optional[Pattern]:
+        if isinstance(t, Const):
+            return t
+        if isinstance(t, Tagged):
+            inner = walk(t.term)
+            if inner is None:
+                return None
+            if isinstance(t.tag, HeadTag):
+                return rules.unexpand(t.tag.index, inner, t.tag.stand_in)
+            return Tagged(t.tag, inner)
+        if isinstance(t, Node):
+            children = []
+            for c in t.children:
+                rc = walk(c)
+                if rc is None:
+                    return None
+                children.append(rc)
+            return Node(t.label, tuple(children))
+        if isinstance(t, PList):
+            items = []
+            for c in t.items:
+                rc = walk(c)
+                if rc is None:
+                    return None
+                items.append(rc)
+            ell = None
+            if t.ellipsis is not None:
+                ell = walk(t.ellipsis)
+                if ell is None:
+                    return None
+            return PList(tuple(items), ell)
+        return None
+
+    with deep_recursion():
+        return walk(term)
+
+
+def resugar(rules: RuleList, term: Pattern) -> Optional[Pattern]:
+    """Resugar a core term into a surface term, or ``None`` when the term
+    has no faithful surface representation (the step is skipped).
+
+    Fails when any unexpansion fails, when any opaque body tag survives
+    (Abstraction would be violated), or when a head tag survives; then
+    strips the remaining transparent body tags so the result is a surface
+    term.
+    """
+    raw = resugar_raw(rules, term)
+    if raw is None:
+        return None
+    if has_opaque_body_tags(raw) or has_head_tags(raw):
+        return None
+    return strip_body_tags(raw, transparent_only=True)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the resugaring engine.
+
+Failures that are part of normal control flow (a pattern failing to match a
+term, a core step having no surface representation) are *not* exceptions:
+``match`` returns ``None`` and resugaring returns ``None`` for a skipped
+step.  The exceptions below mark conditions the paper treats as static
+errors (ill-formed rules, overlapping rules) or genuine runtime faults
+(substituting with an unbound variable, a diverging desugaring).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PatternError(ReproError):
+    """A pattern or term was constructed or used incorrectly."""
+
+
+class WellFormednessError(ReproError):
+    """A transformation rule violates the well-formedness criteria.
+
+    The criteria are those of section 5.1.3 of the paper:
+
+    1. every RHS variable also appears in the LHS;
+    2. variables are linear (appear at most once per side), except
+       variables known to be bound to atomic terms;
+    3. an ellipsis of depth *n* contains a variable at depth >= *n* on the
+       other side, or a variable absent from the other side;
+    4. the LHS is a labeled node ``l(P1, ..., Pn)``.
+    """
+
+
+class DisjointnessError(ReproError):
+    """Two rules in a rulelist have unifiable (overlapping) LHSs.
+
+    Overlap breaks the PutGet lens law (Theorem 1) and with it the
+    Emulation property, as demonstrated by the paper's ``Max`` example
+    (section 5.1.5).
+    """
+
+
+class SubstitutionError(ReproError):
+    """Substitution hit an unbound variable or a malformed binding."""
+
+
+class ExpansionError(ReproError):
+    """Desugaring failed: no rule matched where one was required, or the
+    expansion exceeded the recursion limit (a diverging sugar)."""
+
+
+class ParseError(ReproError):
+    """A rule definition or an s-expression could not be parsed."""
+
+
+class StuckError(ReproError):
+    """A core-language evaluator reached a non-value term with no
+    applicable reduction (a runtime type error in the object language)."""
+
+
+class LanguageError(ReproError):
+    """A language definition (grammar, contexts, reductions) is invalid."""

@@ -1,0 +1,127 @@
+"""Hygiene linting for sugar definitions.
+
+The paper does not address hygiene ("we believe it is largely
+orthogonal", section 5.1.1), and neither does this engine: expansion is
+textual, so a binder a rule introduces can capture a user variable of
+the same name.  The bundled sugars follow a convention instead — every
+rule-introduced binder is ``%``-prefixed, a namespace surface languages
+cannot touch — and this module mechanically checks that convention.
+
+``lint_hygiene`` knows which RHS constructs bind (configurable per
+language) and reports:
+
+* **capturable binders** — a rule introduces a binder whose name is not
+  in the reserved namespace, so user code mentioning that name under the
+  sugar would be captured;
+* **free internal references** — an RHS references a reserved-namespace
+  identifier that no RHS binder introduces, which is either a typo or a
+  deliberate cross-rule contract (like ``Return``'s ``%RET``) worth
+  flagging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.core.rules import Rule, RuleList
+from repro.core.terms import Const, Node, Pattern, PList, Tagged
+
+__all__ = ["HygieneWarning", "lint_hygiene", "DEFAULT_BINDERS"]
+
+DEFAULT_BINDERS: Tuple[Tuple[str, int], ...] = (
+    ("Lam", 0),
+    ("Binding", 0),
+    ("Let", 0),
+    ("DefRec", 0),
+    ("Set", 0),
+)
+"""(node label, child index of the bound name) pairs covering the
+bundled languages.  ``Lam``'s parameter may also be a *list* of names
+(the Pyret core); both shapes are handled."""
+
+RESERVED_PREFIX = "%"
+
+REFERENCE_LABELS = ("Id", "Var", "Cell")
+
+
+@dataclass(frozen=True)
+class HygieneWarning:
+    rule: str
+    kind: str  # "capturable-binder" | "free-internal-reference"
+    name: str
+
+    def __str__(self) -> str:
+        if self.kind == "capturable-binder":
+            return (
+                f"{self.rule}: introduces binder {self.name!r} outside the "
+                f"reserved {RESERVED_PREFIX!r} namespace; user code naming "
+                f"{self.name!r} would be captured"
+            )
+        return (
+            f"{self.rule}: references internal identifier {self.name!r} "
+            f"that no binder in this rule introduces (cross-rule contract "
+            f"or typo)"
+        )
+
+
+def _names_in(t: Pattern) -> List[str]:
+    """String constants reachable at a binder position (a single name or
+    a list of names)."""
+    while isinstance(t, Tagged):
+        t = t.term
+    if isinstance(t, Const) and isinstance(t.value, str):
+        return [t.value]
+    if isinstance(t, PList):
+        out: List[str] = []
+        for item in t.items:
+            out.extend(_names_in(item))
+        return out
+    return []
+
+
+def _scan(
+    t: Pattern,
+    binders: Sequence[Tuple[str, int]],
+    introduced: Set[str],
+    referenced: Set[str],
+) -> None:
+    while isinstance(t, Tagged):
+        t = t.term
+    if isinstance(t, Node):
+        for label, index in binders:
+            if t.label == label and index < len(t.children):
+                introduced.update(_names_in(t.children[index]))
+        if t.label in REFERENCE_LABELS and len(t.children) >= 1:
+            referenced.update(_names_in(t.children[0]))
+        for child in t.children:
+            _scan(child, binders, introduced, referenced)
+    elif isinstance(t, PList):
+        for item in t.items:
+            _scan(item, binders, introduced, referenced)
+        if t.ellipsis is not None:
+            _scan(t.ellipsis, binders, introduced, referenced)
+
+
+def lint_hygiene(
+    rules: Iterable[Rule] | RuleList,
+    binders: Sequence[Tuple[str, int]] = DEFAULT_BINDERS,
+    reserved_prefix: str = RESERVED_PREFIX,
+) -> List[HygieneWarning]:
+    """Lint every rule's RHS; return the warnings (empty = clean)."""
+    warnings: List[HygieneWarning] = []
+    for rule in rules:
+        introduced: Set[str] = set()
+        referenced: Set[str] = set()
+        _scan(rule.rhs, binders, introduced, referenced)
+        for name in sorted(introduced):
+            if not name.startswith(reserved_prefix):
+                warnings.append(
+                    HygieneWarning(rule.name, "capturable-binder", name)
+                )
+        for name in sorted(referenced):
+            if name.startswith(reserved_prefix) and name not in introduced:
+                warnings.append(
+                    HygieneWarning(rule.name, "free-internal-reference", name)
+                )
+    return warnings

@@ -1,0 +1,94 @@
+"""The lens view of transformations (section 6.1) as runnable checks.
+
+Each rule's (expand, unexpand) pair forms a lens between core terms and
+``(rule index, RHS instance)`` pairs, with *get* = expansion and *put* =
+unexpansion.  The laws::
+
+    GetPut:  put (get c, c) = bot or c          for all c
+    PutGet:  get (put (a, c)) = bot or a        for all a, c
+
+GetPut holds unconditionally (Lemma 1); PutGet holds iff the rulelist's
+LHSs are pairwise disjoint (Theorem 1).  Together they make desugaring
+and resugaring inverses (Theorem 2), which is the crux of Emulation
+(Theorem 3).
+
+This module exposes the laws as predicates over concrete terms so the
+test suite can verify them by property-based testing — our stand-in for
+the paper's Coq development — and so the lifting loop can optionally
+enforce Emulation dynamically for rulelists admitted under the
+``PRIORITIZED`` disjointness mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.bindings import Binding
+from repro.core.desugar import desugar, resugar
+from repro.core.rules import RuleList
+from repro.core.terms import Pattern, strip_tags
+
+__all__ = [
+    "check_get_put",
+    "check_put_get",
+    "check_desugar_resugar_inverse",
+    "emulates",
+]
+
+
+def check_get_put(rules: RuleList, term: Pattern) -> Optional[bool]:
+    """GetPut at ``term``: expanding then unexpanding restores the term.
+
+    Returns ``None`` when the law is vacuous (no rule expands ``term``),
+    otherwise whether it holds.
+    """
+    expansion = rules.expand(term)
+    if expansion is None:
+        return None
+    back = rules.unexpand(expansion.index, expansion.term, expansion.stand_in)
+    if back is None:
+        # "bot" is allowed by the law as stated, but for a freshly
+        # expanded term unexpansion should never fail; report violation.
+        return False
+    return back == term
+
+
+def check_put_get(
+    rules: RuleList,
+    index: int,
+    rhs_instance: Pattern,
+    stand_in: Tuple[Tuple[str, Binding], ...] = (),
+) -> Optional[bool]:
+    """PutGet at ``(index, rhs_instance)``: unexpanding then re-expanding
+    restores the rule index and the RHS instance.
+
+    Returns ``None`` when the law is vacuous (unexpansion fails).
+    """
+    surface = rules.unexpand(index, rhs_instance, stand_in)
+    if surface is None:
+        return None
+    expansion = rules.expand(surface)
+    if expansion is None:
+        return False
+    return expansion.index == index and expansion.term == rhs_instance
+
+
+def check_desugar_resugar_inverse(rules: RuleList, surface_term: Pattern) -> bool:
+    """Theorem 2, forward direction: ``resugar (desugar t) = t`` for a
+    surface term ``t``."""
+    core = desugar(rules, surface_term)
+    back = resugar(rules, core)
+    return back == surface_term
+
+
+def emulates(rules: RuleList, surface_term: Pattern, core_term: Pattern) -> bool:
+    """The Emulation property at one step: does ``surface_term`` desugar
+    into ``core_term``?
+
+    Comparison is modulo tags: tags are metadata for the resugarer, and
+    the evaluator's semantics never consults them, so the core term a
+    surface step *represents* is its tag-free skeleton.  (Transparent
+    body tags in particular survive in the core term but are stripped
+    from resugared output, so exact tagged equality is too strong.)
+    """
+    return strip_tags(desugar(rules, surface_term)) == strip_tags(core_term)

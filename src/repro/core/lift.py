@@ -1,0 +1,321 @@
+"""Lifting core evaluation sequences to surface sequences (section 5.3).
+
+The deterministic algorithm is the paper's::
+
+    def showSurfaceSequence(s):
+        let c = desugar*(s)
+        while c can take a reduction step:
+            let s' = resugar*(c)
+            if s': emit(s')
+            c := step(c)
+
+(plus a final emission once evaluation halts, which the paper's displayed
+sequences include).  For a nondeterministic language the same idea lifts
+an evaluation *tree*: keep a queue of unexplored core terms, resugar each,
+and record edges between the surface representations of connected core
+terms.
+
+Steppers are black boxes behind the :class:`Stepper` protocol: a stepper
+owns whatever machine state evaluation needs (typically a store) and can
+always render its current state as a core *term* — the thing resugaring
+consumes.  Section 7 of the paper describes recovering such a stepper
+from a production evaluator; our interpreters provide one natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.core.desugar import desugar, resugar
+from repro.core.errors import ReproError
+from repro.core.recursion import deep_recursion
+from repro.core.lenses import emulates
+from repro.core.rules import RuleList
+from repro.core.terms import Pattern
+
+__all__ = [
+    "Stepper",
+    "FunctionStepper",
+    "LiftedStep",
+    "LiftResult",
+    "lift_evaluation",
+    "SurfaceTree",
+    "lift_evaluation_tree",
+    "EmulationViolation",
+]
+
+State = TypeVar("State")
+
+
+class Stepper(Protocol[State]):
+    """A black-box single-stepper for a core language.
+
+    ``load`` turns a (tagged) core term into an initial machine state;
+    ``step`` advances one reduction, returning every possible successor
+    (empty when evaluation is finished or stuck); ``term`` renders a state
+    back into a core term, tags intact.
+    """
+
+    def load(self, core_term: Pattern) -> State: ...
+
+    def step(self, state: State) -> Sequence[State]: ...
+
+    def term(self, state: State) -> Pattern: ...
+
+
+class FunctionStepper:
+    """Adapt a plain ``term -> Optional[term]`` function (a deterministic,
+    storeless reduction) to the :class:`Stepper` protocol."""
+
+    def __init__(self, step_fn: Callable[[Pattern], Optional[Pattern]]) -> None:
+        self._step_fn = step_fn
+
+    def load(self, core_term: Pattern) -> Pattern:
+        return core_term
+
+    def step(self, state: Pattern) -> Sequence[Pattern]:
+        nxt = self._step_fn(state)
+        return [] if nxt is None else [nxt]
+
+    def term(self, state: Pattern) -> Pattern:
+        return state
+
+
+class EmulationViolation(ReproError):
+    """A resugared surface term did not desugar back into the core term it
+    was meant to represent.  With a STRICT-disjoint, well-formed rulelist
+    this is impossible (Theorem 3); with PRIORITIZED overlap it is the
+    dynamic backstop."""
+
+
+@dataclass(frozen=True)
+class LiftedStep:
+    """One core step's fate during lifting."""
+
+    core_index: int
+    core_term: Pattern
+    surface_term: Optional[Pattern]
+    emitted: bool
+
+    @property
+    def skipped(self) -> bool:
+        return self.surface_term is None
+
+
+@dataclass
+class LiftResult:
+    """A lifted evaluation sequence plus per-step bookkeeping.
+
+    ``surface_sequence`` is what a user sees; ``steps`` records, for every
+    core step, whether it was shown, deduplicated, or skipped — the raw
+    material for the paper's Coverage discussions.
+    """
+
+    surface_sequence: List[Pattern] = field(default_factory=list)
+    steps: List[LiftedStep] = field(default_factory=list)
+
+    @property
+    def core_step_count(self) -> int:
+        return len(self.steps)
+
+    @property
+    def skipped_count(self) -> int:
+        return sum(1 for s in self.steps if s.skipped)
+
+    @property
+    def shown_count(self) -> int:
+        return len(self.surface_sequence)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of core steps with a surface representation."""
+        if not self.steps:
+            return 1.0
+        return 1.0 - self.skipped_count / len(self.steps)
+
+
+def lift_evaluation(
+    rules: RuleList,
+    stepper: "Stepper",
+    surface_term: Pattern,
+    max_steps: int = 100_000,
+    dedup: bool = True,
+    check_emulation: bool = True,
+) -> LiftResult:
+    """Compute the surface evaluation sequence of ``surface_term``.
+
+    The term is desugared once, loaded into the stepper, and stepped to
+    completion; each core term is resugared and emitted when it has a
+    surface representation.  ``dedup`` drops a surface term identical to
+    the previously emitted one (consecutive core steps can differ only in
+    machine state invisible at the surface).  ``check_emulation``
+    verifies, for every emitted term, that it desugars back into the core
+    term it represents, raising :class:`EmulationViolation` otherwise.
+    """
+    core = desugar(rules, surface_term)
+    state = stepper.load(core)
+    result = LiftResult()
+    last_emitted: Optional[Pattern] = None
+
+    with deep_recursion():
+        return _lift_loop(
+            rules, stepper, state, result, max_steps, dedup, check_emulation
+        )
+
+
+def _lift_loop(rules, stepper, state, result, max_steps, dedup, check_emulation):
+    last_emitted: Optional[Pattern] = None
+    for index in range(max_steps + 1):
+        term = stepper.term(state)
+        surface = resugar(rules, term)
+        emitted = False
+        if surface is not None:
+            if check_emulation and not emulates(rules, surface, term):
+                raise EmulationViolation(
+                    f"surface step {surface} does not desugar into the core "
+                    f"term it represents: {term}"
+                )
+            if not (dedup and surface == last_emitted):
+                result.surface_sequence.append(surface)
+                last_emitted = surface
+                emitted = True
+        result.steps.append(LiftedStep(index, term, surface, emitted))
+
+        successors = stepper.step(state)
+        if not successors:
+            return result
+        if len(successors) > 1:
+            raise ReproError(
+                "nondeterministic step during sequence lifting; use "
+                "lift_evaluation_tree for languages with amb"
+            )
+        state = successors[0]
+
+    raise ReproError(f"evaluation did not finish within {max_steps} steps")
+
+
+@dataclass
+class SurfaceTree:
+    """A lifted evaluation *tree* for a nondeterministic language.
+
+    ``nodes`` maps a node id to its surface term; ``edges`` connects node
+    ids.  An edge ``u -> v`` means some core path from ``u``'s core term
+    reaches ``v``'s core term without passing through any other
+    resugarable core term (so the surface tree's structure mirrors the
+    core tree's, with skipped steps contracted).
+    """
+
+    nodes: dict = field(default_factory=dict)
+    edges: List[Tuple[int, int]] = field(default_factory=list)
+    root: Optional[int] = None
+    core_node_count: int = 0
+    skipped_count: int = 0
+
+    def children(self, node_id: int) -> List[int]:
+        return [v for (u, v) in self.edges if u == node_id]
+
+    def leaves(self) -> List[int]:
+        with_children = {u for (u, _) in self.edges}
+        return [n for n in self.nodes if n not in with_children]
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length, in edges."""
+        if self.root is None:
+            return 0
+
+        def walk(node_id: int) -> int:
+            kids = self.children(node_id)
+            if not kids:
+                return 0
+            return 1 + max(walk(k) for k in kids)
+
+        return walk(self.root)
+
+    def to_dot(self, label=None) -> str:
+        """Render the tree in Graphviz DOT format.
+
+        ``label`` converts a surface term to a node label; it defaults
+        to the generic renderer with tags hidden.
+        """
+        if label is None:
+            from repro.lang.render import render
+
+            def label(term):
+                return render(term, show_tags=False)
+
+        lines = ["digraph surface_tree {", "  node [shape=box];"]
+        for node_id, term in self.nodes.items():
+            text = label(term).replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(f'  n{node_id} [label="{text}"];')
+        for u, v in self.edges:
+            lines.append(f"  n{u} -> n{v};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def lift_evaluation_tree(
+    rules: RuleList,
+    stepper: "Stepper",
+    surface_term: Pattern,
+    max_nodes: int = 100_000,
+    check_emulation: bool = True,
+) -> SurfaceTree:
+    """Lift a nondeterministic evaluation into a surface tree
+    (section 5.3's breadth-first exploration with bookkeeping).
+
+    Core states are explored breadth-first from ``desugar(surface_term)``;
+    each resugarable state becomes a surface node, attached to its nearest
+    resugarable ancestor.  States whose core terms coincide are *not*
+    merged: the paper lifts a tree, not a graph.
+    """
+    core = desugar(rules, surface_term)
+    tree = SurfaceTree()
+    next_id = 0
+
+    # Queue holds (state, nearest surface ancestor id or None).
+    queue: List[Tuple[object, Optional[int]]] = [(stepper.load(core), None)]
+    with deep_recursion():
+        return _tree_loop(
+            rules, stepper, tree, queue, max_nodes, check_emulation
+        )
+
+
+def _tree_loop(rules, stepper, tree, queue, max_nodes, check_emulation):
+    next_id = 0
+    while queue:
+        if tree.core_node_count >= max_nodes:
+            raise ReproError(f"evaluation tree exceeded {max_nodes} core nodes")
+        state, parent = queue.pop(0)
+        tree.core_node_count += 1
+        term = stepper.term(state)
+        surface = resugar(rules, term)
+        if surface is not None:
+            if check_emulation and not emulates(rules, surface, term):
+                raise EmulationViolation(
+                    f"surface node {surface} does not desugar into the core "
+                    f"term it represents: {term}"
+                )
+            node_id = next_id
+            next_id += 1
+            tree.nodes[node_id] = surface
+            if parent is None:
+                tree.root = node_id
+            else:
+                tree.edges.append((parent, node_id))
+            parent = node_id
+        else:
+            tree.skipped_count += 1
+        for successor in stepper.step(state):
+            queue.append((successor, parent))
+    return tree

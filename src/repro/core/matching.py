@@ -1,0 +1,166 @@
+"""Matching a term against a pattern (Figure 3, left column).
+
+``match(T, P)`` implements the paper's ``T / P``: it returns an
+environment binding the pattern's variables when the match succeeds and
+``None`` when it fails.  The paper writes ``T >= P`` for "``T / P`` is
+defined"; that is :func:`matches` here.
+
+The interesting case is the ellipsis: matching ``(T1 ... Tn+k)`` against
+``(P1 ... Pn Pe*)`` matches the fixed prefix pairwise and then matches
+each of the ``k`` remaining elements against ``Pe``, *merging* the
+resulting environments into list bindings (one item per repetition).
+
+Tags and matching.  Body tags are literally part of RHS patterns
+(section 5.2.1), so by default a tagged term only matches a tagged
+pattern with an equal tag.  Two relaxations are needed in practice:
+
+* During *expansion*, the term being matched against a rule's (tag-free)
+  LHS may contain tags on subterms that earlier expansions introduced;
+  ``see_through_tags=True`` makes constant, node, and list patterns
+  ignore tags on the term.
+* During *unexpansion*, ``lenient_pattern_tags=True`` lets a body tag in
+  the *pattern* match an untagged term.  This is required for recursive
+  sugar (the multi-arm ``Or`` of section 3.4): the RHS's recursive
+  invocation is expanded by another rule, which consumes the body tags
+  on its argument structure, and the inner unexpansion reconstructs a
+  clean surface term there.  Abstraction is unaffected — it is enforced
+  by the final opaque-tag check on the resugared term, not by match
+  strictness — but the strict reading of Theorem 4's proof weakens to
+  "terms matching the RHS's concrete structure", the same relaxation the
+  paper itself accepts for body tags not recording rule identity.
+
+Pattern variables always capture the term *with* its tags, preserving
+origin information.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.bindings import Binding, Env, ListBinding, merge
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    Node,
+    Pattern,
+    PList,
+    PVar,
+    Tagged,
+    pattern_variables,
+)
+
+__all__ = ["match", "matches"]
+
+
+def match(
+    term: Pattern,
+    pattern: Pattern,
+    see_through_tags: bool = False,
+    lenient_pattern_tags: bool = False,
+) -> Optional[Env]:
+    """Match ``term`` against ``pattern``; return bindings or ``None``.
+
+    ``term`` must be a term (no variables or ellipses); this is not
+    re-checked on every call for speed, but variables in the term position
+    will simply never match anything except a pattern variable.
+    """
+    return _match(term, pattern, see_through_tags, lenient_pattern_tags)
+
+
+def matches(
+    term: Pattern,
+    pattern: Pattern,
+    see_through_tags: bool = False,
+    lenient_pattern_tags: bool = False,
+) -> bool:
+    """The paper's ``T >= P``: does ``term`` match ``pattern``?"""
+    return _match(term, pattern, see_through_tags, lenient_pattern_tags) is not None
+
+
+def _union(sigma1: Env, sigma2: Mapping[str, Binding]) -> Optional[Env]:
+    """Union of sibling match environments; ``None`` on conflicting
+    duplicate bindings (the match as a whole then fails).
+
+    Duplicate variables only pass well-formedness when declared atomic
+    (criterion 2's exception), so agreeing duplicates — e.g. Letrec's
+    binding names, which appear both in the initialization list and the
+    assignment sequence of its RHS — simply require equal bindings.
+    """
+    for name, b in sigma2.items():
+        if name in sigma1:
+            if sigma1[name] != b:
+                return None
+        sigma1[name] = b
+    return sigma1
+
+
+def _match(term: Pattern, pattern: Pattern, see: bool, lenient: bool) -> Optional[Env]:
+    # T / x = {x -> T}: variables capture the term, tags included.
+    if isinstance(pattern, PVar):
+        return {pattern.name: term}
+
+    if isinstance(pattern, Tagged):
+        if isinstance(term, Tagged) and term.tag == pattern.tag:
+            return _match(term.term, pattern.term, see, lenient)
+        if lenient and isinstance(pattern.tag, BodyTag):
+            return _match(term, pattern.term, see, lenient)
+        return None
+
+    # The pattern is a constant, node, or list.  A tagged term matches it
+    # only in see-through mode (expansion-time LHS matching).
+    if isinstance(term, Tagged):
+        if see:
+            return _match(term.term, pattern, see, lenient)
+        return None
+
+    if isinstance(pattern, Const):
+        if isinstance(term, Const) and term == pattern:
+            return {}
+        return None
+
+    if isinstance(pattern, Node):
+        if (
+            not isinstance(term, Node)
+            or term.label != pattern.label
+            or len(term.children) != len(pattern.children)
+        ):
+            return None
+        out: Env = {}
+        for t_child, p_child in zip(term.children, pattern.children):
+            sub = _match(t_child, p_child, see, lenient)
+            if sub is None:
+                return None
+            if _union(out, sub) is None:
+                return None
+        return out
+
+    if isinstance(pattern, PList):
+        if not isinstance(term, PList) or term.ellipsis is not None:
+            return None
+        n = len(pattern.items)
+        if pattern.ellipsis is None:
+            if len(term.items) != n:
+                return None
+        elif len(term.items) < n:
+            return None
+        out = {}
+        for t_item, p_item in zip(term.items[:n], pattern.items):
+            sub = _match(t_item, p_item, see, lenient)
+            if sub is None:
+                return None
+            if _union(out, sub) is None:
+                return None
+        if pattern.ellipsis is not None:
+            rep_envs = []
+            for t_item in term.items[n:]:
+                sub = _match(t_item, pattern.ellipsis, see, lenient)
+                if sub is None:
+                    return None
+                rep_envs.append(sub)
+            ell_vars = dict.fromkeys(pattern_variables(pattern.ellipsis))
+            merged = merge(rep_envs, ell_vars)
+            if _union(out, merged) is None:
+                return None
+        return out
+
+    return None

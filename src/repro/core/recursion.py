@@ -1,0 +1,32 @@
+"""Recursion headroom for deeply nested terms.
+
+The engine is written with straightforward structural recursion; a
+128-arm ``Or`` desugars into a ~500-deep core term, which a default
+CPython recursion limit of 1000 cannot traverse.  The deep-recursive
+entry points (desugaring, resugaring, decomposition, lifting) wrap
+themselves in :func:`deep_recursion`, which raises the interpreter's
+limit for the duration of the call and restores it afterwards.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+
+__all__ = ["deep_recursion", "DEFAULT_RECURSION_LIMIT"]
+
+DEFAULT_RECURSION_LIMIT = 100_000
+"""Enough for terms tens of thousands of nodes deep; far below levels
+that would exhaust a typical 8 MiB C stack with our small frames."""
+
+
+@contextmanager
+def deep_recursion(limit: int = DEFAULT_RECURSION_LIMIT):
+    """Temporarily raise the recursion limit (never lowers it)."""
+    old = sys.getrecursionlimit()
+    if old < limit:
+        sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)

@@ -1,0 +1,386 @@
+"""Terms, patterns, and origin tags (Figure 1 of the paper).
+
+The paper defines patterns ``P`` as::
+
+    P := x                  (pattern variable)
+       | a                  (constant)
+       | l(P1, ..., Pn)     (node labeled l, fixed arity)
+       | (P1 ... Pn)        (list of length n)
+       | (P1 ... Pn Pe*)    (list of length >= n; Pe* is an ellipsis)
+       | (Tag O P)          (origin tag)
+
+and a *term* ``T`` is a pattern without variables or ellipses.  We mirror
+that design: one family of immutable classes represents both terms and
+patterns, and :func:`is_term` distinguishes the two.
+
+Constants ``a`` are atomic values: Python ``int``, ``float``, ``str``,
+``bool``, ``None``, or a :class:`Symbol` (a bare identifier, distinct from
+a string literal).
+
+Tags come in two kinds (section 5.2.1):
+
+* :class:`HeadTag` marks the outermost term produced by a rule
+  application.  It records the index of the rule used (so only that rule
+  may be applied in reverse, preserving Emulation) and the *stand-in*
+  environment ``sigma`` holding bindings for LHS variables that the RHS
+  dropped.
+* :class:`BodyTag` marks each non-atomic term constructed by a rule's
+  RHS, distinguishing sugar-generated code from user code (preserving
+  Abstraction).  A body tag is *transparent* if the sugar author prefixed
+  the subterm with ``!``, and *opaque* otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.core.errors import PatternError
+
+__all__ = [
+    "Symbol",
+    "Atom",
+    "Pattern",
+    "Term",
+    "PVar",
+    "Const",
+    "Node",
+    "PList",
+    "Tag",
+    "HeadTag",
+    "BodyTag",
+    "Tagged",
+    "is_term",
+    "is_atomic",
+    "pattern_variables",
+    "variable_depths",
+    "strip_tags",
+    "strip_body_tags",
+    "subterms",
+    "term_size",
+    "term_depth",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol:
+    """A bare identifier constant, distinct from a string literal.
+
+    ``Const(Symbol("x"))`` prints as ``x`` while ``Const("x")`` prints as
+    ``"x"``.  Symbols are what object-language identifiers desugar from.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Atom = Union[int, float, str, bool, None, Symbol]
+
+
+class Pattern:
+    """Abstract base class for patterns (and therefore terms)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        from repro.lang.render import render
+
+        return render(self)
+
+
+# ``Term`` is an alias that documents intent: a Pattern that contains no
+# pattern variables and no ellipses (checked by ``is_term``).
+Term = Pattern
+
+
+@dataclass(frozen=True, slots=True)
+class PVar(Pattern):
+    """A pattern variable ``x``.  Never appears in a term."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"PVar({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class Const(Pattern):
+    """An atomic constant: number, string, boolean, ``None``, or symbol.
+
+    Equality is by value *and* type, so ``Const(True) != Const(1)`` and
+    ``Const(1) != Const(1.0)`` even though Python considers the underlying
+    values equal.  Matching and unification rely on this.
+    """
+
+    value: Atom
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (int, float, str, bool, Symbol, type(None))):
+            raise PatternError(
+                f"Const value must be atomic, got {type(self.value).__name__}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Const):
+            return NotImplemented
+        return type(self.value) is type(other.value) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((type(self.value).__name__, self.value))
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Node(Pattern):
+    """A labeled node ``l(P1, ..., Pn)`` with fixed arity."""
+
+    label: str
+    children: Tuple[Pattern, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str) or not self.label:
+            raise PatternError("Node label must be a non-empty string")
+        object.__setattr__(self, "children", tuple(self.children))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"Node({self.label!r}, ({inner}))"
+
+
+@dataclass(frozen=True, slots=True)
+class PList(Pattern):
+    """A list pattern ``(P1 ... Pn)`` or ``(P1 ... Pn Pe*)``.
+
+    ``items`` is the fixed prefix; ``ellipsis``, when present, matches zero
+    or more further elements (the paper's ``Pe*``).  A list *term* always
+    has ``ellipsis is None``.
+    """
+
+    items: Tuple[Pattern, ...] = ()
+    ellipsis: Optional[Pattern] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(self.items))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.items)
+        if self.ellipsis is None:
+            return f"PList(({inner}))"
+        return f"PList(({inner}), ellipsis={self.ellipsis!r})"
+
+
+class Tag:
+    """Abstract base for origin tags."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class HeadTag(Tag):
+    """``(Head i sigma)``: the outermost term produced by applying rule
+    ``index`` of a rulelist.
+
+    ``stand_in`` is the environment for LHS variables the RHS dropped
+    (section 5.1.4); it is needed to reconstruct the surface term during
+    unexpansion.  It is stored as a tuple of (name, binding) pairs so the
+    tag stays hashable.
+    """
+
+    index: int
+    stand_in: Tuple[Tuple[str, object], ...] = ()
+
+    def __repr__(self) -> str:
+        return f"HeadTag({self.index}, {dict(self.stand_in)!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class BodyTag(Tag):
+    """``(Body bool)``: a non-atomic term constructed by a rule's RHS.
+
+    ``transparent`` is True when the sugar author marked the subterm with
+    ``!`` (section 3.4), allowing it to appear in surface output.
+    """
+
+    transparent: bool = False
+
+    def __repr__(self) -> str:
+        kind = "transparent" if self.transparent else "opaque"
+        return f"BodyTag({kind})"
+
+
+@dataclass(frozen=True, slots=True)
+class Tagged(Pattern):
+    """``(Tag O P)``: a pattern or term carrying an origin tag."""
+
+    tag: Tag
+    term: Pattern
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tag, Tag):
+            raise PatternError(f"Tagged.tag must be a Tag, got {self.tag!r}")
+
+    def __repr__(self) -> str:
+        return f"Tagged({self.tag!r}, {self.term!r})"
+
+
+def is_atomic(p: Pattern) -> bool:
+    """True for constants — the paper's atoms ``a``."""
+    return isinstance(p, Const)
+
+
+def is_term(p: Pattern) -> bool:
+    """True when ``p`` contains no pattern variables and no ellipses."""
+    if isinstance(p, Const):
+        return True
+    if isinstance(p, PVar):
+        return False
+    if isinstance(p, Node):
+        return all(is_term(c) for c in p.children)
+    if isinstance(p, PList):
+        return p.ellipsis is None and all(is_term(c) for c in p.items)
+    if isinstance(p, Tagged):
+        return is_term(p.term)
+    raise PatternError(f"not a pattern: {p!r}")
+
+
+def pattern_variables(p: Pattern) -> Tuple[str, ...]:
+    """All variable names in ``p``, in in-order traversal order
+    (duplicates included, so callers can check linearity)."""
+    out: list[str] = []
+
+    def walk(q: Pattern) -> None:
+        if isinstance(q, PVar):
+            out.append(q.name)
+        elif isinstance(q, Node):
+            for c in q.children:
+                walk(c)
+        elif isinstance(q, PList):
+            for c in q.items:
+                walk(c)
+            if q.ellipsis is not None:
+                walk(q.ellipsis)
+        elif isinstance(q, Tagged):
+            walk(q.term)
+
+    walk(p)
+    return tuple(out)
+
+
+def variable_depths(p: Pattern) -> dict[str, int]:
+    """Map each variable in ``p`` to its ellipsis depth.
+
+    A variable under no ellipsis has depth 0; directly under one ellipsis,
+    depth 1; and so on (the paper's depth convention in criterion 3).
+    """
+    depths: dict[str, int] = {}
+
+    def walk(q: Pattern, depth: int) -> None:
+        if isinstance(q, PVar):
+            depths[q.name] = depth
+        elif isinstance(q, Node):
+            for c in q.children:
+                walk(c, depth)
+        elif isinstance(q, PList):
+            for c in q.items:
+                walk(c, depth)
+            if q.ellipsis is not None:
+                walk(q.ellipsis, depth + 1)
+        elif isinstance(q, Tagged):
+            walk(q.term, depth)
+
+    walk(p, 0)
+    return depths
+
+
+def strip_tags(t: Pattern) -> Pattern:
+    """Remove every tag from ``t``, producing a plain term or pattern."""
+    if isinstance(t, (Const, PVar)):
+        return t
+    if isinstance(t, Tagged):
+        return strip_tags(t.term)
+    if isinstance(t, Node):
+        return Node(t.label, tuple(strip_tags(c) for c in t.children))
+    if isinstance(t, PList):
+        ell = strip_tags(t.ellipsis) if t.ellipsis is not None else None
+        return PList(tuple(strip_tags(c) for c in t.items), ell)
+    raise PatternError(f"not a pattern: {t!r}")
+
+
+def strip_body_tags(t: Pattern, transparent_only: bool = True) -> Pattern:
+    """Remove body tags from ``t`` (by default only transparent ones).
+
+    Used when presenting a resugared term: transparent body tags are
+    *allowed* to survive resugaring but must not appear in output.
+    """
+    if isinstance(t, (Const, PVar)):
+        return t
+    if isinstance(t, Tagged):
+        drop = isinstance(t.tag, BodyTag) and (
+            t.tag.transparent or not transparent_only
+        )
+        inner = strip_body_tags(t.term, transparent_only)
+        return inner if drop else Tagged(t.tag, inner)
+    if isinstance(t, Node):
+        return Node(
+            t.label, tuple(strip_body_tags(c, transparent_only) for c in t.children)
+        )
+    if isinstance(t, PList):
+        ell = (
+            strip_body_tags(t.ellipsis, transparent_only)
+            if t.ellipsis is not None
+            else None
+        )
+        return PList(
+            tuple(strip_body_tags(c, transparent_only) for c in t.items), ell
+        )
+    raise PatternError(f"not a pattern: {t!r}")
+
+
+def subterms(t: Pattern) -> Iterator[Pattern]:
+    """Yield ``t`` and every subterm of it, pre-order."""
+    yield t
+    if isinstance(t, Node):
+        for c in t.children:
+            yield from subterms(c)
+    elif isinstance(t, PList):
+        for c in t.items:
+            yield from subterms(c)
+        if t.ellipsis is not None:
+            yield from subterms(t.ellipsis)
+    elif isinstance(t, Tagged):
+        yield from subterms(t.term)
+
+
+def term_size(t: Pattern) -> int:
+    """Number of subterms in ``t`` (tags do not add to the count)."""
+    if isinstance(t, Tagged):
+        return term_size(t.term)
+    if isinstance(t, Node):
+        return 1 + sum(term_size(c) for c in t.children)
+    if isinstance(t, PList):
+        n = 1 + sum(term_size(c) for c in t.items)
+        if t.ellipsis is not None:
+            n += term_size(t.ellipsis)
+        return n
+    return 1
+
+
+def term_depth(t: Pattern) -> int:
+    """Height of the term tree (a constant has depth 1)."""
+    if isinstance(t, Tagged):
+        return term_depth(t.term)
+    children: Tuple[Pattern, ...] = ()
+    if isinstance(t, Node):
+        children = t.children
+    elif isinstance(t, PList):
+        children = t.items + ((t.ellipsis,) if t.ellipsis is not None else ())
+    if not children:
+        return 1
+    return 1 + max(term_depth(c) for c in children)

@@ -1,0 +1,251 @@
+"""Unification of patterns (``P ∨ P`` in the paper).
+
+Unification computes a pattern whose language is the intersection of two
+patterns' languages, or reports that the intersection is empty.  The
+paper needs it for exactly one purpose: the *disjointness condition*
+(Definition 1) — ``Pi ∨ Pj = ⊥`` for all ``i ≠ j`` — which is necessary
+and sufficient for the PutGet lens law (Theorem 1) and hence for
+Emulation.
+
+Because rules are linear (no duplicate variables) the algorithm is
+straightforward, as the paper notes.  The two inputs are renamed apart
+first, so a variable can appear at most once across both patterns and no
+occurs-check or binding propagation is needed: a variable unifies with
+any pattern by *becoming* it.
+
+Patterns here are "prefix + optional star" regular tree expressions
+(Figure 1), so list unification reduces to aligning fixed prefixes and
+repeated tails; the result is again such a pattern, keeping the theory
+closed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.terms import (
+    Const,
+    Node,
+    Pattern,
+    PList,
+    PVar,
+    Tagged,
+    pattern_variables,
+)
+
+__all__ = ["unify", "unifiable", "rename_variables", "subsumes"]
+
+
+def rename_variables(pattern: Pattern, suffix: str) -> Pattern:
+    """Append ``suffix`` to every variable name in ``pattern``."""
+    if isinstance(pattern, PVar):
+        return PVar(pattern.name + suffix)
+    if isinstance(pattern, Const):
+        return pattern
+    if isinstance(pattern, Node):
+        return Node(
+            pattern.label, tuple(rename_variables(c, suffix) for c in pattern.children)
+        )
+    if isinstance(pattern, PList):
+        ell = (
+            rename_variables(pattern.ellipsis, suffix)
+            if pattern.ellipsis is not None
+            else None
+        )
+        return PList(tuple(rename_variables(c, suffix) for c in pattern.items), ell)
+    if isinstance(pattern, Tagged):
+        return Tagged(pattern.tag, rename_variables(pattern.term, suffix))
+    raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def unify(p: Pattern, q: Pattern, rename_apart: bool = True) -> Optional[Pattern]:
+    """Return a pattern matching exactly the terms matched by both ``p``
+    and ``q``, or ``None`` when no term matches both.
+
+    When ``rename_apart`` is true (the default), ``q``'s variables are
+    renamed first so that shared names between independent rules do not
+    create spurious constraints.
+    """
+    if rename_apart:
+        shared = set(pattern_variables(p)) & set(pattern_variables(q))
+        if shared:
+            q = rename_variables(q, "~u")
+    return _unify(p, q)
+
+
+def unifiable(p: Pattern, q: Pattern) -> bool:
+    """Does any term match both ``p`` and ``q``?"""
+    return unify(p, q) is not None
+
+
+def _unify(p: Pattern, q: Pattern) -> Optional[Pattern]:
+    # A variable matches everything, so the intersection is the other side.
+    if isinstance(p, PVar):
+        return q
+    if isinstance(q, PVar):
+        return p
+
+    if isinstance(p, Tagged) or isinstance(q, Tagged):
+        if (
+            isinstance(p, Tagged)
+            and isinstance(q, Tagged)
+            and p.tag == q.tag
+        ):
+            inner = _unify(p.term, q.term)
+            return Tagged(p.tag, inner) if inner is not None else None
+        # A tagged pattern only matches tagged terms; an untagged,
+        # non-variable pattern only matches untagged terms.
+        return None
+
+    if isinstance(p, Const):
+        return p if (isinstance(q, Const) and p == q) else None
+    if isinstance(q, Const):
+        return None
+
+    if isinstance(p, Node):
+        if (
+            not isinstance(q, Node)
+            or p.label != q.label
+            or len(p.children) != len(q.children)
+        ):
+            return None
+        children = []
+        for pc, qc in zip(p.children, q.children):
+            u = _unify(pc, qc)
+            if u is None:
+                return None
+            children.append(u)
+        return Node(p.label, tuple(children))
+
+    if isinstance(p, PList):
+        if not isinstance(q, PList):
+            return None
+        return _unify_lists(p, q)
+
+    return None
+
+
+def _unify_lists(p: PList, q: PList) -> Optional[PList]:
+    np_, nq = len(p.items), len(q.items)
+
+    if p.ellipsis is None and q.ellipsis is None:
+        if np_ != nq:
+            return None
+        items = _unify_pairwise(p.items, q.items)
+        return PList(tuple(items)) if items is not None else None
+
+    if p.ellipsis is None:
+        # Swap so that p is the one with the ellipsis.
+        p, q = q, p
+        np_, nq = nq, np_
+
+    if q.ellipsis is None:
+        # p has an ellipsis (length >= np_), q is fixed length nq.
+        if nq < np_:
+            return None
+        prefix = _unify_pairwise(p.items, q.items[:np_])
+        if prefix is None:
+            return None
+        assert p.ellipsis is not None
+        extra = []
+        for q_item in q.items[np_:]:
+            # Each repetition gets a fresh copy of the ellipsis pattern so
+            # linearity is preserved in the result.
+            rep = rename_variables(p.ellipsis, f"~{len(extra)}")
+            u = _unify(rep, q_item)
+            if u is None:
+                return None
+            extra.append(u)
+        return PList(tuple(prefix + extra))
+
+    # Both have ellipses.  Align so p has the shorter fixed prefix.
+    if np_ > nq:
+        p, q = q, p
+        np_, nq = nq, np_
+    assert p.ellipsis is not None and q.ellipsis is not None
+    prefix = _unify_pairwise(p.items, q.items[:np_])
+    if prefix is None:
+        return None
+    for i, q_item in enumerate(q.items[np_:]):
+        rep = rename_variables(p.ellipsis, f"~{i}")
+        u = _unify(rep, q_item)
+        if u is None:
+            return None
+        prefix.append(u)
+    tail = _unify(p.ellipsis, rename_variables(q.ellipsis, "~e"))
+    if tail is None:
+        # The repeated tails are incompatible, but lists of exactly the
+        # combined prefix length still match both patterns (both ellipses
+        # allow zero repetitions).
+        return PList(tuple(prefix))
+    return PList(tuple(prefix), tail)
+
+
+def _unify_pairwise(ps, qs) -> Optional[list]:
+    out = []
+    for pc, qc in zip(ps, qs):
+        u = _unify(pc, qc)
+        if u is None:
+            return None
+        out.append(u)
+    return out
+
+
+def subsumes(general: Pattern, specific: Pattern) -> bool:
+    """Does every term matching ``specific`` also match ``general``?
+
+    Used by the *prioritized* disjointness mode: rule ``i < j`` may
+    overlap rule ``j`` when ``j``'s LHS subsumes ``i``'s, because rule
+    priority then shadows the overlap during expansion (the recursive
+    multi-arm ``Or`` of section 3.4 is the motivating case).
+    """
+    if isinstance(general, PVar):
+        return True
+    if isinstance(specific, PVar):
+        return False
+
+    if isinstance(general, Tagged) or isinstance(specific, Tagged):
+        return (
+            isinstance(general, Tagged)
+            and isinstance(specific, Tagged)
+            and general.tag == specific.tag
+            and subsumes(general.term, specific.term)
+        )
+
+    if isinstance(general, Const):
+        return isinstance(specific, Const) and general == specific
+    if isinstance(specific, Const):
+        return False
+
+    if isinstance(general, Node):
+        return (
+            isinstance(specific, Node)
+            and general.label == specific.label
+            and len(general.children) == len(specific.children)
+            and all(
+                subsumes(g, s) for g, s in zip(general.children, specific.children)
+            )
+        )
+
+    if isinstance(general, PList):
+        if not isinstance(specific, PList):
+            return False
+        ng, ns = len(general.items), len(specific.items)
+        if general.ellipsis is None:
+            if specific.ellipsis is not None or ng != ns:
+                return False
+            return all(
+                subsumes(g, s) for g, s in zip(general.items, specific.items)
+            )
+        if ng > ns:
+            return False
+        if not all(subsumes(g, s) for g, s in zip(general.items, specific.items)):
+            return False
+        rest = specific.items[ng:]
+        if not all(subsumes(general.ellipsis, s) for s in rest):
+            return False
+        if specific.ellipsis is not None:
+            return subsumes(general.ellipsis, specific.ellipsis)
+        return True
+
+    return False

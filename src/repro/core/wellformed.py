@@ -1,0 +1,194 @@
+"""Static checks on transformation rules.
+
+Two families of checks, both from the paper:
+
+* **Well-formedness** (section 5.1.3), per rule:
+
+  1. every variable in the RHS also appears in the LHS;
+  2. variables are linear: each appears at most once in the LHS and at
+     most once in the RHS (duplicates are permitted only for variables
+     the rule explicitly declares atomic);
+  3. every ellipsis of depth *n* contains at least one variable that
+     either appears at depth >= *n* on the other side of the rule or does
+     not appear on the other side at all;
+  4. the LHS has the form ``l(T1, ..., Tn)`` — a labeled node.
+
+* **Disjointness** (section 5.1.5, Definition 1), per rulelist: the LHSs
+  of distinct rules must not unify.  This is necessary and sufficient for
+  the PutGet lens law (Theorem 1), which Emulation rests on.  Because the
+  paper's own multi-arm ``Or`` (section 3.4) relies instead on rule
+  *priority*, we also offer a ``PRIORITIZED`` mode that permits an
+  earlier, more specific rule to overlap a later, strictly more general
+  one; Emulation is then guaranteed dynamically by the lifting loop's
+  emulation check rather than statically.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence, Tuple
+
+from repro.core.errors import DisjointnessError, WellFormednessError
+from repro.core.terms import (
+    Node,
+    Pattern,
+    PList,
+    PVar,
+    Tagged,
+    pattern_variables,
+    variable_depths,
+)
+from repro.core.unification import subsumes, unify
+
+__all__ = [
+    "DisjointnessMode",
+    "check_rule_wellformed",
+    "check_disjointness",
+    "ellipsis_variable_sets",
+]
+
+
+class DisjointnessMode(enum.Enum):
+    """How strictly to enforce Definition 1 on a rulelist."""
+
+    STRICT = "strict"
+    """Pairwise non-unifiable LHSs, exactly as in the paper."""
+
+    PRIORITIZED = "prioritized"
+    """Allow rule ``i < j`` to overlap rule ``j`` when ``j``'s LHS
+    subsumes ``i``'s (priority shadows the overlap during expansion)."""
+
+    OFF = "off"
+    """No check.  Emulation may be violated, as with the paper's ``Max``
+    example; useful for demonstrating exactly that failure."""
+
+
+def check_rule_wellformed(
+    lhs: Pattern,
+    rhs: Pattern,
+    atomic_vars: Iterable[str] = (),
+    rule_name: str = "<rule>",
+) -> None:
+    """Raise :class:`WellFormednessError` unless ``lhs -> rhs`` satisfies
+    criteria 1-4 of section 5.1.3."""
+    atomic = set(atomic_vars)
+
+    # Criterion 4: the LHS must be a labeled node.
+    if not isinstance(lhs, Node):
+        raise WellFormednessError(
+            f"{rule_name}: LHS must be a labeled node l(T1, ..., Tn), "
+            f"got {lhs!r} (criterion 4)"
+        )
+
+    lhs_vars = pattern_variables(lhs)
+    rhs_vars = pattern_variables(rhs)
+
+    # Criterion 1: RHS variables are a subset of LHS variables.
+    unbound = [v for v in dict.fromkeys(rhs_vars) if v not in set(lhs_vars)]
+    if unbound:
+        raise WellFormednessError(
+            f"{rule_name}: RHS variable(s) {unbound} do not appear in the "
+            f"LHS and would be unbound during expansion (criterion 1)"
+        )
+
+    # Criterion 2: linearity on each side, except declared-atomic vars.
+    for side, names in (("LHS", lhs_vars), ("RHS", rhs_vars)):
+        seen = set()
+        for name in names:
+            if name in seen and name not in atomic:
+                raise WellFormednessError(
+                    f"{rule_name}: variable {name!r} appears more than once "
+                    f"in the {side} (criterion 2; declare it atomic to allow "
+                    f"duplication of atoms)"
+                )
+            seen.add(name)
+
+    # Criterion 3, applied to the ellipses of both sides.
+    lhs_depths = variable_depths(lhs)
+    rhs_depths = variable_depths(rhs)
+    _check_ellipses(lhs, rhs_depths, depth_of_own_side=lhs_depths,
+                    side="LHS", rule_name=rule_name)
+    _check_ellipses(rhs, lhs_depths, depth_of_own_side=rhs_depths,
+                    side="RHS", rule_name=rule_name)
+
+
+def ellipsis_variable_sets(pattern: Pattern) -> Tuple[Tuple[int, Tuple[str, ...]], ...]:
+    """All ellipses in ``pattern`` as ``(depth, variables)`` pairs.
+
+    Depth follows the paper's convention: a top-level ellipsis has depth
+    1, an ellipsis nested inside another has depth 2, and so on.
+    """
+    found: list[Tuple[int, Tuple[str, ...]]] = []
+
+    def walk(p: Pattern, depth: int) -> None:
+        if isinstance(p, Node):
+            for c in p.children:
+                walk(c, depth)
+        elif isinstance(p, PList):
+            for c in p.items:
+                walk(c, depth)
+            if p.ellipsis is not None:
+                found.append(
+                    (depth + 1, tuple(dict.fromkeys(pattern_variables(p.ellipsis))))
+                )
+                walk(p.ellipsis, depth + 1)
+        elif isinstance(p, Tagged):
+            walk(p.term, depth)
+
+    walk(pattern, 0)
+    return tuple(found)
+
+
+def _check_ellipses(pattern, other_depths, depth_of_own_side, side, rule_name):
+    for depth, variables in ellipsis_variable_sets(pattern):
+        if not variables:
+            raise WellFormednessError(
+                f"{rule_name}: an ellipsis of depth {depth} in the {side} "
+                f"contains no variables, so the repetition count is "
+                f"undetermined (criterion 3)"
+            )
+        ok = any(
+            name not in other_depths or other_depths[name] >= depth
+            for name in variables
+        )
+        if not ok:
+            raise WellFormednessError(
+                f"{rule_name}: the ellipsis of depth {depth} in the {side} "
+                f"(variables {list(variables)}) has no variable that appears "
+                f"at depth >= {depth} on the other side or is absent from it "
+                f"(criterion 3)"
+            )
+
+
+def check_disjointness(
+    lhss: Sequence[Pattern],
+    mode: DisjointnessMode = DisjointnessMode.STRICT,
+    rule_names: Sequence[str] | None = None,
+) -> None:
+    """Raise :class:`DisjointnessError` when two LHSs overlap.
+
+    ``lhss`` is given in priority order (earlier rules are tried first).
+    """
+    if mode is DisjointnessMode.OFF:
+        return
+    names = rule_names or [f"rule {i}" for i in range(len(lhss))]
+    # Group by outer node label: rules with different labels are trivially
+    # disjoint, and all LHSs are labeled nodes by criterion 4.
+    for i in range(len(lhss)):
+        for j in range(i + 1, len(lhss)):
+            pi, pj = lhss[i], lhss[j]
+            if isinstance(pi, Node) and isinstance(pj, Node):
+                if pi.label != pj.label:
+                    continue
+            overlap = unify(pi, pj)
+            if overlap is None:
+                continue
+            if mode is DisjointnessMode.PRIORITIZED and subsumes(pj, pi):
+                # The later rule is strictly more general; priority gives
+                # the overlap to the earlier rule during expansion.
+                continue
+            raise DisjointnessError(
+                f"LHSs of {names[i]} and {names[j]} overlap (a term such as "
+                f"{overlap!r} matches both); this breaks the PutGet law and "
+                f"with it Emulation (Definition 1 / Theorem 1)"
+            )

@@ -1,0 +1,68 @@
+"""The stateful lambda-calculus core language of section 8.1.
+
+"It contains only single-argument functions, application, if statements,
+mutation, sequencing, and amb (which nondeterministically chooses among
+its arguments), and some primitive values and operations" — plus
+``call/cc`` for section 8.2's ``return`` sugar.  Defined as a reduction
+semantics in :mod:`repro.redex`, exactly as the paper defined it in PLT
+Redex, so a single-step function comes for free.
+
+Use :func:`make_stepper` to obtain a CONFECTION-compatible stepper, and
+:mod:`repro.sugars.scheme_sugars` for the sugar that the paper layers on
+top (Let, Letrec, And, Or, Cond, Thunk/Force, multi-argument functions,
+the Automaton macro, and Return).
+"""
+
+from repro.lambdacore import ast
+from repro.lambdacore.ast import (
+    HOLE,
+    amb,
+    app,
+    boolean,
+    callcc_val,
+    cont,
+    deref,
+    idref,
+    iff,
+    lam,
+    loc,
+    num,
+    op,
+    seq,
+    setloc,
+    setvar,
+    string,
+    undefined,
+    unit,
+)
+from repro.lambdacore.prims import PRIMITIVE_NAMES, apply_primitive
+from repro.lambdacore.semantics import (
+    alloc,
+    make_semantics,
+    make_stepper,
+    plug_hole,
+)
+from repro.lambdacore.substitute import is_assigned, substitute, substitute_boxed
+from repro.lambdacore.syntax import from_sexpr, parse_program, pretty, to_sexpr
+
+__all__ = [
+    "ast",
+    "make_semantics",
+    "make_stepper",
+    "parse_program",
+    "pretty",
+    "from_sexpr",
+    "to_sexpr",
+    "substitute",
+    "substitute_boxed",
+    "is_assigned",
+    "apply_primitive",
+    "PRIMITIVE_NAMES",
+    "alloc",
+    "plug_hole",
+    "HOLE",
+    # constructors
+    "lam", "app", "iff", "seq", "setvar", "setloc", "deref", "loc", "op",
+    "amb", "idref", "unit", "undefined", "callcc_val", "cont", "num",
+    "string", "boolean",
+]

@@ -1,0 +1,168 @@
+"""Term constructors for the stateful lambda core language (section 8.1).
+
+The core contains exactly what the paper lists: single-argument
+functions, application, if, mutation, sequencing, ``amb``, plus some
+primitive values and operations — and ``call/cc`` (section 8.2).
+
+Mutation is on variables (``set!``): at application time, a parameter
+that is assigned anywhere in the function body is *boxed* — allocated a
+store location, with references rewritten to ``Deref(Loc n)`` and
+assignments to ``SetLoc(Loc n, e)``.  Unassigned parameters substitute
+by value as usual, so immutable programs never see locations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.terms import Const, Node, Pattern, PList
+
+__all__ = [
+    "lam", "app", "iff", "seq", "setvar", "setloc", "deref", "loc",
+    "op", "amb", "idref", "unit", "undefined", "callcc_val", "cont",
+    "HOLE", "num", "string", "boolean",
+    # surface (sugar) constructors
+    "let", "letrec", "binding", "fun", "and_", "or_", "cond", "clause",
+    "else_clause", "thunk", "force", "ret",
+]
+
+
+# --- core forms ------------------------------------------------------
+
+def lam(param: str, body: Pattern) -> Node:
+    """A single-argument function ``Lam("x", body)``."""
+    return Node("Lam", (Const(param), body))
+
+
+def app(fn: Pattern, arg: Pattern) -> Node:
+    return Node("App", (fn, arg))
+
+
+def iff(cond_: Pattern, then: Pattern, els: Pattern) -> Node:
+    return Node("If", (cond_, then, els))
+
+
+def seq(*exprs: Pattern) -> Node:
+    """Sequencing ``Seq([e1, ..., en])``; evaluates left to right and
+    yields the last value."""
+    return Node("Seq", (PList(tuple(exprs)),))
+
+
+def setvar(name: str, expr: Pattern) -> Node:
+    """``set!`` on a lambda-bound variable."""
+    return Node("Set", (Const(name), expr))
+
+
+def setloc(location: Pattern, expr: Pattern) -> Node:
+    return Node("SetLoc", (location, expr))
+
+
+def deref(location: Pattern) -> Node:
+    return Node("Deref", (location,))
+
+
+def loc(n: int) -> Node:
+    return Node("Loc", (Const(n),))
+
+
+def op(name: str, *args: Pattern) -> Node:
+    """A primitive operation, e.g. ``op("+", num(1), num(2))``."""
+    return Node("Op", (Const(name), PList(tuple(args))))
+
+
+def amb(*choices: Pattern) -> Node:
+    """Nondeterministic choice among unevaluated subexpressions."""
+    return Node("Amb", (PList(tuple(choices)),))
+
+
+def idref(name: str) -> Node:
+    """A variable reference ``Id("x")``."""
+    return Node("Id", (Const(name),))
+
+
+def unit() -> Node:
+    """The result of ``set!``/``SetLoc`` (Scheme's void)."""
+    return Node("Unit", ())
+
+
+def undefined() -> Node:
+    """The pre-initialization value of ``letrec`` bindings."""
+    return Node("Undefined", ())
+
+
+def callcc_val() -> Node:
+    """The ``call/cc`` primitive as a value."""
+    return Node("CallCC", ())
+
+
+def cont(context: Pattern) -> Node:
+    """A captured continuation: the evaluation context with a hole."""
+    return Node("Cont", (context,))
+
+
+HOLE = Node("Hole", ())
+"""The hole marking the focus position inside a captured continuation."""
+
+
+def num(n) -> Const:
+    return Const(n)
+
+
+def string(s: str) -> Const:
+    return Const(s)
+
+
+def boolean(b: bool) -> Const:
+    return Const(b)
+
+
+# --- surface (sugar) forms -------------------------------------------
+
+def binding(name: str, expr: Pattern) -> Node:
+    return Node("Binding", (Const(name), expr))
+
+
+def let(bindings: Iterable[Node], body: Pattern) -> Node:
+    return Node("Let", (PList(tuple(bindings)), body))
+
+
+def letrec(bindings: Iterable[Node], body: Pattern) -> Node:
+    return Node("Letrec", (PList(tuple(bindings)), body))
+
+
+def fun(params: Iterable[str], body: Pattern) -> Node:
+    """Multi-argument function sugar (curried into single-arg Lams)."""
+    return Node("Fun", (PList(tuple(Const(p) for p in params)), body))
+
+
+def and_(*exprs: Pattern) -> Node:
+    return Node("And", (PList(tuple(exprs)),))
+
+
+def or_(*exprs: Pattern) -> Node:
+    return Node("Or", (PList(tuple(exprs)),))
+
+
+def clause(test: Pattern, result: Pattern) -> Node:
+    return Node("Clause", (test, result))
+
+
+def else_clause(result: Pattern) -> Node:
+    return Node("Else", (result,))
+
+
+def cond(*clauses: Pattern) -> Node:
+    return Node("Cond", (PList(tuple(clauses)),))
+
+
+def thunk(expr: Pattern) -> Node:
+    return Node("Thunk", (expr,))
+
+
+def force(expr: Pattern) -> Node:
+    return Node("Force", (expr,))
+
+
+def ret(expr: Pattern) -> Node:
+    """Early return (section 8.2), defined via call/cc."""
+    return Node("Return", (expr,))

@@ -1,0 +1,140 @@
+"""Capture-avoiding-enough substitution for the lambda core.
+
+Evaluation is substitution-based (that is what makes every machine state
+a *term* the resugarer can process).  Because the language is
+call-by-value and programs are closed, every substituted value is closed
+— except captured continuations, which are also closed — so plain
+shadow-respecting substitution suffices; no alpha-renaming is needed.
+
+Origin discipline: a variable *reference* that gets replaced disappears,
+taking its tags with it (the value that replaces it keeps its own tags);
+all other structure is rebuilt with tags preserved (Definition 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.terms import Const, Node, Pattern, PList, Tagged
+
+__all__ = ["substitute", "substitute_boxed", "substitute_assigned", "is_assigned"]
+
+
+def _bare(t: Pattern) -> Pattern:
+    while isinstance(t, Tagged):
+        t = t.term
+    return t
+
+
+def _param_of(lam_node: Node) -> Optional[str]:
+    bare = _bare(lam_node.children[0])
+    if isinstance(bare, Const) and isinstance(bare.value, str):
+        return bare.value
+    return None
+
+
+def _target_name(node: Node) -> Optional[str]:
+    bare = _bare(node.children[0])
+    if isinstance(bare, Const) and isinstance(bare.value, str):
+        return bare.value
+    return None
+
+
+def substitute(term: Pattern, name: str, value: Pattern) -> Pattern:
+    """Replace free references ``Id(name)`` in ``term`` by ``value``."""
+    return _walk(
+        term,
+        name,
+        on_ref=lambda: value,
+        on_set=None,
+    )
+
+
+def substitute_boxed(term: Pattern, name: str, location: Pattern) -> Pattern:
+    """Box an assigned variable: references become ``Deref(location)``
+    and assignments become ``SetLoc(location, e)``."""
+    return _walk(
+        term,
+        name,
+        on_ref=lambda: Node("Deref", (location,)),
+        on_set=lambda rhs: Node("SetLoc", (location, rhs)),
+    )
+
+
+def substitute_assigned(term: Pattern, name: str, cell_name: str) -> Pattern:
+    """Rewrite an assigned variable to a named cell: references become
+    ``Cell(cell_name)`` and assignments ``SetCell(cell_name, e)``.
+
+    Named cells are how assigned variables keep their *names* in the
+    running term (cells display as the bare identifier), which is what
+    lets lifted traces show ``(apply more "adr")`` rather than a resolved
+    closure — the effect the paper achieves in Figure 4.
+    """
+    return _walk(
+        term,
+        name,
+        on_ref=lambda: Node("Cell", (Const(cell_name),)),
+        on_set=lambda rhs: Node("SetCell", (Const(cell_name), rhs)),
+    )
+
+
+def _walk(
+    term: Pattern,
+    name: str,
+    on_ref: Callable[[], Pattern],
+    on_set: Optional[Callable[[Pattern], Pattern]],
+) -> Pattern:
+    if isinstance(term, Tagged):
+        bare = _bare(term)
+        if _is_ref(bare, name):
+            # The reference node is consumed; its tags go with it.
+            return on_ref()
+        return Tagged(term.tag, _walk(term.term, name, on_ref, on_set))
+
+    if isinstance(term, Node):
+        if _is_ref(term, name):
+            return on_ref()
+        if term.label == "Set" and _target_name(term) == name:
+            rhs = _walk(term.children[1], name, on_ref, on_set)
+            if on_set is None:
+                # A Set on a variable we substitute by value: the static
+                # boxing analysis should have prevented this.
+                raise AssertionError(
+                    f"substituting by value into assignment of {name!r}"
+                )
+            return on_set(rhs)
+        if term.label == "Lam" and _param_of(term) == name:
+            return term  # shadowed
+        return Node(
+            term.label,
+            tuple(_walk(c, name, on_ref, on_set) for c in term.children),
+        )
+
+    if isinstance(term, PList):
+        return PList(tuple(_walk(c, name, on_ref, on_set) for c in term.items))
+
+    return term
+
+
+def _is_ref(bare: Pattern, name: str) -> bool:
+    return (
+        isinstance(bare, Node)
+        and bare.label == "Id"
+        and len(bare.children) == 1
+        and _bare(bare.children[0]) == Const(name)
+    )
+
+
+def is_assigned(term: Pattern, name: str) -> bool:
+    """Does ``term`` contain a ``Set`` of ``name`` outside any shadowing
+    binder?  Decides whether a parameter must be boxed at application."""
+    bare = _bare(term)
+    if isinstance(bare, Node):
+        if bare.label == "Set" and _target_name(bare) == name:
+            return True
+        if bare.label == "Lam" and _param_of(bare) == name:
+            return False
+        return any(is_assigned(c, name) for c in bare.children)
+    if isinstance(bare, PList):
+        return any(is_assigned(c, name) for c in bare.items)
+    return False

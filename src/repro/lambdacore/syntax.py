@@ -1,0 +1,530 @@
+"""Concrete syntax for the lambda language: the ``s->t`` / ``t->s``
+bridges of section 5.3, over s-expressions.
+
+The *surface* language includes every sugar of section 8.1 (let, letrec,
+multi-argument ``function``, thunk/force, multi-arm and/or, cond, the
+automaton macro) and section 8.2 (``return``); the *core* subset is what
+:mod:`repro.lambdacore.semantics` reduces.  One reader handles both,
+since the surface is a superset of the core.
+
+Examples::
+
+    (let ((x 1)) (+ x 2))
+    (or (not #t) (not #f))
+    (function (x y) (+ x y))
+    (automaton init (init : ("c" -> more)) (more : ("a" -> more)))
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.errors import ParseError
+from repro.core.terms import Const, Node, Pattern, PList, Symbol, Tagged, strip_tags
+from repro.lambdacore.prims import PRIMITIVE_NAMES
+from repro.lang.sexpr import SExpr, read_sexpr, write_sexpr
+
+__all__ = ["from_sexpr", "to_sexpr", "parse_program", "pretty"]
+
+
+def parse_program(source: str) -> Pattern:
+    """Parse one surface program from s-expression source text."""
+    return from_sexpr(read_sexpr(source))
+
+
+def pretty(term: Pattern) -> str:
+    """Render a (possibly tagged) term back to s-expression syntax."""
+    return write_sexpr(to_sexpr(strip_tags(term)))
+
+
+# --- s -> t -----------------------------------------------------------
+
+def from_sexpr(expr: SExpr) -> Pattern:
+    if isinstance(expr, bool) or isinstance(expr, (int, float, str)):
+        return Const(expr)
+    if isinstance(expr, Symbol):
+        if expr.name == "nil":
+            return Node("Nil", ())
+        return Node("Id", (Const(expr.name),))
+    if not isinstance(expr, list):
+        raise ParseError(f"cannot parse {expr!r}")
+    if not expr:
+        raise ParseError("empty application ()")
+
+    head = expr[0]
+    if isinstance(head, Symbol):
+        handler = _FORMS.get(head.name)
+        if handler is not None:
+            return handler(expr)
+        if head.name in PRIMITIVE_NAMES:
+            return Node(
+                "Op",
+                (Const(head.name), PList(tuple(from_sexpr(a) for a in expr[1:]))),
+            )
+    return _application(expr)
+
+
+def _application(expr: List[SExpr]) -> Pattern:
+    if len(expr) < 2:
+        raise ParseError(f"application needs an argument: {expr!r}")
+    out = from_sexpr(expr[0])
+    for arg in expr[1:]:
+        out = Node("App", (out, from_sexpr(arg)))
+    return out
+
+
+def _want(expr, n, form):
+    if len(expr) != n:
+        raise ParseError(f"({form} ...): expected {n - 1} part(s), got {len(expr) - 1}")
+
+
+def _name_of(part, form) -> str:
+    if not isinstance(part, Symbol):
+        raise ParseError(f"({form} ...): expected an identifier, got {part!r}")
+    return part.name
+
+
+def _parse_lambda(expr):
+    _want(expr, 3, "lambda")
+    params = expr[1]
+    if not isinstance(params, list) or len(params) != 1:
+        raise ParseError(
+            "(lambda ...): the core has single-argument functions only; "
+            "use (function (x y ...) body) for the multi-argument sugar"
+        )
+    return Node(
+        "Lam", (Const(_name_of(params[0], "lambda")), from_sexpr(expr[2]))
+    )
+
+
+def _parse_function(expr):
+    _want(expr, 3, "function")
+    params = expr[1]
+    if not isinstance(params, list):
+        raise ParseError("(function ...): expected a parameter list")
+    names = PList(tuple(Const(_name_of(p, "function")) for p in params))
+    return Node("Fun", (names, from_sexpr(expr[2])))
+
+
+def _parse_if(expr):
+    _want(expr, 4, "if")
+    return Node("If", tuple(from_sexpr(e) for e in expr[1:]))
+
+
+def _parse_when(expr):
+    _want(expr, 3, "when")
+    return Node("When", (from_sexpr(expr[1]), from_sexpr(expr[2])))
+
+
+def _parse_begin(expr):
+    if len(expr) < 2:
+        raise ParseError("(begin ...): needs at least one expression")
+    return Node("Seq", (PList(tuple(from_sexpr(e) for e in expr[1:])),))
+
+
+def _parse_set(expr):
+    _want(expr, 3, "set!")
+    return Node("Set", (Const(_name_of(expr[1], "set!")), from_sexpr(expr[2])))
+
+
+def _parse_amb(expr):
+    if len(expr) < 2:
+        raise ParseError("(amb ...): needs at least one choice")
+    return Node("Amb", (PList(tuple(from_sexpr(e) for e in expr[1:])),))
+
+
+def _parse_bindings(parts, form):
+    if not isinstance(parts, list):
+        raise ParseError(f"({form} ...): expected a binding list")
+    bindings = []
+    for part in parts:
+        if not isinstance(part, list) or len(part) != 2:
+            raise ParseError(f"({form} ...): bindings have the form (name expr)")
+        bindings.append(
+            Node("Binding", (Const(_name_of(part[0], form)), from_sexpr(part[1])))
+        )
+    return PList(tuple(bindings))
+
+
+def _parse_let(expr):
+    _want(expr, 3, "let")
+    return Node("Let", (_parse_bindings(expr[1], "let"), from_sexpr(expr[2])))
+
+
+def _parse_letrec(expr):
+    _want(expr, 3, "letrec")
+    return Node("Letrec", (_parse_bindings(expr[1], "letrec"), from_sexpr(expr[2])))
+
+
+def _parse_and(expr):
+    return Node("And", (PList(tuple(from_sexpr(e) for e in expr[1:])),))
+
+
+def _parse_or(expr):
+    return Node("Or", (PList(tuple(from_sexpr(e) for e in expr[1:])),))
+
+
+def _parse_cond(expr):
+    clauses = []
+    for part in expr[1:]:
+        if not isinstance(part, list) or len(part) != 2:
+            raise ParseError("(cond ...): clauses have the form (test expr)")
+        if isinstance(part[0], Symbol) and part[0].name == "else":
+            clauses.append(Node("Else", (from_sexpr(part[1]),)))
+        else:
+            clauses.append(
+                Node("Clause", (from_sexpr(part[0]), from_sexpr(part[1])))
+            )
+    return Node("Cond", (PList(tuple(clauses)),))
+
+
+def _parse_thunk(expr):
+    _want(expr, 2, "thunk")
+    return Node("Thunk", (from_sexpr(expr[1]),))
+
+
+def _parse_force(expr):
+    _want(expr, 2, "force")
+    return Node("Force", (from_sexpr(expr[1]),))
+
+
+def _parse_return(expr):
+    _want(expr, 2, "return")
+    return Node("Return", (from_sexpr(expr[1]),))
+
+
+def _parse_list(expr):
+    return Node("ListE", (PList(tuple(from_sexpr(e) for e in expr[1:])),))
+
+
+def _parse_while(expr):
+    if len(expr) < 3:
+        raise ParseError("(while cond body ...): needs a body")
+    body = (
+        from_sexpr(expr[2])
+        if len(expr) == 3
+        else Node("Seq", (PList(tuple(from_sexpr(e) for e in expr[2:])),))
+    )
+    return Node("While", (from_sexpr(expr[1]), body))
+
+
+def _parse_apply(expr):
+    if len(expr) < 3:
+        raise ParseError("(apply f arg ...): needs a function and arguments")
+    return _application(expr[1:])
+
+
+def _parse_automaton(expr):
+    if len(expr) < 3:
+        raise ParseError("(automaton init state ...): needs states")
+    init = Const(_name_of(expr[1], "automaton"))
+    states = []
+    for part in expr[2:]:
+        if (
+            not isinstance(part, list)
+            or len(part) < 3
+            or not isinstance(part[1], Symbol)
+            or part[1].name != ":"
+        ):
+            raise ParseError(
+                "(automaton ...): states have the form (name : arm ...)"
+            )
+        name = Const(_name_of(part[0], "automaton"))
+        arms = []
+        for arm in part[2:]:
+            if arm == "accept" or (
+                isinstance(arm, Symbol) and arm.name == "accept"
+            ):
+                arms.append(Node("Accept", ()))
+            elif (
+                isinstance(arm, list)
+                and len(arm) == 3
+                and isinstance(arm[1], Symbol)
+                and arm[1].name == "->"
+            ):
+                if not isinstance(arm[0], str):
+                    raise ParseError(
+                        "(automaton ...): arm labels are strings"
+                    )
+                arms.append(
+                    Node(
+                        "Arm",
+                        (Const(arm[0]), Const(_name_of(arm[2], "automaton"))),
+                    )
+                )
+            else:
+                raise ParseError(
+                    f"(automaton ...): bad arm {arm!r}; expected "
+                    f'("label" -> state) or "accept"'
+                )
+        states.append(Node("State", (name, PList(tuple(arms)))))
+    return Node("Automaton", (init, PList(tuple(states))))
+
+
+_FORMS = {
+    "lambda": _parse_lambda,
+    "function": _parse_function,
+    "if": _parse_if,
+    "when": _parse_when,
+    "begin": _parse_begin,
+    "set!": _parse_set,
+    "amb": _parse_amb,
+    "let": _parse_let,
+    "letrec": _parse_letrec,
+    "and": _parse_and,
+    "or": _parse_or,
+    "cond": _parse_cond,
+    "thunk": _parse_thunk,
+    "force": _parse_force,
+    "return": _parse_return,
+    "while": _parse_while,
+    "list": _parse_list,
+    "apply": _parse_apply,
+    "automaton": _parse_automaton,
+}
+
+
+# --- t -> s -----------------------------------------------------------
+
+def to_sexpr(term: Pattern) -> SExpr:
+    """Convert a tag-free term back to an s-expression."""
+    if isinstance(term, Const):
+        if isinstance(term.value, Symbol):
+            return term.value
+        return term.value
+    if isinstance(term, PList):
+        return [to_sexpr(t) for t in term.items]
+    if not isinstance(term, Node):
+        raise ParseError(f"cannot render {term!r} as an s-expression")
+
+    label = term.label
+    printer = _PRINTERS.get(label)
+    if printer is not None:
+        return printer(term)
+    # Generic fallback: (label child ...).
+    return [Symbol(label.lower()), *(to_sexpr(c) for c in term.children)]
+
+
+def _const_str(t: Pattern) -> str:
+    assert isinstance(t, Const) and isinstance(t.value, str)
+    return t.value
+
+
+def _list_items(t: Pattern):
+    assert isinstance(t, PList)
+    return t.items
+
+
+def _print_id(t):
+    return Symbol(_const_str(t.children[0]))
+
+
+def _print_lam(t):
+    return [Symbol("lambda"), [Symbol(_const_str(t.children[0]))],
+            to_sexpr(t.children[1])]
+
+
+def _print_app(t):
+    # Flatten curried applications for readability.
+    parts = [t.children[1]]
+    fn = t.children[0]
+    while isinstance(fn, Node) and fn.label == "App":
+        parts.append(fn.children[1])
+        fn = fn.children[0]
+    parts.append(fn)
+    return [to_sexpr(p) for p in reversed(parts)]
+
+
+def _print_if(t):
+    return [Symbol("if"), *(to_sexpr(c) for c in t.children)]
+
+
+def _print_seq(t):
+    return [Symbol("begin"), *(to_sexpr(c) for c in _list_items(t.children[0]))]
+
+
+def _print_set(t):
+    return [Symbol("set!"), Symbol(_const_str(t.children[0])),
+            to_sexpr(t.children[1])]
+
+
+def _print_setloc(t):
+    return [Symbol("set-loc!"), to_sexpr(t.children[0]), to_sexpr(t.children[1])]
+
+
+def _print_deref(t):
+    return [Symbol("deref"), to_sexpr(t.children[0])]
+
+
+def _print_loc(t):
+    return Symbol(f"@{t.children[0].value}")
+
+
+def _print_pair(t):
+    # Print proper list chains as (list 1 2 3); improper pairs as
+    # (cons a b).
+    items = []
+    cursor = t
+    while isinstance(cursor, Node) and cursor.label == "Pair":
+        items.append(to_sexpr(cursor.children[0]))
+        nxt = cursor.children[1]
+        while isinstance(nxt, Tagged):
+            nxt = nxt.term
+        cursor = nxt
+    if isinstance(cursor, Node) and cursor.label == "Nil":
+        return [Symbol("list"), *items]
+    return [Symbol("cons"), to_sexpr(t.children[0]), to_sexpr(t.children[1])]
+
+
+def _print_nil(t):
+    return Symbol("nil")
+
+
+def _print_liste(t):
+    return [Symbol("list"), *(to_sexpr(c) for c in t.children[0].items)]
+
+
+def _print_cell(t):
+    # A named cell displays as the bare variable name: the running term
+    # keeps identifiers visible, which is what lets Figure 4's trace
+    # read (more "adr") rather than a resolved closure.
+    return Symbol(_const_str(t.children[0]))
+
+
+def _print_op(t):
+    return [Symbol(_const_str(t.children[0])),
+            *(to_sexpr(c) for c in _list_items(t.children[1]))]
+
+
+def _print_amb(t):
+    return [Symbol("amb"), *(to_sexpr(c) for c in _list_items(t.children[0]))]
+
+
+def _print_bindings(t):
+    out = []
+    for b in _list_items(t):
+        assert isinstance(b, Node) and b.label == "Binding"
+        out.append([Symbol(_const_str(b.children[0])), to_sexpr(b.children[1])])
+    return out
+
+
+def _print_let(t):
+    return [Symbol("let"), _print_bindings(t.children[0]), to_sexpr(t.children[1])]
+
+
+def _print_letrec(t):
+    return [Symbol("letrec"), _print_bindings(t.children[0]),
+            to_sexpr(t.children[1])]
+
+
+def _print_fun(t):
+    params = [Symbol(_const_str(p)) for p in _list_items(t.children[0])]
+    return [Symbol("function"), params, to_sexpr(t.children[1])]
+
+
+def _print_and(t):
+    return [Symbol("and"), *(to_sexpr(c) for c in _list_items(t.children[0]))]
+
+
+def _print_or(t):
+    return [Symbol("or"), *(to_sexpr(c) for c in _list_items(t.children[0]))]
+
+
+def _print_cond(t):
+    out = [Symbol("cond")]
+    for c in _list_items(t.children[0]):
+        assert isinstance(c, Node)
+        if c.label == "Else":
+            out.append([Symbol("else"), to_sexpr(c.children[0])])
+        else:
+            out.append([to_sexpr(c.children[0]), to_sexpr(c.children[1])])
+    return out
+
+
+def _print_when(t):
+    return [Symbol("when"), to_sexpr(t.children[0]), to_sexpr(t.children[1])]
+
+
+def _print_while(t):
+    return [Symbol("while"), to_sexpr(t.children[0]), to_sexpr(t.children[1])]
+
+
+def _print_unary(name):
+    return lambda t: [Symbol(name), to_sexpr(t.children[0])]
+
+
+def _print_unit(t):
+    return Symbol("<void>")
+
+
+def _print_undefined(t):
+    return Symbol("<undefined>")
+
+
+def _print_callcc(t):
+    return Symbol("call/cc")
+
+
+def _print_cont(t):
+    return Symbol("<cont>")
+
+
+def _print_hole(t):
+    return Symbol("<hole>")
+
+
+def _print_automaton(t):
+    out = [Symbol("automaton"), Symbol(_const_str(t.children[0]))]
+    for state in _list_items(t.children[1]):
+        assert isinstance(state, Node) and state.label == "State"
+        parts = [Symbol(_const_str(state.children[0])), Symbol(":")]
+        for arm in _list_items(state.children[1]):
+            assert isinstance(arm, Node)
+            if arm.label == "Accept":
+                parts.append("accept")
+            else:
+                parts.append(
+                    [
+                        arm.children[0].value,
+                        Symbol("->"),
+                        Symbol(_const_str(arm.children[1])),
+                    ]
+                )
+        out.append(parts)
+    return out
+
+
+_PRINTERS = {
+    "Id": _print_id,
+    "Lam": _print_lam,
+    "App": _print_app,
+    "If": _print_if,
+    "Seq": _print_seq,
+    "Set": _print_set,
+    "SetLoc": _print_setloc,
+    "Deref": _print_deref,
+    "Loc": _print_loc,
+    "Cell": _print_cell,
+    "Pair": _print_pair,
+    "Nil": _print_nil,
+    "ListE": _print_liste,
+    "Op": _print_op,
+    "Amb": _print_amb,
+    "Let": _print_let,
+    "Letrec": _print_letrec,
+    "Fun": _print_fun,
+    "And": _print_and,
+    "Or": _print_or,
+    "Cond": _print_cond,
+    "When": _print_when,
+    "While": _print_while,
+    "Thunk": _print_unary("thunk"),
+    "Force": _print_unary("force"),
+    "Return": _print_unary("return"),
+    "Unit": _print_unit,
+    "Undefined": _print_undefined,
+    "CallCC": _print_callcc,
+    "Cont": _print_cont,
+    "Hole": _print_hole,
+    "Automaton": _print_automaton,
+}

@@ -1,0 +1,29 @@
+"""Concrete syntax: the rule-definition DSL, s-expressions, rendering.
+
+The paper's CONFECTION reads a grammar file defining surface and core
+concrete syntax plus a set of rewrite rules in a Stratego-inspired
+notation (section 3.1).  This package provides:
+
+* :mod:`repro.lang.rule_parser` — the rule DSL
+  (``Or([x, y]) -> Let([Binding("t", x)], ...);``), including ``!``
+  transparency marks and ``...`` ellipses;
+* :mod:`repro.lang.sexpr` — an s-expression reader/writer used by the
+  lambda-core language's concrete syntax;
+* :mod:`repro.lang.render` — generic pretty-printing of terms and
+  patterns back into the rule-DSL notation.
+"""
+
+from repro.lang.render import render
+from repro.lang.rule_parser import parse_pattern, parse_rulelist, parse_rules, parse_term
+from repro.lang.sexpr import read_sexpr, read_sexprs, write_sexpr
+
+__all__ = [
+    "render",
+    "parse_pattern",
+    "parse_rules",
+    "parse_rulelist",
+    "parse_term",
+    "read_sexpr",
+    "read_sexprs",
+    "write_sexpr",
+]

@@ -1,0 +1,76 @@
+"""Rendering terms and patterns back into the rule-DSL notation.
+
+The output round-trips through :func:`repro.lang.rule_parser.parse_pattern`
+for tag-free patterns.  Tags have no source notation (they are inserted
+by the system), so they render in a debug form by default and can be
+hidden entirely with ``show_tags=False`` — the form used when presenting
+surface steps to users.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    HeadTag,
+    Node,
+    Pattern,
+    PList,
+    PVar,
+    Symbol,
+    Tagged,
+)
+
+__all__ = ["render"]
+
+
+def render(p: Pattern, show_tags: bool = True) -> str:
+    """Pretty-print a pattern or term in rule-DSL notation.
+
+    Head tags render as ``{#i: ...}``, opaque body tags as ``⟨...⟩``, and
+    transparent body tags as ``!⟨...⟩``; with ``show_tags=False`` all
+    three vanish.
+    """
+    if isinstance(p, PVar):
+        return p.name
+    if isinstance(p, Const):
+        return _render_const(p)
+    if isinstance(p, Node):
+        inner = ", ".join(render(c, show_tags) for c in p.children)
+        return f"{p.label}({inner})"
+    if isinstance(p, PList):
+        parts = [render(c, show_tags) for c in p.items]
+        if p.ellipsis is not None:
+            parts.append(render(p.ellipsis, show_tags) + " ...")
+        return "[" + ", ".join(parts) + "]"
+    if isinstance(p, Tagged):
+        inner = render(p.term, show_tags)
+        if not show_tags:
+            return inner
+        if isinstance(p.tag, HeadTag):
+            return f"{{#{p.tag.index}: {inner}}}"
+        if isinstance(p.tag, BodyTag):
+            mark = "!" if p.tag.transparent else ""
+            return f"{mark}⟨{inner}⟩"
+    raise TypeError(f"cannot render {p!r}")
+
+
+def _render_const(c: Const) -> str:
+    v = c.value
+    if isinstance(v, Symbol):
+        # The backtick keeps symbols distinct from pattern variables so
+        # rendered patterns re-parse faithfully.
+        return f"`{v.name}"
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if v is None:
+        return "none"
+    if isinstance(v, str):
+        escaped = v.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(v, float):
+        if v == float("inf"):
+            return "infinity"
+        if v == float("-inf"):
+            return "-infinity"
+    return repr(v)

@@ -1,0 +1,230 @@
+"""Parser for the CONFECTION rule-definition DSL (section 3.1).
+
+The notation is the paper's, inspired by Stratego::
+
+    Or([x, y]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));
+    Or([x, y, ys ...]) ->
+        Let([Binding("t", x)], If(Id("t"), Id("t"), !Or([y, ys ...])));
+
+* node names are title-case identifiers followed by parenthesized
+  subpatterns (a bare title-case identifier is a zero-arity node);
+* variables are lowercase identifiers;
+* lists are bracketed; ``P ...`` as the final list element makes ``P``
+  an ellipsis pattern (zero or more repetitions);
+* constants are numbers, double-quoted strings, ``true``, ``false``,
+  ``none``, ``infinity``/``-infinity``, and `````name`` symbols;
+* ``!`` marks an RHS subterm transparent (section 3.4);
+* each rule ends with ``;``; ``#`` and ``//`` start line comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.errors import ParseError
+from repro.core.rules import Rule, RuleList
+from repro.core.tags import transparent
+from repro.core.terms import (
+    Const,
+    Node,
+    Pattern,
+    PList,
+    PVar,
+    Symbol,
+    is_term,
+)
+from repro.core.wellformed import DisjointnessMode
+
+__all__ = ["parse_rules", "parse_rulelist", "parse_pattern", "parse_term"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*|//[^\n]*)
+  | (?P<arrow>->)
+  | (?P<ellipsis>\.\.\.)
+  | (?P<number>-?\d+\.\d+|-?\d+|-?infinity\b)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<symbol>`[A-Za-z_][A-Za-z0-9_/?!*+<>=-]*)
+  | (?P<ident>[A-Za-z_%][A-Za-z0-9_%/?!*+<>=-]*)
+  | (?P<punct>[()\[\],;!])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+    line: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(
+                f"line {line}: unexpected character {source[pos]!r}"
+            )
+        kind = m.lastgroup
+        text = m.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, pos, line))
+        line += text.count("\n")
+        pos = m.end()
+    tokens.append(_Token("eof", "", pos, line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = _tokenize(source)
+        self.i = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.i]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, text: str) -> _Token:
+        tok = self.next()
+        if tok.text != text:
+            got = repr(tok.text) if tok.text else "end of input"
+            raise ParseError(f"line {tok.line}: expected {text!r}, got {got}")
+        return tok
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "eof"
+
+    # --- grammar -----------------------------------------------------
+
+    def parse_rules(self) -> List[Tuple[Pattern, Pattern]]:
+        rules = []
+        while not self.at_end():
+            lhs = self.parse_pattern()
+            self.expect("->")
+            rhs = self.parse_pattern()
+            self.expect(";")
+            rules.append((lhs, rhs))
+        return rules
+
+    def parse_pattern(self) -> Pattern:
+        tok = self.peek()
+        if tok.text == "!":
+            self.next()
+            return transparent(self.parse_pattern())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Pattern:
+        tok = self.next()
+        if tok.kind == "number":
+            return Const(_parse_number(tok.text))
+        if tok.kind == "string":
+            return Const(_unescape(tok.text[1:-1]))
+        if tok.kind == "symbol":
+            return Const(Symbol(tok.text[1:]))
+        if tok.kind == "ident":
+            return self._parse_ident(tok)
+        if tok.text == "[":
+            return self._parse_list(tok)
+        raise ParseError(
+            f"line {tok.line}: expected a pattern, got {tok.text!r}"
+        )
+
+    def _parse_ident(self, tok: _Token) -> Pattern:
+        if tok.text == "true":
+            return Const(True)
+        if tok.text == "false":
+            return Const(False)
+        if tok.text == "none":
+            return Const(None)
+        if tok.text == "infinity":
+            return Const(float("inf"))
+        if tok.text[0].isupper():
+            children: List[Pattern] = []
+            if self.peek().text == "(":
+                self.next()
+                if self.peek().text != ")":
+                    children.append(self.parse_pattern())
+                    while self.peek().text == ",":
+                        self.next()
+                        children.append(self.parse_pattern())
+                self.expect(")")
+            return Node(tok.text, tuple(children))
+        return PVar(tok.text)
+
+    def _parse_list(self, open_tok: _Token) -> Pattern:
+        items: List[Pattern] = []
+        ellipsis: Optional[Pattern] = None
+        if self.peek().text != "]":
+            while True:
+                p = self.parse_pattern()
+                if self.peek().kind == "ellipsis":
+                    self.next()
+                    ellipsis = p
+                    break
+                items.append(p)
+                if self.peek().text != ",":
+                    break
+                self.next()
+        self.expect("]")
+        return PList(tuple(items), ellipsis)
+
+
+def _parse_number(text: str):
+    if text.endswith("infinity"):
+        return float("-inf") if text.startswith("-") else float("inf")
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def _unescape(text: str) -> str:
+    return text.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_pattern(source: str) -> Pattern:
+    """Parse a single pattern from ``source``."""
+    parser = _Parser(source)
+    pattern = parser.parse_pattern()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise ParseError(f"line {tok.line}: trailing input {tok.text!r}")
+    return pattern
+
+
+def parse_term(source: str) -> Pattern:
+    """Parse a single *term*: a pattern without variables or ellipses."""
+    pattern = parse_pattern(source)
+    if not is_term(pattern):
+        raise ParseError(
+            f"expected a term but {source!r} contains pattern variables "
+            f"or ellipses (lowercase identifiers are variables)"
+        )
+    return pattern
+
+
+def parse_rules(source: str, atomic_vars: Tuple[str, ...] = ()) -> List[Rule]:
+    """Parse a sequence of ``LHS -> RHS;`` rules into :class:`Rule`
+    objects (running the per-rule well-formedness checks)."""
+    pairs = _Parser(source).parse_rules()
+    return [Rule(lhs, rhs, atomic_vars=atomic_vars) for lhs, rhs in pairs]
+
+
+def parse_rulelist(
+    source: str,
+    disjointness: DisjointnessMode = DisjointnessMode.PRIORITIZED,
+    atomic_vars: Tuple[str, ...] = (),
+) -> RuleList:
+    """Parse rules and assemble a checked :class:`RuleList`."""
+    return RuleList(parse_rules(source, atomic_vars), disjointness)

@@ -1,0 +1,27 @@
+"""The Pyret-like core object language of sections 4 and 8.3.
+
+Pyret "makes heavy use of syntactic sugar to emulate the syntax of other
+programming languages"; its core has multi-argument functions, objects,
+bracket field lookup, method-style primitives (``1.["_plus"]``), let
+bindings, blocks, conditionals, and ``raise``.  This package provides
+that core as a reduction semantics plus a parser and paper-style
+pretty-printer for the surface syntax; the Figure 5 sugar rules live in
+:mod:`repro.sugars.pyret_sugars`.
+"""
+
+from repro.pyretcore.semantics import (
+    NUMBER_METHODS,
+    STRING_METHODS,
+    make_semantics,
+    make_stepper,
+)
+from repro.pyretcore.syntax import parse_program, pretty
+
+__all__ = [
+    "make_semantics",
+    "make_stepper",
+    "parse_program",
+    "pretty",
+    "NUMBER_METHODS",
+    "STRING_METHODS",
+]

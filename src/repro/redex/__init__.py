@@ -1,0 +1,44 @@
+"""A small reduction-semantics engine in the spirit of PLT Redex.
+
+The paper builds its section-8.1 evaluation substrate in PLT Redex and
+notes that "obtaining a core stepper from PLT Redex is trivial because
+the tool already provides a function that performs a single evaluation
+step."  This package is our from-scratch equivalent: define a grammar
+(:class:`Grammar`), an evaluation strategy (:class:`EvalStrategy` —
+congruence declarations standing in for evaluation-context grammars),
+and an ordered list of :class:`ReductionRule`; the resulting
+:class:`ReductionSemantics` steps machine states ``(term, store)`` and
+:class:`RedexStepper` plugs straight into CONFECTION's lifting loop.
+
+Origin tags flow through reduction untouched in captured subterms and
+are consumed with the syntax a rule consumes, which is exactly the
+origin discipline Definition 4 of the paper requires.
+"""
+
+from repro.redex.grammar import Grammar
+from repro.redex.patterns import AtomPred, NTRef, redex_match, strip_outer_tags
+from repro.redex.reduction import (
+    EMPTY_STORE,
+    MachineState,
+    RedexStepper,
+    ReductionRule,
+    ReductionSemantics,
+    make_store,
+)
+from repro.redex.strategy import Decomposition, EvalStrategy
+
+__all__ = [
+    "Grammar",
+    "NTRef",
+    "AtomPred",
+    "redex_match",
+    "strip_outer_tags",
+    "EvalStrategy",
+    "Decomposition",
+    "ReductionRule",
+    "ReductionSemantics",
+    "MachineState",
+    "RedexStepper",
+    "EMPTY_STORE",
+    "make_store",
+]

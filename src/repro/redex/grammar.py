@@ -1,0 +1,126 @@
+"""Grammars for reduction semantics: named nonterminals over patterns.
+
+A :class:`Grammar` maps nonterminal names to alternative productions
+(redex patterns).  ``matches(term, nt)`` asks whether a term is derivable
+from a nonterminal — the workhorse behind "is this a value?" during
+decomposition.  Matching sees through origin tags and memoizes per
+``(nonterminal, term)``, with a visiting set to cut cycles through
+non-productive nonterminal chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.errors import LanguageError
+from repro.core.terms import Pattern
+
+__all__ = ["Grammar"]
+
+
+class Grammar:
+    """A set of nonterminal definitions.
+
+    >>> g = Grammar()
+    >>> g.define("v", AtomPred("number"), Node("Lam", (PVar("x"), PVar("e"))))
+    >>> g.matches(Const(3), "v")
+    True
+    """
+
+    def __init__(self) -> None:
+        self._productions: Dict[str, Tuple[Pattern, ...]] = {}
+        self._memo: Dict[Tuple[str, Pattern], bool] = {}
+
+    def define(self, name: str, *alternatives: Pattern) -> "Grammar":
+        """Define (or extend) nonterminal ``name``.  Returns self so
+        definitions chain."""
+        if not alternatives:
+            raise LanguageError(f"nonterminal {name!r} needs >= 1 production")
+        existing = self._productions.get(name, ())
+        self._productions[name] = existing + tuple(alternatives)
+        self._memo.clear()
+        return self
+
+    def nonterminals(self) -> Tuple[str, ...]:
+        return tuple(self._productions)
+
+    def productions(self, name: str) -> Tuple[Pattern, ...]:
+        try:
+            return self._productions[name]
+        except KeyError:
+            raise LanguageError(f"undefined nonterminal {name!r}") from None
+
+    def matches(self, term: Pattern, nonterminal: str) -> bool:
+        """Is ``term`` derivable from ``nonterminal``?  Tags transparent."""
+        return self._matches(term, nonterminal, frozenset())
+
+    def _matches(self, term: Pattern, nonterminal: str, visiting) -> bool:
+        from repro.redex.patterns import redex_match, strip_outer_tags
+
+        bare = strip_outer_tags(term)
+        key = (nonterminal, bare)
+        if key in self._memo:
+            return self._memo[key]
+        probe = (nonterminal, id(bare))
+        if probe in visiting:
+            # A cycle through nonterminal chains on the same term cannot
+            # produce a new derivation.
+            return False
+        visiting = visiting | {probe}
+        result = False
+        for production in self.productions(nonterminal):
+            if _production_matches(bare, production, self, visiting):
+                result = True
+                break
+        self._memo[key] = result
+        return result
+
+
+def _production_matches(term, production, grammar, visiting) -> bool:
+    """Like redex_match but threading the cycle-detection set through
+    nonterminal checks."""
+    from repro.core.terms import Const, Node, PList, PVar, Tagged
+    from repro.redex.patterns import AtomPred, NTRef, strip_outer_tags
+
+    bare = strip_outer_tags(term)
+    if isinstance(production, PVar):
+        return True
+    if isinstance(production, NTRef):
+        return grammar._matches(bare, production.nonterminal, visiting)
+    if isinstance(production, AtomPred):
+        return production.accepts(bare)
+    if isinstance(production, Const):
+        return isinstance(bare, Const) and bare == production
+    if isinstance(production, Node):
+        return (
+            isinstance(bare, Node)
+            and bare.label == production.label
+            and len(bare.children) == len(production.children)
+            and all(
+                _production_matches(t, p, grammar, visiting)
+                for t, p in zip(bare.children, production.children)
+            )
+        )
+    if isinstance(production, PList):
+        if not isinstance(bare, PList) or bare.ellipsis is not None:
+            return False
+        n = len(production.items)
+        if production.ellipsis is None:
+            if len(bare.items) != n:
+                return False
+        elif len(bare.items) < n:
+            return False
+        if not all(
+            _production_matches(t, p, grammar, visiting)
+            for t, p in zip(bare.items[:n], production.items)
+        ):
+            return False
+        if production.ellipsis is not None:
+            return all(
+                _production_matches(t, production.ellipsis, grammar, visiting)
+                for t in bare.items[n:]
+            )
+        return True
+    if isinstance(production, Tagged):
+        return _production_matches(bare, production.term, grammar, visiting)
+    raise LanguageError(f"not a grammar production: {production!r}")

@@ -1,0 +1,200 @@
+"""Patterns for reduction semantics: core patterns plus nonterminals.
+
+The paper's section 8.1 builds its evaluation substrate in PLT Redex;
+this package is our from-scratch equivalent.  Redex patterns extend the
+core pattern language (Figure 1) with two forms Redex needs:
+
+* :class:`NTRef` — a reference to a grammar nonterminal, optionally
+  binding the matched term (Redex's ``e_1``, ``v_x`` convention);
+* :class:`AtomPred` — a predicate over atomic constants (number, string,
+  boolean, symbol), standing in for Redex's built-in ``number`` etc.
+
+Matching (:func:`redex_match`) mirrors core matching but *always* sees
+through tags on the term: reduction is the object language's business and
+origin tags must never block it (Definition 4: terms maintain their
+origin through evaluation — which also means pattern variables capture
+terms with tags intact, so captured subterms keep their origins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Number
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.bindings import Env, merge
+from repro.core.errors import PatternError
+from repro.core.terms import (
+    Const,
+    Node,
+    Pattern,
+    PList,
+    PVar,
+    Symbol,
+    Tagged,
+    pattern_variables as core_pattern_variables,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.redex.grammar import Grammar
+
+__all__ = ["NTRef", "AtomPred", "redex_match", "strip_outer_tags"]
+
+
+@dataclass(frozen=True, slots=True)
+class NTRef(Pattern):
+    """A grammar-nonterminal reference, e.g. ``NTRef("e", "body")``.
+
+    Matches any term the grammar derives from ``nonterminal``; when
+    ``name`` is given, the matched term is bound to it (Redex's
+    subscript convention, ``e_body``).
+    """
+
+    nonterminal: str
+    name: Optional[str] = None
+
+    def __repr__(self) -> str:
+        if self.name:
+            return f"NTRef({self.nonterminal!r}, {self.name!r})"
+        return f"NTRef({self.nonterminal!r})"
+
+
+_ATOM_KINDS = ("number", "integer", "string", "boolean", "symbol", "atom")
+
+
+@dataclass(frozen=True, slots=True)
+class AtomPred(Pattern):
+    """A predicate over constants: ``AtomPred("number", "n")`` matches any
+    numeric constant and binds it to ``n``."""
+
+    kind: str
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ATOM_KINDS:
+            raise PatternError(
+                f"unknown atom predicate {self.kind!r}; choose from {_ATOM_KINDS}"
+            )
+
+    def accepts(self, term: Pattern) -> bool:
+        if not isinstance(term, Const):
+            return False
+        v = term.value
+        if self.kind == "number":
+            return isinstance(v, Number) and not isinstance(v, bool)
+        if self.kind == "integer":
+            return isinstance(v, int) and not isinstance(v, bool)
+        if self.kind == "string":
+            return isinstance(v, str)
+        if self.kind == "boolean":
+            return isinstance(v, bool)
+        if self.kind == "symbol":
+            return isinstance(v, Symbol)
+        return True  # "atom"
+
+    def __repr__(self) -> str:
+        if self.name:
+            return f"AtomPred({self.kind!r}, {self.name!r})"
+        return f"AtomPred({self.kind!r})"
+
+
+def strip_outer_tags(t: Pattern) -> Pattern:
+    """Remove tags wrapped around the outside of ``t`` (inner tags stay)."""
+    while isinstance(t, Tagged):
+        t = t.term
+    return t
+
+
+def redex_match(
+    term: Pattern, pattern: Pattern, grammar: "Grammar"
+) -> Optional[Env]:
+    """Match ``term`` against a redex pattern, consulting ``grammar`` for
+    nonterminal references.  Tags on the term are transparent; pattern
+    variables and nonterminal bindings capture the *tagged* term."""
+    if isinstance(pattern, PVar):
+        return {pattern.name: term}
+    if isinstance(pattern, NTRef):
+        if not grammar.matches(term, pattern.nonterminal):
+            return None
+        return {pattern.name: term} if pattern.name else {}
+    if isinstance(pattern, AtomPred):
+        bare = strip_outer_tags(term)
+        if not pattern.accepts(bare):
+            return None
+        return {pattern.name: bare} if pattern.name else {}
+
+    bare = strip_outer_tags(term)
+
+    if isinstance(pattern, Const):
+        return {} if (isinstance(bare, Const) and bare == pattern) else None
+
+    if isinstance(pattern, Node):
+        if (
+            not isinstance(bare, Node)
+            or bare.label != pattern.label
+            or len(bare.children) != len(pattern.children)
+        ):
+            return None
+        out: Env = {}
+        for t_child, p_child in zip(bare.children, pattern.children):
+            sub = redex_match(t_child, p_child, grammar)
+            if sub is None:
+                return None
+            out.update(sub)
+        return out
+
+    if isinstance(pattern, PList):
+        if not isinstance(bare, PList) or bare.ellipsis is not None:
+            return None
+        n = len(pattern.items)
+        if pattern.ellipsis is None:
+            if len(bare.items) != n:
+                return None
+        elif len(bare.items) < n:
+            return None
+        out = {}
+        for t_item, p_item in zip(bare.items[:n], pattern.items):
+            sub = redex_match(t_item, p_item, grammar)
+            if sub is None:
+                return None
+            out.update(sub)
+        if pattern.ellipsis is not None:
+            rep_envs = []
+            for t_item in bare.items[n:]:
+                sub = redex_match(t_item, pattern.ellipsis, grammar)
+                if sub is None:
+                    return None
+                rep_envs.append(sub)
+            out.update(merge(rep_envs, _ellipsis_variables(pattern.ellipsis)))
+        return out
+
+    if isinstance(pattern, Tagged):
+        # Reduction-rule patterns are tag-free by construction; accept a
+        # tagged pattern defensively by ignoring the tag.
+        return redex_match(term, pattern.term, grammar)
+
+    raise PatternError(f"not a redex pattern: {pattern!r}")
+
+
+def _ellipsis_variables(pattern: Pattern) -> tuple:
+    names = list(core_pattern_variables(_erase_extensions(pattern)))
+    return tuple(dict.fromkeys(names))
+
+
+def _erase_extensions(pattern: Pattern) -> Pattern:
+    """Rewrite NTRef/AtomPred into plain variables or throwaway constants
+    so core helpers (pattern_variables) can traverse the pattern."""
+    if isinstance(pattern, NTRef) or isinstance(pattern, AtomPred):
+        return PVar(pattern.name) if pattern.name else Const(0)
+    if isinstance(pattern, Node):
+        return Node(pattern.label, tuple(_erase_extensions(c) for c in pattern.children))
+    if isinstance(pattern, PList):
+        ell = (
+            _erase_extensions(pattern.ellipsis)
+            if pattern.ellipsis is not None
+            else None
+        )
+        return PList(tuple(_erase_extensions(c) for c in pattern.items), ell)
+    if isinstance(pattern, Tagged):
+        return _erase_extensions(pattern.term)
+    return pattern

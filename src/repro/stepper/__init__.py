@@ -1,0 +1,33 @@
+"""Obtaining core-language steppers from black-box evaluators (section 7).
+
+The reduction-semantics languages in this repository are steppers
+natively, but the paper's point is that *any* evaluator can be turned
+into one: instrument it with a shadow stack of A-normal frames, pause at
+every step, and reconstruct the current continuation as source.  This
+package demonstrates the technique on a plain big-step interpreter and
+measures its cost — the reproduction of the paper's "5-40% overhead"
+performance note.
+"""
+
+from repro.stepper.anf import anf, is_anf, is_trivial
+from repro.stepper.bigstep import Closure, evaluate
+from repro.stepper.instrument import (
+    Frame,
+    InstrumentedEvaluator,
+    OverheadReport,
+    ShadowStack,
+    measure_overhead,
+)
+
+__all__ = [
+    "anf",
+    "is_anf",
+    "is_trivial",
+    "evaluate",
+    "Closure",
+    "InstrumentedEvaluator",
+    "ShadowStack",
+    "Frame",
+    "measure_overhead",
+    "OverheadReport",
+]

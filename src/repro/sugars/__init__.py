@@ -1,0 +1,21 @@
+"""Syntactic sugar libraries: everything section 8 of the paper builds.
+
+* :mod:`repro.sugars.scheme_sugars` — the section 8.1 tower atop the
+  lambda core: multi-argument functions, Thunk/Force, Let, Letrec,
+  multi-arm And/Or, Cond, plus the ``when`` one-armed conditional;
+* :mod:`repro.sugars.automaton` — the Automaton macro (Figure 4);
+* :mod:`repro.sugars.returns` — ``return`` via ``call/cc``
+  (section 8.2);
+* :mod:`repro.sugars.pyret_sugars` — the Pyret sugar suite of Figure 5.
+
+Each module exposes its rules both as DSL source text (``*_SOURCE``) and
+as ready-made :class:`~repro.core.rules.RuleList` factory functions, so
+they can be studied, extended, and recombined.
+"""
+
+from repro.sugars.scheme_sugars import (
+    SCHEME_SUGAR_SOURCE,
+    make_scheme_rules,
+)
+
+__all__ = ["SCHEME_SUGAR_SOURCE", "make_scheme_rules"]

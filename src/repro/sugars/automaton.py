@@ -1,0 +1,64 @@
+"""The Automaton macro (section 8.1, Figure 4).
+
+Following Krishnamurthi's "Automata via macros", an automaton::
+
+    (automaton init
+      (init : ("c" -> more))
+      (more : ("a" -> more)
+              ("d" -> more)
+              ("r" -> end))
+      (end  : "accept"))
+
+desugars into a ``letrec`` binding one function per state; each state
+function dispatches on the first character of its input stream and
+invokes the next state on the rest.
+
+The transitions are marked transparent (``!``) — the paper's "adding !
+on recursive annotations" — so the lifted trace shows each transition as
+``(<state> "<remaining input>")``, skipping the dispatch machinery.
+Because the state names are ``letrec``-bound and therefore *cells* at
+run time, the running term keeps the names themselves; the closure a
+name resolves to is opaque sugar code, so resolved states never show.
+That combination reproduces Figure 4's surface trace.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import RuleList
+from repro.core.wellformed import DisjointnessMode
+from repro.lang.rule_parser import parse_rules
+from repro.sugars.scheme_sugars import scheme_sugar_source
+
+__all__ = ["AUTOMATON_SOURCE", "make_automaton_rules"]
+
+AUTOMATON_SOURCE = """
+# One function per state, dispatching with Arms; run the initial state.
+Automaton(init, [State(name, arms) ...]) ->
+    Letrec([Binding(name, Lam("%s", Arms(arms))) ...], Id(init));
+
+# Per-arm dispatch over the input stream %s.
+Arms([]) -> false;
+Arms([Accept(), rest ...]) ->
+    If(Op("empty?", [Id("%s")]), true, Arms([rest ...]));
+Arms([Arm(c, target), rest ...]) ->
+    If(If(Op("empty?", [Id("%s")]),
+          false,
+          Op("equal?", [Op("first", [Id("%s")]), c])),
+       !App(Id(target), Op("rest", [Id("%s")])),
+       Arms([rest ...]));
+"""
+
+
+def make_automaton_rules(
+    transparent_recursion: bool = False,
+    disjointness: DisjointnessMode = DisjointnessMode.PRIORITIZED,
+) -> RuleList:
+    """The full section 8.1 rulelist: the sugar tower plus Automaton.
+
+    PRIORITIZED disjointness admits the Accept-versus-Arm ellipsis rules
+    alongside the tower; the lifting loop's dynamic emulation check
+    guards the (never-exercised) theoretical overlaps.
+    """
+    source = scheme_sugar_source(transparent_recursion) + AUTOMATON_SOURCE
+    rules = parse_rules(source, atomic_vars=("x", "name"))
+    return RuleList(rules, disjointness)

@@ -1,0 +1,211 @@
+"""The Pyret sugar suite of Figure 5 (section 8.3).
+
+Figure 5 of the paper lists the "normal mode" Pyret sugars and whether
+CONFECTION could express them.  This module implements every "yes" row
+as rewrite rules over the Pyret-like core:
+
+======================  =====================================  ===========
+AST node                description                            implemented
+======================  =====================================  ===========
+fun                     function declaration                   yes
+when                    one-arm conditional                    yes
+if                      multi-arm conditional                  yes
+cases                   multi-arm conditional                  yes
+cases-else              multi-arm conditional                  yes
+for                     generalized looping construct          yes
+op                      binary operators                       yes
+not                     negation                               yes
+paren                   grouping construct                     yes
+left-app                infix notation                         yes
+list                    list expressions                       yes
+dot                     indirect field lookup                  yes
+colon                   direct field lookup                    yes
+(currying)              allowed in fun and op                  yes
+graph                   create cyclic data                     no
+datatype                datatype declarations                  no
+======================  =====================================  ===========
+
+``graph`` and ``datatype`` are unimplemented in the faithful rulelist,
+for exactly the reasons the paper gives: ``datatype`` splices one block
+into another non-compositionally, and ``graph`` builds cyclic data with
+placeholder updates and compile-time substitution.  The paper predicts
+datatype "could be expressed by adding a block construct that does not
+introduce a new scope"; our ``DefRec`` is such a construct, and
+``make_pyret_rules(with_datatype=True)`` enables the resulting
+extension (:data:`DATATYPE_EXTENSION_SOURCE`).  ``graph`` genuinely
+needs compile-time substitution and stays out.
+
+Two variants of the binary-operator desugaring are provided
+(section 8.3's closing discussion):
+
+* :data:`OP_NAIVE` — Pyret's own strategy, ``x + y -> x.["_plus"](y)``.
+  Faithful, but once the ``_plus`` field resolves, the RHS no longer
+  matches, so ``1 + (2 + 3)`` lifts to just ``1 + (2 + 3) ~~> 6``.
+* :data:`OP_OBJECT` — Figure 6's strategy through a temporary object,
+  which forces both operands before resolving the method and therefore
+  lifts to ``1 + (2 + 3) ~~> 1 + 5 ~~> 6``.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import RuleList
+from repro.core.wellformed import DisjointnessMode
+from repro.lang.rule_parser import parse_rules
+
+__all__ = [
+    "PYRET_SUGAR_SOURCE",
+    "OP_NAIVE",
+    "OP_OBJECT",
+    "DATATYPE_EXTENSION_SOURCE",
+    "make_pyret_rules",
+    "FIGURE_5_ROWS",
+]
+
+# The common (operator-independent) sugars.
+PYRET_SUGAR_SOURCE = """
+# fun: function declarations are recursive, via the named store.
+FunDecl(f, args, body, rest) -> DefRec(f, Lam(args, body), rest);
+
+# anonymous fun expressions are core lambdas, kept as sugar so that
+# user-written functions display as source until they become values.
+FunE(args, body) -> Lam(args, body);
+
+# when: one-arm conditional.
+When(c, body) -> If(c, body, Nothing());
+
+# if: multi-arm conditional (else-if chains fold right).
+IfE([Clause(c, e)], els) -> If(c, e, els);
+IfE([Clause(c, e), Clause(c2, e2), rest ...], els) ->
+    If(c, e, IfE([Clause(c2, e2), rest ...], els));
+IfNoElse([Clause(c, e)]) ->
+    If(c, e, Raise("if: no branch matched"));
+IfNoElse([Clause(c, e), Clause(c2, e2), rest ...]) ->
+    If(c, e, IfNoElse([Clause(c2, e2), rest ...]));
+
+# cases / cases-else: dispatch through the scrutinee's _match method,
+# exactly the desugaring shown in section 4.
+Cases(ann, scrut, [Branch(tag, args, body) ...]) ->
+    Let("%temp", scrut,
+        App(Bracket(Id("%temp"), "_match"),
+            [Obj([Field(tag, Lam(args, body)) ...]),
+             Lam([], Raise("cases: no cases matched"))]));
+CasesElse(ann, scrut, [Branch(tag, args, body) ...], els) ->
+    Let("%temp", scrut,
+        App(Bracket(Id("%temp"), "_match"),
+            [Obj([Field(tag, Lam(args, body)) ...]),
+             Lam([], els)]));
+
+# for: generalized looping construct.
+For(fn, [FromBind(b, e) ...], body) ->
+    App(fn, [Lam([b ...], body), e ...]);
+
+# not: negation through the _not method.
+Not(x) -> App(Bracket(x, "_not"), []);
+
+# and / or: short-circuit boolean operators.
+OpAnd(x, y) -> If(x, y, false);
+OpOr(x, y) -> If(x, true, y);
+
+# paren: grouping evaporates.
+Paren(x) -> x;
+
+# left-app infix notation: x ^ f(args) applies f to x and args.
+LeftApp(x, f, [args ...]) -> App(f, [x, args ...]);
+
+# list expressions build linked lists from the list module.
+ListLit([]) -> Bracket(Id("list"), "empty");
+ListLit([x, xs ...]) ->
+    App(Bracket(Id("list"), "link"), [x, ListLit([xs ...])]);
+
+# dot (indirect) and colon (direct) field lookup.
+Dot(o, f) -> Bracket(o, f);
+Colon(o, f) -> Bracket(o, f);
+
+# let statements are plain core lets.
+LetDecl(x, e, rest) -> Let(x, e, rest);
+
+# currying, in application and operator position.
+CurryAppL(f, y) -> Lam(["%c"], App(f, [Id("%c"), y]));
+CurryAppR(f, x) -> Lam(["%c"], App(f, [x, Id("%c")]));
+CurryApp1(f) -> Lam(["%c"], App(f, [Id("%c")]));
+OpCurryL(m, y) -> Lam(["%c"], Op(m, Id("%c"), y));
+OpCurryR(m, x) -> Lam(["%c"], Op(m, x, Id("%c")));
+"""
+
+OP_NAIVE = """
+# Pyret's own binary-operator desugaring (section 8.3): apply the left
+# operand's method to the right operand.
+Op(m, x, y) -> App(Bracket(x, m), [y]);
+"""
+
+OP_OBJECT = """
+# Figure 6: force both operands through a temporary object before
+# resolving the method, so intermediate operator steps stay liftable.
+Op(m, x, y) ->
+    Let("%temp", Obj([Field("left", x), Field("right", y)]),
+        App(Bracket(Bracket(Id("%temp"), "left"), m),
+            [Bracket(Id("%temp"), "right")]));
+"""
+
+DATATYPE_EXTENSION_SOURCE = """
+# EXTENSION (beyond the paper): datatype declarations.  Figure 5 marks
+# these "no" because Pyret's datatype splices a block of definitions
+# into the enclosing scope non-compositionally, and the paper suggests
+# they "could be expressed by adding a block construct that does not
+# introduce a new scope (akin to Scheme's begin)".  Our DefRec *is* such
+# a construct -- a store-based recursive definition that scopes over its
+# continuation without substituting -- so the sugar folds one variant at
+# a time, each becoming a constructor function building a Data value.
+Datatype(d, [], rest) -> rest;
+Datatype(d, [Variant(tag, [p ...]), more ...], rest) ->
+    DefRec(tag, Lam([p ...], Data(tag, [Id(p) ...])),
+           Datatype(d, [more ...], rest));
+"""
+
+FIGURE_5_ROWS = [
+    ("fun", "function declaration", True),
+    ("when", "one-arm conditional", True),
+    ("if", "multi-arm conditional", True),
+    ("cases", "multi-arm conditional", True),
+    ("cases-else", "multi-arm conditional", True),
+    ("for", "generalized looping construct", True),
+    ("op", "binary operators", True),
+    ("not", "negation", True),
+    ("paren", "grouping construct", True),
+    ("left-app", "infix notation", True),
+    ("list", "list expressions", True),
+    ("dot", "indirect field lookup", True),
+    ("colon", "direct field lookup", True),
+    ("(currying)", "allowed in fun and op", True),
+    ("graph", "create cyclic data", False),
+    ("datatype", "datatype declarations", False),
+]
+"""Figure 5 of the paper, as data: (AST node, description, implemented)."""
+
+
+def make_pyret_rules(
+    op_desugaring: str = "naive",
+    disjointness: DisjointnessMode = DisjointnessMode.STRICT,
+    with_datatype: bool = False,
+) -> RuleList:
+    """Build the Figure 5 rulelist.
+
+    ``op_desugaring`` selects ``"naive"`` (Pyret's, section 8.3) or
+    ``"object"`` (Figure 6's, which lifts intermediate operator steps).
+    ``with_datatype`` adds the beyond-the-paper datatype extension
+    (tags are strings, so the repeated ``tag``/``p`` variables are
+    declared atomic).
+    """
+    if op_desugaring == "naive":
+        op_source = OP_NAIVE
+    elif op_desugaring == "object":
+        op_source = OP_OBJECT
+    else:
+        raise ValueError(
+            f"op_desugaring must be 'naive' or 'object', not {op_desugaring!r}"
+        )
+    source = PYRET_SUGAR_SOURCE + op_source
+    if with_datatype:
+        source += DATATYPE_EXTENSION_SOURCE
+    rules = parse_rules(source, atomic_vars=("tag", "p"))
+    return RuleList(rules, disjointness)

@@ -1,0 +1,44 @@
+"""The ``return`` sugar, via ``call/cc`` (section 8.2).
+
+"Having first-class access to the current continuation is a powerful
+mechanism for defining new control flow constructs."  The rules live in
+:mod:`repro.sugars.scheme_sugars` (built with ``return_support=True``,
+since the function sugar itself must change to capture ``%RET``); this
+module re-exports them under the name the paper's section uses and
+documents the design.
+
+The paper's rules::
+
+    Return(x) -> Let([Bind("%RES", x)], [Apply(Id("%RET"), [Id("%RES")])]);
+    Function(args, body) -> Lambda(args, Apply(Id("call/cc"),
+                                               [Lambda(["%RET"], body)]));
+
+Our variant binds ``%RET`` through a *global named cell* (``set!`` on a
+free variable) rather than a lambda parameter.  The reason is a
+difference in steppers: the paper's Racket stepper reconstructs source
+from the continuation, so lexical variables keep their names in the
+display; our substitution-based stepper would replace a
+lambda-bound ``%RET`` with the continuation value, and the ``Return``
+RHS — which matches ``Id("%RET")`` literally — would stop unexpanding,
+hiding the very ``(return ...)`` steps the example exists to show.  With
+the global cell the reference survives as ``Id("%RET")`` in the running
+term and the lifted trace matches the paper's step for step.  Like the
+paper's own rule, this is unhygienic: nested functions share ``%RET``,
+so an outer ``return`` executed after an inner function has run would
+use the inner continuation.  (The paper does not address hygiene either;
+see section 5.1.1.)
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import RuleList
+from repro.sugars.scheme_sugars import make_scheme_rules, scheme_sugar_source
+
+__all__ = ["RETURN_SUGAR_SOURCE", "make_return_rules"]
+
+RETURN_SUGAR_SOURCE = scheme_sugar_source(return_support=True)
+
+
+def make_return_rules(**kwargs) -> RuleList:
+    """The section 8.1 tower with the section 8.2 function/return pair."""
+    return make_scheme_rules(return_support=True, **kwargs)

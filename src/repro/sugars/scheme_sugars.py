@@ -1,0 +1,147 @@
+"""The section 8.1 sugar tower atop the lambda core.
+
+"Atop this we defined sugar for multi-argument functions, Thunk, Force,
+Let, Letrec, multi-arm And and Or, Cond; and atop these, a complex
+Automaton macro."  The Automaton macro lives in
+:mod:`repro.sugars.automaton`; everything else is here, written in the
+rule DSL so the definitions read like the paper's.
+
+Notes on fidelity:
+
+* ``Let`` with several bindings desugars to *nested* single-binding
+  lets (sequential, ``let*``-style) because the core has single-argument
+  functions only.
+* ``Letrec`` desugars to let-plus-assignment.  Its RHS mentions the
+  binding-name variable twice, which well-formedness criterion 2 permits
+  only for atomic variables — names are strings, so it is declared
+  atomic.  Assignments make the bound names *cells* at run time, giving
+  exactly the section 8.1 behaviour: intermediate binding steps have no
+  surface representation, so ``(letrec ((x y) (y 2)) (+ x y))`` shows
+  the branches evaluating all at once.
+* The recursive invocations inside multi-arm ``Or``/``And``/``Cond``
+  are opaque by default (full Abstraction); building with
+  ``transparent_recursion=True`` marks them ``!`` and reproduces the
+  Coverage side of section 3.4's trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import RuleList
+from repro.core.wellformed import DisjointnessMode
+from repro.lang.rule_parser import parse_rules
+
+__all__ = [
+    "SCHEME_SUGAR_SOURCE",
+    "make_scheme_rules",
+    "scheme_sugar_source",
+]
+
+
+def scheme_sugar_source(
+    transparent_recursion: bool = False,
+    return_support: bool = False,
+) -> str:
+    """The rule-DSL source of the sugar tower.
+
+    ``transparent_recursion`` marks the recursive invocations of
+    multi-arm Or/And/Cond with ``!`` (section 3.4).
+    ``return_support`` replaces the plain multi-argument function sugar
+    with the section 8.2 variant that grabs its continuation so that
+    ``return`` works inside the body.
+    """
+    bang = "!" if transparent_recursion else ""
+
+    if return_support:
+        function_rules = """
+        # Multi-argument functions with early return (section 8.2):
+        # grab the continuation on entry, stash it in the global %RET
+        # cell, and let Return invoke it.
+        Fun([x], body) ->
+            Lam(x, App(Id("call/cc"),
+                       Lam("%K", Seq([Set("%RET", Id("%K")), body]))));
+        Fun([x, y, ys ...], body) -> Lam(x, Fun([y, ys ...], body));
+        Return(x) -> Let([Binding("%RES", x)], App(Id("%RET"), Id("%RES")));
+        """
+    else:
+        function_rules = """
+        # Multi-argument functions, curried into single-argument Lams.
+        Fun([x], body) -> Lam(x, body);
+        Fun([x, y, ys ...], body) -> Lam(x, Fun([y, ys ...], body));
+        """
+
+    return function_rules + f"""
+    # List literals over the cons/nil primitives.  The empty case goes
+    # through the nil *operation* rather than a Nil value literal: a
+    # value constructed directly in an RHS keeps its sugar tags forever
+    # (values are never consumed by reduction), which would poison every
+    # list that contains it; evaluation results carry no origin.
+    ListE([]) -> Op("nil", []);
+    ListE([x, xs ...]) -> Op("cons", [x, ListE([xs ...])]);
+
+    # Delayed evaluation.
+    Thunk(e) -> Lam("%ignored", e);
+    Force(e) -> App(e, Unit());
+
+    # Let, sequentially nested over a single-argument core.
+    Let([], body) -> body;
+    Let([Binding(x, e)], body) -> App(Lam(x, body), e);
+    Let([Binding(x, e), Binding(x2, e2), rest ...], body) ->
+        App(Lam(x, Let([Binding(x2, e2), rest ...], body)), e);
+
+    # Letrec: bind to undefined, then assign.  The inner Seq groups the
+    # assignments (ellipses may only end a list pattern) and leads with
+    # Unit() so it stays well-formed when there are zero bindings.
+    Letrec([Binding(x, e) ...], body) ->
+        Let([Binding(x, Undefined()) ...],
+            Seq([Seq([Unit(), Set(x, e) ...]), body]));
+
+    # Multi-arm And / Or (section 3's running example, generalized).
+    # The binary base case leaves its last operand as a plain variable,
+    # so the trace shows it directly (section 3.1's `not(false)` step).
+    And([]) -> true;
+    And([x]) -> x;
+    And([x, y]) -> If(x, y, false);
+    And([x, y, z, zs ...]) -> If(x, {bang}And([y, z, zs ...]), false);
+    Or([]) -> false;
+    Or([x]) -> x;
+    Or([x, y]) ->
+        Let([Binding("%t", x)], If(Id("%t"), Id("%t"), y));
+    Or([x, y, z, zs ...]) ->
+        Let([Binding("%t", x)],
+            If(Id("%t"), Id("%t"), {bang}Or([y, z, zs ...])));
+
+    # While loops, via a recursive thunk (an exercise for Letrec and
+    # mutation together: loop bodies typically set! outer variables).
+    While(c, body) ->
+        Letrec([Binding("%loop",
+                        Lam("%ignore",
+                            If(c,
+                               Seq([body, App(Id("%loop"), Unit())]),
+                               Unit())))],
+               App(Id("%loop"), Unit()));
+
+    # Conditionals.
+    When(c, e) -> If(c, e, Unit());
+    Cond([]) -> Unit();
+    Cond([Else(e)]) -> e;
+    Cond([Clause(c, e), rest ...]) -> If(c, e, {bang}Cond([rest ...]));
+    """
+
+
+SCHEME_SUGAR_SOURCE = scheme_sugar_source()
+
+
+def make_scheme_rules(
+    transparent_recursion: bool = False,
+    return_support: bool = False,
+    extra_source: str = "",
+    disjointness: DisjointnessMode = DisjointnessMode.STRICT,
+) -> RuleList:
+    """Build the checked rulelist for the section 8.1 sugar tower.
+
+    ``extra_source`` appends further rules (e.g. the Automaton macro)
+    before the static checks run.
+    """
+    source = scheme_sugar_source(transparent_recursion, return_support)
+    rules = parse_rules(source + extra_source, atomic_vars=("x",))
+    return RuleList(rules, disjointness)

@@ -1,0 +1,150 @@
+"""Trace visualization: side-by-side core/surface views.
+
+Figure 4 of the paper is a screenshot of Redex's evaluation visualizer;
+this module provides the equivalent for lifted traces — a two-column
+text rendering and a standalone HTML report showing, for every core
+step, whether it was shown, deduplicated, or skipped, and what surface
+term represents it.
+
+::
+
+    from repro.viz import render_text, render_html
+    result = confection.lift(program)
+    print(render_text(result, pretty))
+    open("trace.html", "w").write(render_html(result, pretty))
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Callable, List, Optional
+
+from repro.core.lift import LiftResult, SurfaceTree
+from repro.core.terms import Pattern
+
+__all__ = ["render_text", "render_html", "render_tree_text"]
+
+Renderer = Callable[[Pattern], str]
+
+
+def _default_renderer() -> Renderer:
+    from repro.lang.render import render
+
+    return lambda t: render(t, show_tags=False)
+
+
+def render_text(
+    result: LiftResult,
+    pretty: Optional[Renderer] = None,
+    width: int = 60,
+) -> str:
+    """A two-column plain-text view: core step | surface representation.
+
+    Shown steps carry ``=>``, deduplicated ones ``==`` (same surface as
+    the previous step), skipped ones a blank surface column.
+    """
+    pretty = pretty or _default_renderer()
+    lines: List[str] = []
+    header = f"{'core step':<{width}} | surface"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for step in result.steps:
+        core = _clip(pretty(step.core_term), width)
+        if step.skipped:
+            marker, surface = "  ", ""
+        elif step.emitted:
+            marker, surface = "=>", pretty(step.surface_term)
+        else:
+            marker, surface = "==", "(as above)"
+        lines.append(f"{core:<{width}} {marker} {surface}")
+    lines.append("-" * len(header))
+    lines.append(
+        f"{result.core_step_count} core steps, "
+        f"{result.shown_count} shown, "
+        f"{result.skipped_count} skipped "
+        f"(coverage {result.coverage:.0%})"
+    )
+    return "\n".join(lines)
+
+
+def _clip(text: str, width: int) -> str:
+    if len(text) <= width:
+        return text
+    return text[: width - 1] + "…"
+
+
+_HTML_STYLE = """
+body { font-family: ui-monospace, monospace; margin: 2rem; }
+h1 { font-size: 1.1rem; }
+table { border-collapse: collapse; width: 100%; }
+td, th { border: 1px solid #ccc; padding: 0.3rem 0.6rem;
+         text-align: left; vertical-align: top; }
+tr.shown   { background: #eaf7ea; }
+tr.dedup   { background: #f4f4f4; color: #666; }
+tr.skipped { background: #fbecec; color: #888; }
+.summary { margin-top: 1rem; color: #333; }
+"""
+
+
+def render_html(
+    result: LiftResult,
+    pretty: Optional[Renderer] = None,
+    title: str = "Lifted evaluation sequence",
+) -> str:
+    """A standalone HTML report of the lifted trace."""
+    pretty = pretty or _default_renderer()
+    rows: List[str] = []
+    for step in result.steps:
+        if step.skipped:
+            cls, surface = "skipped", "— skipped —"
+        elif step.emitted:
+            cls, surface = "shown", pretty(step.surface_term)
+        else:
+            cls, surface = "dedup", "(unchanged)"
+        rows.append(
+            f'<tr class="{cls}">'
+            f"<td>{step.core_index}</td>"
+            f"<td>{html.escape(pretty(step.core_term))}</td>"
+            f"<td>{html.escape(surface)}</td>"
+            f"</tr>"
+        )
+    body = "\n".join(rows)
+    summary = (
+        f"{result.core_step_count} core steps, "
+        f"{result.shown_count} shown, "
+        f"{result.skipped_count} skipped "
+        f"(coverage {result.coverage:.0%})"
+    )
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>{_HTML_STYLE}</style></head>
+<body>
+<h1>{html.escape(title)}</h1>
+<table>
+<tr><th>#</th><th>core term</th><th>surface representation</th></tr>
+{body}
+</table>
+<p class="summary">{html.escape(summary)}</p>
+</body></html>
+"""
+
+
+def render_tree_text(
+    tree: SurfaceTree, pretty: Optional[Renderer] = None
+) -> str:
+    """An indented text view of a lifted evaluation tree."""
+    pretty = pretty or _default_renderer()
+    lines: List[str] = []
+
+    def walk(node_id: int, depth: int) -> None:
+        lines.append("  " * depth + pretty(tree.nodes[node_id]))
+        for child in tree.children(node_id):
+            walk(child, depth + 1)
+
+    if tree.root is not None:
+        walk(tree.root, 0)
+    lines.append(
+        f"[{len(tree.nodes)} surface nodes over {tree.core_node_count} "
+        f"core states; {tree.skipped_count} skipped]"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Tests for the Confection facade: the user-facing API surface."""
+
+import pytest
+
+from repro import Confection
+from repro.core import DisjointnessMode, RuleList
+from repro.core.errors import DisjointnessError
+from repro.lambdacore import make_stepper, parse_program
+from repro.lang import parse_rules, parse_term
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+OR_DSL = """
+Or([x, y]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));
+"""
+
+
+class TestConstruction:
+    def test_from_dsl_source(self):
+        conf = Confection(OR_DSL)
+        assert isinstance(conf.rules, RuleList)
+        assert conf.rules.rewrites_label("Or")
+
+    def test_from_rule_list(self):
+        conf = Confection(make_scheme_rules())
+        assert conf.rules.rewrites_label("Letrec")
+
+    def test_from_rule_objects(self):
+        conf = Confection(parse_rules(OR_DSL))
+        assert len(conf.rules) == 1
+
+    def test_disjointness_mode_forwarded(self):
+        overlapping = """
+        Max([]) -> Raise("empty");
+        Max(xs) -> MaxAcc(xs, -infinity);
+        """
+        with pytest.raises(DisjointnessError):
+            Confection(overlapping, disjointness=DisjointnessMode.STRICT)
+        Confection(overlapping, disjointness=DisjointnessMode.OFF)
+
+
+class TestTermCoercion:
+    def test_string_terms_parse(self):
+        conf = Confection(OR_DSL)
+        core = conf.desugar("Or([A(), B()])")
+        assert conf.resugar(core) == parse_term("Or([A(), B()])")
+
+    def test_pattern_terms_pass_through(self):
+        conf = Confection(OR_DSL)
+        t = parse_term("Or([A(), B()])")
+        assert conf.term(t) is t
+
+    def test_show_hides_tags(self):
+        conf = Confection(OR_DSL)
+        core = conf.desugar("Or([A(), B()])")
+        shown = Confection.show(core)
+        assert "⟨" not in shown and "#" not in shown
+
+
+class TestLifting:
+    def test_lift_requires_stepper(self):
+        conf = Confection(OR_DSL)
+        with pytest.raises(ValueError, match="no stepper"):
+            conf.lift("Or([A(), B()])")
+
+    def test_surface_steps_and_show_steps(self):
+        conf = Confection(make_scheme_rules(), make_stepper())
+        program = parse_program("(or #t #f)")
+        steps = conf.surface_steps(program)
+        shown = conf.show_steps(program)
+        assert len(steps) == len(shown)
+        assert all(isinstance(s, str) for s in shown)
+
+    def test_lift_tree_requires_stepper(self):
+        conf = Confection(OR_DSL)
+        with pytest.raises(ValueError):
+            conf.lift_tree("Or([A(), B()])")
+
+    def test_lift_tree_over_amb(self):
+        conf = Confection(make_scheme_rules(), make_stepper())
+        tree = conf.lift_tree(parse_program("(or (amb #t #f) #t)"))
+        leaves = {str(tree.nodes[n]) for n in tree.leaves()}
+        # Both branches end in #t (amb #f falls through the or).
+        assert leaves == {"true"}
+        assert tree.root is not None
+
+    def test_kwargs_forwarded(self):
+        conf = Confection(make_scheme_rules(), make_stepper())
+        result = conf.lift(parse_program("(or #t #f)"), dedup=False)
+        assert result.shown_count >= 2

@@ -1,0 +1,180 @@
+"""Unit tests for recursive desugaring and resugaring (section 5.2.2),
+tracing the paper's section 3 examples step by step."""
+
+import pytest
+
+from repro.core.desugar import desugar, resugar, resugar_raw
+from repro.core.errors import ExpansionError
+from repro.core.rules import Rule, RuleList
+from repro.core.tags import is_surface_term
+from repro.core.terms import (
+    Const,
+    HeadTag,
+    Node,
+    PList,
+    PVar,
+    Tagged,
+    strip_tags,
+)
+from repro.core.wellformed import DisjointnessMode
+from repro.lang.rule_parser import parse_rules, parse_term
+
+OR_BINARY = """
+Or([x, y]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));
+"""
+
+OR_MULTI = """
+Or([x, y]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));
+Or([x, y, ys ...]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), Or([y, ys ...])));
+"""
+
+OR_MULTI_TRANSPARENT = """
+Or([x, y]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));
+Or([x, y, ys ...]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), !Or([y, ys ...])));
+"""
+
+
+def rules_of(source):
+    return RuleList(parse_rules(source), DisjointnessMode.PRIORITIZED)
+
+
+class TestDesugar:
+    def test_desugar_produces_core_shape(self):
+        rules = rules_of(OR_BINARY)
+        t = parse_term("Or([Not(true), Not(false)])")
+        core = desugar(rules, t)
+        assert strip_tags(core) == parse_term(
+            'Let([Binding("t", Not(true))], '
+            'If(Id("t"), Id("t"), Not(false)))'
+        )
+
+    def test_desugar_tags_head(self):
+        rules = rules_of(OR_BINARY)
+        core = desugar(rules, parse_term("Or([A(), B()])"))
+        assert isinstance(core, Tagged)
+        assert isinstance(core.tag, HeadTag)
+        assert core.tag.index == 0
+
+    def test_desugar_is_identity_on_core_terms(self):
+        # Lemma 3: desugaring is idempotent over core terms.
+        rules = rules_of(OR_BINARY)
+        core = desugar(rules, parse_term("Or([A(), B()])"))
+        assert desugar(rules, core) == core
+
+    def test_desugar_recursive_sugar(self):
+        rules = rules_of(OR_MULTI)
+        core = desugar(rules, parse_term("Or([A(), B(), C()])"))
+        stripped = strip_tags(core)
+        # The inner Or([B(), C()]) must itself be expanded.
+        assert stripped == parse_term(
+            'Let([Binding("t", A())], If(Id("t"), Id("t"), '
+            'Let([Binding("t", B())], If(Id("t"), Id("t"), C()))))'
+        )
+
+    def test_desugar_under_lists_and_other_nodes(self):
+        rules = rules_of(OR_BINARY)
+        t = parse_term("Wrap([Or([A(), B()]), C()])")
+        core = desugar(rules, t)
+        assert strip_tags(core) == parse_term(
+            'Wrap([Let([Binding("t", A())], If(Id("t"), Id("t"), B())), C()])'
+        )
+
+    def test_diverging_sugar_raises(self):
+        loop = Rule(Node("Loop", (PVar("x"),)), Node("Loop", (PVar("x"),)))
+        rules = RuleList([loop])
+        with pytest.raises(ExpansionError, match="expansions"):
+            desugar(rules, Node("Loop", (Const(1),)), max_expansions=50)
+
+    def test_bottomup_order_agrees_on_simple_sugar(self):
+        rules = rules_of(OR_MULTI)
+        t = parse_term("Or([A(), B(), C()])")
+        td = desugar(rules, t, order="topdown")
+        bu = desugar(rules, t, order="bottomup")
+        assert strip_tags(td) == strip_tags(bu)
+
+    def test_unknown_order_rejected(self):
+        rules = rules_of(OR_BINARY)
+        with pytest.raises(ValueError):
+            desugar(rules, Const(1), order="sideways")
+
+
+class TestResugar:
+    def test_resugar_inverts_desugar(self):
+        # Theorem 2, forward direction.
+        rules = rules_of(OR_MULTI)
+        for source in (
+            "Or([A(), B()])",
+            "Or([A(), B(), C(), D()])",
+            "Wrap([Or([A(), B()]), Or([C(), D(), E()])])",
+            "Plain(1, 2)",
+        ):
+            t = parse_term(source)
+            assert resugar(rules, desugar(rules, t)) == t
+
+    def test_resugar_output_is_surface_term(self):
+        rules = rules_of(OR_MULTI)
+        core = desugar(rules, parse_term("Or([A(), B(), C()])"))
+        out = resugar(rules, core)
+        assert is_surface_term(out)
+
+    def test_resugar_is_identity_on_surface_terms(self):
+        # Lemma 3: resugaring is idempotent over surface terms.
+        rules = rules_of(OR_BINARY)
+        t = parse_term("Plain(Or2(1), [2, 3])")
+        assert resugar(rules, t) == t
+
+    def test_reduced_core_term_skips(self):
+        # Third core step of section 3.2: the let is gone, so the term no
+        # longer matches the Or RHS and must be skipped.
+        rules = rules_of(OR_BINARY)
+        core = desugar(rules, parse_term("Or([Not(true), Not(false)])"))
+        # Simulate the evaluator reducing the let away: replace the tagged
+        # body with the if-term (tags on the if survive evaluation).
+        head_tag = core.tag
+        let_body = core.term  # Tagged(Body, Let(...))
+        if_term = let_body.term.children[1]  # Tagged(Body, If(...))
+        reduced = Tagged(head_tag, if_term)
+        assert resugar(rules, reduced) is None
+
+    def test_user_written_core_code_is_not_unexpanded(self):
+        # Section 3.2's Abstraction example: a user-written let/if of the
+        # right shape must NOT resugar into Or.
+        rules = rules_of(OR_BINARY)
+        user_term = parse_term(
+            'Let([Binding("t", Not(true))], If(Id("t"), Id("t"), Not(false)))'
+        )
+        # No tags: resugaring leaves it alone rather than inventing an Or.
+        assert resugar(rules, user_term) == user_term
+
+
+class TestTransparency:
+    """Section 3.4: the Abstraction/Coverage trade-off."""
+
+    def _after_outer_consumed(self, rules):
+        """Build the core term that remains after evaluation consumes the
+        outer Or's let and if, leaving only the (tagged) inner Or."""
+        core = desugar(rules, parse_term("Or([A(), B(), C()])"))
+        # core = Head1(Body(Let [..] (Body(If .. .. <inner>))))
+        let_node = core.term.term
+        if_tagged = let_node.children[1]
+        inner = if_tagged.term.children[2]
+        return inner
+
+    def test_opaque_inner_or_is_hidden(self):
+        rules = rules_of(OR_MULTI)
+        inner = self._after_outer_consumed(rules)
+        # The inner Or is wrapped in an *opaque* body tag: resugaring
+        # must fail (skip), hiding the recursive invocation.
+        assert resugar(rules, inner) is None
+
+    def test_transparent_inner_or_is_shown(self):
+        rules = rules_of(OR_MULTI_TRANSPARENT)
+        inner = self._after_outer_consumed(rules)
+        out = resugar(rules, inner)
+        assert out == parse_term("Or([B(), C()])")
+
+    def test_raw_resugar_keeps_body_tags(self):
+        rules = rules_of(OR_MULTI_TRANSPARENT)
+        inner = self._after_outer_consumed(rules)
+        raw = resugar_raw(rules, inner)
+        assert isinstance(raw, Tagged)  # transparent body tag retained

@@ -1,0 +1,68 @@
+"""Tests for the hygiene linter."""
+
+from repro.core.hygiene import lint_hygiene
+from repro.lang.rule_parser import parse_rules
+from repro.sugars.automaton import make_automaton_rules
+from repro.sugars.pyret_sugars import make_pyret_rules
+from repro.sugars.returns import make_return_rules
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+
+class TestLinting:
+    def test_reserved_binders_are_clean(self):
+        rules = parse_rules(
+            'Or2(x, y) -> Let([Binding("%t", x)], If(Id("%t"), Id("%t"), y));'
+        )
+        assert lint_hygiene(rules) == []
+
+    def test_capturable_binder_flagged(self):
+        # The paper's own Or rule binds plain "t": a user program with a
+        # variable t under the Or would be captured.
+        rules = parse_rules(
+            'Or2(x, y) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));'
+        )
+        warnings = lint_hygiene(rules)
+        assert [w.kind for w in warnings] == ["capturable-binder"]
+        assert warnings[0].name == "t"
+        assert "captured" in str(warnings[0])
+
+    def test_free_internal_reference_flagged(self):
+        # Referencing %RET without binding it is the Return sugar's
+        # cross-rule contract; the linter surfaces it.
+        rules = parse_rules('Ret(x) -> App(Id("%RET"), x);')
+        warnings = lint_hygiene(rules)
+        assert [w.kind for w in warnings] == ["free-internal-reference"]
+        assert warnings[0].name == "%RET"
+
+    def test_lambda_parameter_lists_handled(self):
+        rules = parse_rules('F(b) -> Lam(["user_name"], b);')
+        warnings = lint_hygiene(rules)
+        assert [w.name for w in warnings] == ["user_name"]
+
+    def test_binder_from_pattern_variable_is_not_flagged(self):
+        # A binder name that comes from the *user's* program (a pattern
+        # variable) is not rule-introduced.
+        rules = parse_rules("F(name, e, b) -> Let(name, e, b);")
+        assert lint_hygiene(rules) == []
+
+
+class TestBundledSugars:
+    def test_scheme_tower_is_convention_clean(self):
+        warnings = lint_hygiene(make_scheme_rules())
+        assert [w for w in warnings if w.kind == "capturable-binder"] == []
+
+    def test_automaton_is_convention_clean(self):
+        warnings = lint_hygiene(make_automaton_rules())
+        assert [w for w in warnings if w.kind == "capturable-binder"] == []
+
+    def test_pyret_suite_is_convention_clean(self):
+        warnings = lint_hygiene(make_pyret_rules(with_datatype=True))
+        assert [w for w in warnings if w.kind == "capturable-binder"] == []
+
+    def test_return_sugar_flags_its_known_contract(self):
+        # %RET flows between the Fun and Return rules by design; the
+        # linter reports it as a free internal reference, documenting
+        # the unhygienic contract the module docstring describes.
+        warnings = lint_hygiene(make_return_rules())
+        frees = {w.name for w in warnings if w.kind == "free-internal-reference"}
+        assert "%RET" in frees

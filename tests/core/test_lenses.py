@@ -1,0 +1,119 @@
+"""Property-based tests of the lens laws and inverse theorems — the
+stand-in for the paper's Coq development (section 6.4).
+
+1. Matching is correct w.r.t. substitution      (test_matching.py)
+2. Unification is correct w.r.t. matching       (test_unification.py)
+3. Expansion/unexpansion of well-formed, disjoint rules obey the lens
+   laws                                          (this file)
+"""
+
+from hypothesis import given, settings
+
+from repro.core.desugar import desugar, resugar
+from repro.core.lenses import (
+    check_desugar_resugar_inverse,
+    check_get_put,
+    check_put_get,
+    emulates,
+)
+from repro.core.rules import Rule, RuleList
+from repro.core.tags import is_surface_term
+from repro.core.terms import Const, Node, PList, PVar
+from repro.core.wellformed import DisjointnessMode
+from repro.lang.rule_parser import parse_rules, parse_term
+
+from tests.strategies import disjoint_rulelists, terms
+
+
+class TestLensLawsOnPaperRules:
+    OR = RuleList(
+        parse_rules(
+            """
+            Or([x, y]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));
+            Or([x, y, ys ...]) ->
+                Let([Binding("t", x)], If(Id("t"), Id("t"), Or([y, ys ...])));
+            """
+        ),
+        DisjointnessMode.PRIORITIZED,
+    )
+
+    def test_getput_on_or(self):
+        for source in ("Or([A(), B()])", "Or([A(), B(), C()])"):
+            assert check_get_put(self.OR, parse_term(source)) is True
+
+    def test_getput_vacuous_when_no_rule_applies(self):
+        assert check_get_put(self.OR, parse_term("Plain()")) is None
+
+    def test_putget_on_freshly_expanded_terms(self):
+        for source in ("Or([A(), B()])", "Or([A(), B(), C()])"):
+            e = self.OR.expand(parse_term(source))
+            assert check_put_get(self.OR, e.index, e.term, e.stand_in) is True
+
+    def test_putget_violation_with_overlapping_max(self):
+        rules = RuleList(
+            parse_rules(
+                """
+                Max([]) -> Raise("empty list");
+                Max(xs) -> MaxAcc(xs, -infinity);
+                """
+            ),
+            DisjointnessMode.OFF,
+        )
+        reduced = parse_term("MaxAcc([], -infinity)")
+        assert check_put_get(rules, 1, reduced) is False
+
+
+class TestLensLawProperties:
+    @given(disjoint_rulelists(), terms(max_leaves=10))
+    @settings(max_examples=150)
+    def test_getput_holds(self, rules, term):
+        result = check_get_put(rules, term)
+        assert result is not False
+
+    @given(disjoint_rulelists(), terms(max_leaves=10))
+    @settings(max_examples=150)
+    def test_putget_holds_on_expansions(self, rules, term):
+        e = rules.expand(term)
+        if e is None:
+            return
+        result = check_put_get(rules, e.index, e.term, e.stand_in)
+        assert result is not False
+
+    @given(disjoint_rulelists(), terms(max_leaves=10))
+    @settings(max_examples=150)
+    def test_theorem_2_desugar_then_resugar(self, rules, term):
+        assert check_desugar_resugar_inverse(rules, term)
+
+    @given(disjoint_rulelists(), terms(max_leaves=10))
+    @settings(max_examples=150)
+    def test_theorem_2_resugar_then_desugar(self, rules, term):
+        core = desugar(rules, term)
+        surface = resugar(rules, core)
+        if surface is None:
+            return
+        assert desugar(rules, surface) == core
+
+    @given(disjoint_rulelists(), terms(max_leaves=10))
+    @settings(max_examples=150)
+    def test_resugared_terms_are_surface_terms(self, rules, term):
+        # Lemma 2: resugaring produces surface terms.
+        surface = resugar(rules, desugar(rules, term))
+        if surface is not None:
+            assert is_surface_term(surface)
+
+    @given(disjoint_rulelists(), terms(max_leaves=10))
+    @settings(max_examples=150)
+    def test_emulation_of_resugared_terms(self, rules, term):
+        # Theorem 3 at a single term.
+        core = desugar(rules, term)
+        surface = resugar(rules, core)
+        if surface is not None:
+            assert emulates(rules, surface, core)
+
+
+class TestLemma3Idempotence:
+    @given(disjoint_rulelists(), terms(max_leaves=10))
+    @settings(max_examples=100)
+    def test_desugar_idempotent_on_core_terms(self, rules, term):
+        core = desugar(rules, term)
+        assert desugar(rules, core) == core

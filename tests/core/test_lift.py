@@ -1,0 +1,336 @@
+"""Tests for evaluation-sequence lifting (section 5.3) using a tiny
+call-by-value term-rewriting stepper, reproducing the paper's section 3
+traces exactly."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.lift import (
+    EmulationViolation,
+    FunctionStepper,
+    lift_evaluation,
+    lift_evaluation_tree,
+)
+from repro.core.rules import RuleList
+from repro.core.terms import Const, Node, Pattern, PList, Tagged
+from repro.core.wellformed import DisjointnessMode
+from repro.lang.rule_parser import parse_rules, parse_term
+
+
+def is_value(t: Pattern) -> bool:
+    return isinstance(t, Const)
+
+
+def subst_id(term: Pattern, name: str, value: Pattern) -> Pattern:
+    """Replace references Id(name) by value, consuming their tags (that
+    is what real evaluators do: the reference disappears)."""
+    if isinstance(term, Tagged):
+        inner = subst_id(term.term, name, value)
+        if inner is not term.term and not isinstance(inner, (Node, PList, Tagged)):
+            # The whole tagged reference was replaced by the value.
+            return inner
+        if (
+            isinstance(term.term, Node)
+            and term.term.label == "Id"
+            and term.term.children == (Const(name),)
+        ):
+            return value
+        return Tagged(term.tag, inner)
+    if isinstance(term, Node):
+        if term.label == "Id" and term.children == (Const(name),):
+            return value
+        if term.label == "Let" and any(
+            _binding_name(b) == name for b in _bindings_of(term)
+        ):
+            return term  # shadowed
+        return Node(term.label, tuple(subst_id(c, name, value) for c in term.children))
+    if isinstance(term, PList):
+        return PList(tuple(subst_id(c, name, value) for c in term.items))
+    return term
+
+
+def _bindings_of(let_node: Node):
+    first = let_node.children[0]
+    while isinstance(first, Tagged):
+        first = first.term
+    items = []
+    for b in first.items if isinstance(first, PList) else ():
+        while isinstance(b, Tagged):
+            b = b.term
+        items.append(b)
+    return items
+
+
+def _binding_name(binding: Node) -> str:
+    name = binding.children[0]
+    while isinstance(name, Tagged):
+        name = name.term
+    return name.value
+
+
+def step_toy(term: Pattern):
+    """One leftmost call-by-value step of the toy core language:
+    Not / If / Let over boolean constants.  Returns None at a value or a
+    stuck term.  Tags ride along; a consumed redex drops its tags."""
+
+    def step(t: Pattern):
+        if isinstance(t, Tagged):
+            inner = step(t.term)
+            if inner is None:
+                return None
+            kind, new = inner
+            if kind == "reduced-here":
+                # The tagged node itself was the redex: its tag is consumed.
+                return ("reduced-here", new)
+            return ("child", Tagged(t.tag, new))
+        if isinstance(t, PList):
+            for i, c in enumerate(t.items):
+                r = step(c)
+                if r is not None:
+                    items = list(t.items)
+                    items[i] = r[1]
+                    return ("child", PList(tuple(items)))
+            return None
+        if not isinstance(t, Node):
+            return None
+
+        label = t.label
+        if label == "Not":
+            (arg,) = t.children
+            bare = _strip(arg)
+            if isinstance(bare, Const) and isinstance(bare.value, bool):
+                return ("reduced-here", Const(not bare.value))
+        if label == "If":
+            cond, then, els = t.children
+            bare = _strip(cond)
+            if isinstance(bare, Const) and isinstance(bare.value, bool):
+                chosen = then if bare.value else els
+                return ("reduced-here", _strip_outer(chosen))
+        if label == "Let":
+            bindings = _bindings_of(t)
+            if bindings and all(is_value(_strip(b.children[1])) for b in bindings):
+                body = t.children[1]
+                out = _strip_outer(body)
+                for b in bindings:
+                    out = subst_id(out, _binding_name(b), _strip(b.children[1]))
+                return ("reduced-here", out)
+        # Otherwise reduce the leftmost reducible child.
+        for i, c in enumerate(t.children):
+            r = step(c)
+            if r is not None:
+                children = list(t.children)
+                children[i] = r[1]
+                return ("child", Node(label, tuple(children)))
+        return None
+
+    r = step(term)
+    return None if r is None else r[1]
+
+
+def _strip(t: Pattern) -> Pattern:
+    while isinstance(t, Tagged):
+        t = t.term
+    return t
+
+
+def _strip_outer(t: Pattern) -> Pattern:
+    # Keep inner tags; the chosen branch itself keeps its own tags.
+    return t
+
+
+def step_maxacc(t: Pattern):
+    """One MaxAcc core step: pop the list, keep the accumulator.  The
+    MaxAcc node persists across the step, so its tags are preserved (as a
+    real evaluator would preserve them)."""
+    if isinstance(t, Tagged):
+        inner = step_maxacc(t.term)
+        return None if inner is None else Tagged(t.tag, inner)
+    if isinstance(t, Node) and t.label == "MaxAcc":
+        lst = _strip(t.children[0])
+        if isinstance(lst, PList) and lst.items:
+            return Node("MaxAcc", (PList(lst.items[1:]), t.children[1]))
+    return None
+
+
+OR_RULES = RuleList(
+    parse_rules(
+        """
+        Or([x, y]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));
+        Or([x, y, ys ...]) ->
+            Let([Binding("t", x)], If(Id("t"), Id("t"), Or([y, ys ...])));
+        """
+    ),
+    DisjointnessMode.PRIORITIZED,
+)
+
+OR_RULES_TRANSPARENT = RuleList(
+    parse_rules(
+        """
+        Or([x, y]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));
+        Or([x, y, ys ...]) ->
+            Let([Binding("t", x)], If(Id("t"), Id("t"), !Or([y, ys ...])));
+        """
+    ),
+    DisjointnessMode.PRIORITIZED,
+)
+
+
+def lift(rules, source, **kwargs):
+    return lift_evaluation(
+        rules, FunctionStepper(step_toy), parse_term(source), **kwargs
+    )
+
+
+class TestSection31Trace:
+    """The paper's first example: not(true) OR not(false)."""
+
+    def test_surface_sequence(self):
+        result = lift(OR_RULES, "Or([Not(true), Not(false)])")
+        expected = [
+            "Or([Not(true), Not(false)])",
+            "Or([false, Not(false)])",
+            "Not(false)",
+            "true",
+        ]
+        assert [str(parse_term(e)) for e in expected] == [
+            str(t) for t in result.surface_sequence
+        ]
+
+    def test_exactly_one_step_skipped(self):
+        # The core's "if false then false else not(false)" step has no
+        # surface representation.
+        result = lift(OR_RULES, "Or([Not(true), Not(false)])")
+        assert result.skipped_count == 1
+        assert result.core_step_count == 5
+
+    def test_coverage_metric(self):
+        result = lift(OR_RULES, "Or([Not(true), Not(false)])")
+        assert result.coverage == pytest.approx(4 / 5)
+
+
+class TestSection34Trace:
+    """false OR false OR true, with and without transparency."""
+
+    def test_opaque_hides_recursive_invocation(self):
+        result = lift(OR_RULES, "Or([false, false, true])")
+        shown = [str(t) for t in result.surface_sequence]
+        assert shown == [
+            "Or([false, false, true])",
+            "true",
+        ]
+
+    def test_transparent_shows_recursive_invocation(self):
+        result = lift(OR_RULES_TRANSPARENT, "Or([false, false, true])")
+        shown = [str(t) for t in result.surface_sequence]
+        assert shown == [
+            "Or([false, false, true])",
+            "Or([false, true])",
+            "true",
+        ]
+
+
+class TestEmulationGuard:
+    def test_max_violation_raises(self):
+        # The paper's Max example (section 5.1.5): with overlapping rules,
+        # MaxAcc([], -infinity) unexpands to Max([]), which desugars to
+        # Raise(...) — a different core term.  The lifting loop's dynamic
+        # emulation check must catch this.
+        rules = RuleList(
+            parse_rules(
+                """
+                Max([]) -> Raise("empty list");
+                Max(xs) -> MaxAcc(xs, -infinity);
+                """
+            ),
+            DisjointnessMode.OFF,
+        )
+
+        with pytest.raises(EmulationViolation):
+            lift_evaluation(
+                rules,
+                FunctionStepper(step_maxacc),
+                parse_term("Max([-infinity])"),
+            )
+
+    def test_max_fixed_rules_skip_instead(self):
+        rules = RuleList(
+            parse_rules(
+                """
+                Max([]) -> Raise("Max: given empty list");
+                Max([x, xs ...]) -> MaxAcc([x, xs ...], -infinity);
+                """
+            ),
+            DisjointnessMode.STRICT,
+        )
+
+        result = lift_evaluation(
+            rules, FunctionStepper(step_maxacc), parse_term("Max([-infinity])")
+        )
+        shown = [str(t) for t in result.surface_sequence]
+        # The MaxAcc([], -infinity) step is safely skipped.
+        assert shown == ["Max([-infinity])"]
+        assert result.skipped_count == 1
+
+    def test_check_can_be_disabled(self):
+        result = lift(
+            OR_RULES, "Or([Not(true), Not(false)])", check_emulation=False
+        )
+        assert result.shown_count == 4
+
+
+class TestLiftMechanics:
+    def test_max_steps_exceeded(self):
+        looping = FunctionStepper(lambda t: t)  # never terminates
+        with pytest.raises(ReproError, match="did not finish"):
+            lift_evaluation(OR_RULES, looping, parse_term("true"), max_steps=10)
+
+    def test_value_program_emits_itself(self):
+        result = lift(OR_RULES, "true")
+        assert [str(t) for t in result.surface_sequence] == ["true"]
+
+    def test_dedup_drops_identical_consecutive_steps(self):
+        # A stepper that rewrites an invisible annotation produces core
+        # steps with identical surface forms.
+        states = [parse_term("A()"), parse_term("A()"), parse_term("true")]
+
+        def step(t):
+            if t == states[0] and step.count < 1:
+                step.count += 1
+                return states[1]
+            if t == states[1] or (t == states[0] and step.count >= 1):
+                return states[2]
+            return None
+
+        step.count = 0
+        result = lift_evaluation(
+            OR_RULES, FunctionStepper(step), parse_term("A()")
+        )
+        shown = [str(t) for t in result.surface_sequence]
+        assert shown == ["A()", "true"]
+
+
+class TestLiftTree:
+    def test_amb_tree(self):
+        # A two-way nondeterministic stepper: Amb(a, b) -> a or b.
+        class AmbStepper:
+            def load(self, core):
+                return core
+
+            def term(self, state):
+                return state
+
+            def step(self, state):
+                bare = _strip(state)
+                if isinstance(bare, Node) and bare.label == "Amb":
+                    return list(bare.children)
+                return []
+
+        tree = lift_evaluation_tree(
+            OR_RULES, AmbStepper(), parse_term("Amb(true, false)")
+        )
+        assert tree.root is not None
+        assert len(tree.nodes) == 3
+        assert sorted(str(tree.nodes[n]) for n in tree.leaves()) == [
+            "false",
+            "true",
+        ]

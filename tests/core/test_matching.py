@@ -1,0 +1,163 @@
+"""Unit and property tests for matching (Figure 3)."""
+
+from hypothesis import given
+
+from repro.core.bindings import ListBinding
+from repro.core.matching import match, matches
+from repro.core.substitution import subst
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    HeadTag,
+    Node,
+    PList,
+    PVar,
+    Tagged,
+)
+
+from tests.strategies import matching_pairs, terms
+
+
+def test_constant_matches_itself():
+    assert match(Const(3), Const(3)) == {}
+
+
+def test_constant_mismatch_fails():
+    assert match(Const(3), Const(4)) is None
+    assert match(Const(True), Const(1)) is None
+
+
+def test_variable_binds_term():
+    t = Node("Foo", (Const(1),))
+    assert match(t, PVar("x")) == {"x": t}
+
+
+def test_node_match_binds_children():
+    t = Node("Pair", (Const(1), Const(2)))
+    p = Node("Pair", (PVar("x"), PVar("y")))
+    assert match(t, p) == {"x": Const(1), "y": Const(2)}
+
+
+def test_node_label_mismatch():
+    assert match(Node("Foo", ()), Node("Bar", ())) is None
+
+
+def test_node_arity_mismatch():
+    assert match(Node("Foo", (Const(1),)), Node("Foo", ())) is None
+
+
+def test_fixed_list_length_must_agree():
+    t = PList((Const(1), Const(2)))
+    assert match(t, PList((PVar("x"),))) is None
+    assert match(t, PList((PVar("x"), PVar("y")))) is not None
+
+
+def test_ellipsis_matches_zero_repetitions():
+    t = PList((Const(1),))
+    p = PList((PVar("x"),), PVar("rest"))
+    sigma = match(t, p)
+    assert sigma == {"x": Const(1), "rest": ListBinding(())}
+
+
+def test_ellipsis_merges_repetitions():
+    t = PList((Const(1), Const(2), Const(3)))
+    p = PList((PVar("x"),), PVar("rest"))
+    sigma = match(t, p)
+    assert sigma == {
+        "x": Const(1),
+        "rest": ListBinding((Const(2), Const(3))),
+    }
+
+
+def test_ellipsis_with_structure():
+    t = PList((Node("B", (Const(1), Const(10))), Node("B", (Const(2), Const(20)))))
+    p = PList((), Node("B", (PVar("k"), PVar("v"))))
+    sigma = match(t, p)
+    assert sigma == {
+        "k": ListBinding((Const(1), Const(2))),
+        "v": ListBinding((Const(10), Const(20))),
+    }
+
+
+def test_list_too_short_for_ellipsis_prefix():
+    t = PList((Const(1),))
+    p = PList((PVar("x"), PVar("y")), PVar("rest"))
+    assert match(t, p) is None
+
+
+def test_duplicate_atomic_variable_must_agree():
+    p = Node("Eq", (PVar("x"), PVar("x")))
+    assert match(Node("Eq", (Const(1), Const(1))), p) == {"x": Const(1)}
+    assert match(Node("Eq", (Const(1), Const(2))), p) is None
+
+
+def test_duplicate_variable_with_equal_bindings_matches():
+    # Well-formedness rejects duplicate non-atomic variables statically;
+    # the matcher itself only demands that duplicates agree (Letrec's
+    # repeated binding-name variable relies on this).
+    p = Node("Eq", (PVar("x"), PVar("x")))
+    t = Node("Eq", (Node("A", ()), Node("A", ())))
+    assert match(t, p) == {"x": Node("A", ())}
+    t2 = Node("Eq", (Node("A", ()), Node("B", ())))
+    assert match(t2, p) is None
+
+
+class TestTags:
+    opaque = BodyTag(False)
+
+    def test_tagged_term_matches_equal_tagged_pattern(self):
+        t = Tagged(self.opaque, Const(1))
+        p = Tagged(self.opaque, PVar("x"))
+        assert match(t, p) == {"x": Const(1)}
+
+    def test_tag_mismatch_fails(self):
+        t = Tagged(BodyTag(True), Const(1))
+        p = Tagged(self.opaque, PVar("x"))
+        assert match(t, p) is None
+
+    def test_tagged_term_fails_against_plain_pattern_by_default(self):
+        t = Tagged(self.opaque, Const(1))
+        assert match(t, Const(1)) is None
+
+    def test_see_through_tags(self):
+        t = Node("Foo", (Tagged(self.opaque, Const(1)),))
+        p = Node("Foo", (Const(1),))
+        assert match(t, p) is None
+        assert match(t, p, see_through_tags=True) == {}
+
+    def test_variable_captures_tags_even_when_seeing_through(self):
+        inner = Tagged(self.opaque, Const(1))
+        t = Node("Foo", (inner,))
+        p = Node("Foo", (PVar("x"),))
+        assert match(t, p, see_through_tags=True) == {"x": inner}
+
+    def test_lenient_pattern_tags(self):
+        p = Tagged(self.opaque, Node("Foo", ()))
+        t = Node("Foo", ())
+        assert match(t, p) is None
+        assert match(t, p, lenient_pattern_tags=True) == {}
+
+    def test_lenient_does_not_apply_to_head_tags(self):
+        p = Tagged(HeadTag(0), Node("Foo", ()))
+        assert match(Node("Foo", ()), p, lenient_pattern_tags=True) is None
+
+
+class TestMatchSubstProperty:
+    """The Coq development's first theorem: matching is correct with
+    respect to substitution — ``(T/P)P = T`` whenever ``T/P`` exists."""
+
+    @given(matching_pairs())
+    def test_match_then_subst_restores_term(self, pair):
+        term, pattern, _ = pair
+        sigma = match(term, pattern)
+        assert sigma is not None
+        assert subst(sigma, pattern) == term
+
+    @given(matching_pairs())
+    def test_instantiating_env_matches(self, pair):
+        term, pattern, env = pair
+        assert matches(term, pattern)
+
+    @given(terms(max_leaves=8))
+    def test_every_term_matches_a_variable(self, term):
+        assert match(term, PVar("x")) == {"x": term}

@@ -1,0 +1,148 @@
+"""Unit tests for rule expansion and unexpansion (section 5.1.4),
+including the paper's running Or and Max examples."""
+
+import pytest
+
+from repro.core.errors import ExpansionError
+from repro.core.rules import Rule, RuleList
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    Node,
+    PList,
+    PVar,
+    strip_tags,
+)
+from repro.core.wellformed import DisjointnessMode
+from repro.lang.rule_parser import parse_rules, parse_term
+
+
+OR_SOURCE = """
+Or([x, y]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), y));
+Or([x, y, ys ...]) -> Let([Binding("t", x)], If(Id("t"), Id("t"), Or([y, ys ...])));
+"""
+
+
+@pytest.fixture
+def or_rules():
+    return RuleList(parse_rules(OR_SOURCE), DisjointnessMode.PRIORITIZED)
+
+
+class TestExpansion:
+    def test_binary_or_uses_first_rule(self, or_rules):
+        t = parse_term('Or([True_(), False_()])')
+        expansion = or_rules.expand(t)
+        assert expansion is not None
+        assert expansion.index == 0
+        expected = parse_term(
+            'Let([Binding("t", True_())], If(Id("t"), Id("t"), False_()))'
+        )
+        assert strip_tags(expansion.term) == expected
+
+    def test_variadic_or_uses_second_rule(self, or_rules):
+        t = parse_term('Or([A(), B(), C()])')
+        expansion = or_rules.expand(t)
+        assert expansion is not None
+        assert expansion.index == 1
+        expected = parse_term(
+            'Let([Binding("t", A())], If(Id("t"), Id("t"), Or([B(), C()])))'
+        )
+        assert strip_tags(expansion.term) == expected
+
+    def test_matching_example_from_section_5_1_2(self):
+        # Or([true, Not(true), false, true]) against Or([x, y, ys ...]).
+        rules = RuleList(parse_rules(OR_SOURCE), DisjointnessMode.PRIORITIZED)
+        t = parse_term("Or([true, Not(true), false, true])")
+        expansion = rules.expand(t)
+        assert expansion is not None
+        expected = parse_term(
+            'Let([Binding("t", true)], '
+            "If(Id(\"t\"), Id(\"t\"), Or([Not(true), false, true])))"
+        )
+        assert strip_tags(expansion.term) == expected
+
+    def test_no_rule_applies(self, or_rules):
+        assert or_rules.expand(parse_term("And([A(), B()])")) is None
+        assert or_rules.expand(Const(3)) is None
+
+    def test_expansion_result_carries_body_tags(self, or_rules):
+        expansion = or_rules.expand(parse_term("Or([A(), B()])"))
+        assert isinstance(expansion.term.tag, BodyTag)
+
+
+class TestUnexpansion:
+    def test_unexpand_inverts_expand(self, or_rules):
+        t = parse_term("Or([A(), B()])")
+        e = or_rules.expand(t)
+        assert or_rules.unexpand(e.index, e.term, e.stand_in) == t
+
+    def test_unexpand_fails_on_reduced_term(self, or_rules):
+        # After the let reduces away, the term no longer matches the RHS.
+        reduced = parse_term('If(False_(), False_(), B())')
+        assert or_rules.unexpand(0, reduced) is None
+
+    def test_unexpand_bad_index_raises(self, or_rules):
+        with pytest.raises(ExpansionError):
+            or_rules.unexpand(99, Const(1))
+
+
+class TestStandIn:
+    def test_dropped_variables_restored_from_stand_in(self):
+        # Ignore(x, y) -> Keep(x): y is dropped and must come back.
+        rule = Rule(
+            Node("Ignore", (PVar("x"), PVar("y"))),
+            Node("Keep", (PVar("x"),)),
+        )
+        rules = RuleList([rule])
+        t = Node("Ignore", (Const(1), Const(2)))
+        e = rules.expand(t)
+        assert e.stand_in == (("y", Const(2)),)
+        assert rules.unexpand(e.index, e.term, e.stand_in) == t
+
+    def test_dropped_vars_listed_on_rule(self):
+        rule = Rule(
+            Node("Ignore", (PVar("x"), PVar("y"))),
+            Node("Keep", (PVar("x"),)),
+        )
+        assert rule.dropped_vars == ("y",)
+
+
+class TestMaxExample:
+    """Section 5.1.5: overlapping rules break Emulation; the disjoint
+    rewrite fixes it."""
+
+    BROKEN = """
+    Max([]) -> Raise("empty list");
+    Max(xs) -> MaxAcc(xs, -infinity);
+    """
+    FIXED = """
+    Max([]) -> Raise("Max: given empty list");
+    Max([x, xs ...]) -> MaxAcc([x, xs ...], -infinity);
+    """
+
+    def test_broken_rules_violate_putget(self):
+        rules = RuleList(parse_rules(self.BROKEN), DisjointnessMode.OFF)
+        # Core term after one reduction step: MaxAcc([], -infinity).
+        reduced = parse_term("MaxAcc([], -infinity)")
+        # Tag-wise, unexpansion is attempted through rule 1's RHS.
+        surface = rules.unexpand(1, reduced)
+        assert surface == parse_term("Max([])")
+        # Re-expanding that surface term picks rule 0 -- a different core
+        # term.  PutGet (and with it Emulation) is violated.
+        e = rules.expand(surface)
+        assert e.index == 0
+        assert strip_tags(e.term) == parse_term('Raise("empty list")')
+
+    def test_fixed_rules_skip_the_step(self):
+        rules = RuleList(parse_rules(self.FIXED), DisjointnessMode.STRICT)
+        reduced = parse_term("MaxAcc([], -infinity)")
+        # [] does not match [x, xs ...] (length >= 1): unexpansion fails,
+        # the step is skipped, Emulation preserved.
+        assert rules.unexpand(1, reduced) is None
+
+    def test_fixed_rules_unexpand_nonempty(self):
+        rules = RuleList(parse_rules(self.FIXED), DisjointnessMode.STRICT)
+        t = parse_term("Max([1, 2, 3])")
+        e = rules.expand(t)
+        assert e.index == 1
+        assert rules.unexpand(e.index, e.term, e.stand_in) == t

@@ -1,0 +1,104 @@
+"""Unit tests for tag insertion and inspection (section 5.2.1)."""
+
+from repro.core.tags import (
+    has_head_tags,
+    has_opaque_body_tags,
+    insert_body_tags,
+    is_surface_term,
+    transparent,
+)
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    HeadTag,
+    Node,
+    PList,
+    PVar,
+    Tagged,
+)
+
+OPAQUE = BodyTag(False)
+TRANSPARENT = BodyTag(True)
+
+
+class TestInsertBodyTags:
+    def test_variables_untouched(self):
+        assert insert_body_tags(PVar("x")) == PVar("x")
+
+    def test_constants_untouched(self):
+        assert insert_body_tags(Const(1)) == Const(1)
+
+    def test_node_wrapped_and_children_recursed(self):
+        rhs = Node("Foo", (PVar("x"), Node("Bar", ())))
+        tagged = insert_body_tags(rhs)
+        assert tagged == Tagged(
+            OPAQUE, Node("Foo", (PVar("x"), Tagged(OPAQUE, Node("Bar", ()))))
+        )
+
+    def test_lists_wrapped(self):
+        rhs = PList((PVar("x"),))
+        assert insert_body_tags(rhs) == Tagged(OPAQUE, PList((PVar("x"),)))
+
+    def test_ellipsis_patterns_recursed(self):
+        rhs = PList((), Node("W", (PVar("x"),)))
+        tagged = insert_body_tags(rhs)
+        assert isinstance(tagged, Tagged)
+        inner = tagged.term
+        assert isinstance(inner.ellipsis, Tagged)
+
+    def test_transparent_mark_respected(self):
+        rhs = Node("Foo", (transparent(Node("Bar", ())),))
+        tagged = insert_body_tags(rhs)
+        bar = tagged.term.children[0]
+        assert isinstance(bar.tag, BodyTag) and bar.tag.transparent
+
+    def test_transparent_mark_on_variable_dropped(self):
+        # !x is meaningless: the subterm is user code, not constructed.
+        rhs = Node("Foo", (transparent(PVar("x")),))
+        tagged = insert_body_tags(rhs)
+        assert tagged.term.children[0] == PVar("x")
+
+    def test_double_transparent_idempotent(self):
+        p = transparent(transparent(Node("Bar", ())))
+        assert isinstance(p, Tagged)
+        assert p.tag.transparent
+        assert not isinstance(p.term, Tagged)
+
+
+class TestInspection:
+    def test_opaque_detection(self):
+        t = Node("Foo", (Tagged(OPAQUE, Const(1)),))
+        assert has_opaque_body_tags(t)
+        assert not has_opaque_body_tags(Node("Foo", (Const(1),)))
+
+    def test_transparent_is_not_opaque(self):
+        t = Tagged(TRANSPARENT, Node("Foo", ()))
+        assert not has_opaque_body_tags(t)
+
+    def test_opaque_under_ellipsis(self):
+        t = PList((), Tagged(OPAQUE, Const(1)))
+        assert has_opaque_body_tags(t)
+
+    def test_head_detection(self):
+        t = Node("Foo", (Tagged(HeadTag(0), Const(1)),))
+        assert has_head_tags(t)
+        assert not has_head_tags(Node("Foo", ()))
+
+    def test_surface_term_definition(self):
+        # Definition 2: a surface term has no tags at all.
+        assert is_surface_term(Node("Foo", (Const(1), PList((Const(2),)))))
+        assert not is_surface_term(Tagged(TRANSPARENT, Const(1)))
+        assert not is_surface_term(
+            Node("Foo", (Tagged(HeadTag(1), Const(1)),))
+        )
+
+
+class TestHeadTagIdentity:
+    def test_head_tags_compare_by_index_and_stand_in(self):
+        assert HeadTag(1, ()) == HeadTag(1, ())
+        assert HeadTag(1) != HeadTag(2)
+        assert HeadTag(1, (("x", Const(1)),)) != HeadTag(1, (("x", Const(2)),))
+
+    def test_head_tags_hashable(self):
+        tags = {HeadTag(1), HeadTag(1), HeadTag(2)}
+        assert len(tags) == 2

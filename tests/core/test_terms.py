@@ -1,0 +1,142 @@
+"""Unit tests for the term/pattern representation."""
+
+import pytest
+
+from repro.core.errors import PatternError
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    HeadTag,
+    Node,
+    PList,
+    PVar,
+    Symbol,
+    Tagged,
+    is_atomic,
+    is_term,
+    pattern_variables,
+    strip_body_tags,
+    strip_tags,
+    subterms,
+    term_depth,
+    term_size,
+    variable_depths,
+)
+
+
+class TestConst:
+    def test_accepts_atoms(self):
+        for value in (1, 2.5, "s", True, None, Symbol("x")):
+            assert Const(value).value == value
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(PatternError):
+            Const([1, 2])
+
+    def test_bool_is_not_int(self):
+        assert Const(True) != Const(1)
+        assert Const(False) != Const(0)
+
+    def test_int_is_not_float(self):
+        assert Const(1) != Const(1.0)
+
+    def test_symbol_is_not_string(self):
+        assert Const(Symbol("x")) != Const("x")
+
+    def test_equal_consts_hash_equal(self):
+        assert hash(Const(3)) == hash(Const(3))
+        assert Const(3) == Const(3)
+
+
+class TestStructure:
+    def test_node_children_normalized_to_tuple(self):
+        n = Node("Foo", [Const(1), Const(2)])
+        assert isinstance(n.children, tuple)
+
+    def test_node_label_must_be_nonempty(self):
+        with pytest.raises(PatternError):
+            Node("", ())
+
+    def test_plist_equality(self):
+        assert PList((Const(1),)) == PList((Const(1),))
+        assert PList((Const(1),)) != PList((Const(1),), PVar("x"))
+
+    def test_tagged_requires_tag(self):
+        with pytest.raises(PatternError):
+            Tagged("not a tag", Const(1))
+
+
+class TestIsTerm:
+    def test_constants_are_terms(self):
+        assert is_term(Const(1))
+        assert is_atomic(Const(1))
+
+    def test_variables_are_not_terms(self):
+        assert not is_term(PVar("x"))
+        assert not is_term(Node("Foo", (PVar("x"),)))
+
+    def test_ellipses_are_not_terms(self):
+        assert not is_term(PList((), Const(1)))
+
+    def test_tagged_term(self):
+        assert is_term(Tagged(BodyTag(), Node("Foo", ())))
+        assert not is_term(Tagged(BodyTag(), PVar("x")))
+
+
+class TestVariables:
+    def test_pattern_variables_in_order_with_duplicates(self):
+        p = Node("Foo", (PVar("x"), PList((PVar("y"),), PVar("x"))))
+        assert pattern_variables(p) == ("x", "y", "x")
+
+    def test_variable_depths(self):
+        p = Node(
+            "Foo",
+            (
+                PVar("a"),
+                PList((), Node("Bar", (PVar("b"), PList((), PVar("c"))))),
+            ),
+        )
+        assert variable_depths(p) == {"a": 0, "b": 1, "c": 2}
+
+
+class TestStripTags:
+    def test_strip_all_tags(self):
+        t = Tagged(
+            HeadTag(0),
+            Node("Foo", (Tagged(BodyTag(), Const(1)),)),
+        )
+        assert strip_tags(t) == Node("Foo", (Const(1),))
+
+    def test_strip_transparent_only(self):
+        t = Node(
+            "Foo",
+            (
+                Tagged(BodyTag(transparent=True), Const(1)),
+                Tagged(BodyTag(transparent=False), Const(2)),
+            ),
+        )
+        stripped = strip_body_tags(t, transparent_only=True)
+        assert stripped == Node(
+            "Foo", (Const(1), Tagged(BodyTag(transparent=False), Const(2)))
+        )
+
+    def test_strip_all_body_tags(self):
+        t = Node("Foo", (Tagged(BodyTag(False), Const(2)),))
+        assert strip_body_tags(t, transparent_only=False) == Node("Foo", (Const(2),))
+
+
+class TestMetrics:
+    def test_term_size_ignores_tags(self):
+        t = Tagged(BodyTag(), Node("Foo", (Const(1), Const(2))))
+        assert term_size(t) == 3
+
+    def test_term_depth(self):
+        assert term_depth(Const(1)) == 1
+        assert term_depth(Node("Foo", (Node("Bar", (Const(1),)),))) == 3
+
+    def test_subterms_preorder(self):
+        t = Node("Foo", (Const(1), PList((Const(2),))))
+        listed = list(subterms(t))
+        assert listed[0] == t
+        assert Const(2) in listed
+        assert len(listed) == 4

@@ -1,0 +1,176 @@
+"""Unit tests for the static checks (sections 5.1.3 and 5.1.5)."""
+
+import pytest
+
+from repro.core.errors import DisjointnessError, WellFormednessError
+from repro.core.rules import Rule, RuleList
+from repro.core.terms import Const, Node, PList, PVar
+from repro.core.wellformed import (
+    DisjointnessMode,
+    check_disjointness,
+    check_rule_wellformed,
+    ellipsis_variable_sets,
+)
+
+
+def node(label, *children):
+    return Node(label, tuple(children))
+
+
+class TestCriterion1:
+    def test_rhs_variable_must_appear_in_lhs(self):
+        with pytest.raises(WellFormednessError, match="criterion 1"):
+            check_rule_wellformed(node("Foo", PVar("x")), PVar("y"))
+
+    def test_lhs_may_drop_variables(self):
+        # Rules may "forget" information (section 5.1.4).
+        check_rule_wellformed(node("Foo", PVar("x"), PVar("y")), PVar("x"))
+
+
+class TestCriterion2:
+    def test_duplicate_lhs_variable_rejected(self):
+        with pytest.raises(WellFormednessError, match="criterion 2"):
+            check_rule_wellformed(node("Foo", PVar("x"), PVar("x")), PVar("x"))
+
+    def test_duplicate_rhs_variable_rejected(self):
+        with pytest.raises(WellFormednessError, match="criterion 2"):
+            check_rule_wellformed(
+                node("Foo", PVar("x")), node("Bar", PVar("x"), PVar("x"))
+            )
+
+    def test_declared_atomic_variables_may_duplicate(self):
+        check_rule_wellformed(
+            node("Foo", PVar("x")),
+            node("Bar", PVar("x"), PVar("x")),
+            atomic_vars=("x",),
+        )
+
+
+class TestCriterion3:
+    def test_ellipsis_without_variables_rejected(self):
+        # The paper's (3 ...) example.
+        with pytest.raises(WellFormednessError, match="criterion 3"):
+            check_rule_wellformed(
+                node("Foo", PList((), Const(3))), node("Bar")
+            )
+
+    def test_rhs_ellipsis_variable_at_too_shallow_lhs_depth(self):
+        # x is at depth 0 in the LHS but under an ellipsis (depth 1) in
+        # the RHS: the repetition count is undetermined.
+        with pytest.raises(WellFormednessError, match="criterion 3"):
+            check_rule_wellformed(
+                node("Foo", PVar("x")),
+                node("Bar", PList((), PVar("x"))),
+            )
+
+    def test_matching_depths_accepted(self):
+        check_rule_wellformed(
+            node("Foo", PList((), PVar("x"))),
+            node("Bar", PList((), PVar("x"))),
+        )
+
+    def test_one_qualifying_variable_suffices(self):
+        # The LHS ellipsis contains x and y; only x reappears in the RHS
+        # (at the right depth), and that one qualifying variable is
+        # enough — y rides in the stand-in environment.
+        check_rule_wellformed(
+            node("Foo", PList((), node("Pair", PVar("x"), PVar("y")))),
+            node("Bar", PList((), PVar("x"))),
+        )
+
+    def test_shallower_on_other_side_rejected(self):
+        # x sits at depth 2 in the LHS but depth 1 in the RHS: matching
+        # the RHS in reverse binds x one level too shallow for the LHS
+        # template, so the rule must be rejected.
+        with pytest.raises(WellFormednessError, match="criterion 3"):
+            check_rule_wellformed(
+                node("Foo", PList((), PList((), PVar("x")))),
+                node("Bar", PList((), PVar("x"))),
+            )
+
+    def test_dropped_ellipsis_variable_accepted(self):
+        # An LHS ellipsis variable absent from the RHS is fine: it is
+        # carried by the stand-in environment.
+        check_rule_wellformed(
+            node("Foo", PList((), PVar("x"))), node("Bar")
+        )
+
+    def test_ellipsis_variable_sets(self):
+        p = node("Foo", PList((PVar("a"),), node("B", PVar("x"))))
+        assert ellipsis_variable_sets(p) == ((1, ("x",)),)
+
+
+class TestCriterion4:
+    def test_lhs_must_be_labeled_node(self):
+        with pytest.raises(WellFormednessError, match="criterion 4"):
+            check_rule_wellformed(PVar("x"), PVar("x"))
+        with pytest.raises(WellFormednessError, match="criterion 4"):
+            check_rule_wellformed(PList((PVar("x"),)), PVar("x"))
+
+
+class TestDisjointness:
+    max_rules = [
+        # The paper's problematic Max pair (section 5.1.5).
+        Node("Max", (PList(()),)),
+        Node("Max", (PVar("xs"),)),
+    ]
+    fixed_max_rules = [
+        Node("Max", (PList(()),)),
+        Node("Max", (PList((PVar("x"),), PVar("xs")),)),
+    ]
+
+    def test_overlapping_max_rules_rejected(self):
+        with pytest.raises(DisjointnessError):
+            check_disjointness(self.max_rules, DisjointnessMode.STRICT)
+
+    def test_fixed_max_rules_accepted(self):
+        check_disjointness(self.fixed_max_rules, DisjointnessMode.STRICT)
+
+    def test_off_mode_accepts_anything(self):
+        check_disjointness(self.max_rules, DisjointnessMode.OFF)
+
+    def test_prioritized_rejects_max(self):
+        # Max's overlap is not the subsumption pattern: Max(xs) subsumes
+        # Max([]) but the *range* of rule 2's unexpansion includes
+        # Max([]).  PRIORITIZED accepts it (subsumption holds), so the
+        # dynamic emulation check is the real guard; STRICT rejects.
+        check_disjointness(self.max_rules, DisjointnessMode.PRIORITIZED)
+        with pytest.raises(DisjointnessError):
+            check_disjointness(self.max_rules, DisjointnessMode.STRICT)
+
+    def test_prioritized_accepts_or(self):
+        or_rules = [
+            Node("Or", (PList((PVar("x"), PVar("y"))),)),
+            Node("Or", (PList((PVar("x"), PVar("y")), PVar("ys")),)),
+        ]
+        with pytest.raises(DisjointnessError):
+            check_disjointness(or_rules, DisjointnessMode.STRICT)
+        check_disjointness(or_rules, DisjointnessMode.PRIORITIZED)
+
+    def test_prioritized_rejects_non_subsuming_overlap(self):
+        rules = [
+            Node("F", (PVar("x"), Const(1))),
+            Node("F", (Const(2), PVar("y"))),
+        ]
+        with pytest.raises(DisjointnessError):
+            check_disjointness(rules, DisjointnessMode.PRIORITIZED)
+
+    def test_different_labels_are_disjoint(self):
+        check_disjointness(
+            [Node("A", (PVar("x"),)), Node("B", (PVar("x"),))],
+            DisjointnessMode.STRICT,
+        )
+
+
+class TestRuleListConstruction:
+    def test_rulelist_runs_checks(self):
+        rules = [
+            Rule(Node("Max", (PList(()),)), Node("RaiseEmpty")),
+            Rule(
+                Node("Max", (PVar("xs"),)),
+                Node("MaxAcc", (PVar("xs"), Const(float("-inf")))),
+            ),
+        ]
+        with pytest.raises(DisjointnessError):
+            RuleList(rules, DisjointnessMode.STRICT)
+        RuleList(rules, DisjointnessMode.OFF)

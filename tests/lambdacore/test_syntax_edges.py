@@ -1,0 +1,81 @@
+"""Edge cases for the lambda language's s-expression syntax."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.lambdacore import parse_program, pretty
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("()", "empty application"),
+            ("(lambda (x y) x)", "single-argument"),
+            ("(lambda x x)", "single-argument"),
+            ("(if #t 1)", "expected 3"),
+            ("(let ((x)) x)", "(name expr)"),
+            ("(let x 1)", "binding list"),
+            ("(set! 1 2)", "identifier"),
+            ("(cond (1 2 3))", "(test expr)"),
+            ("(begin)", "at least one"),
+            ("(amb)", "at least one choice"),
+            ("(f)", "needs an argument"),
+            ('(automaton a (a : ("x" => b)))', "bad arm"),
+        ],
+    )
+    def test_error_mentions_problem(self, source, fragment):
+        with pytest.raises(ParseError) as exc:
+            parse_program(source)
+        assert fragment in str(exc.value)
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_program("(+ 1 2")
+        with pytest.raises(ParseError):
+            parse_program("+ 1 2)")
+
+
+class TestShapes:
+    def test_curried_application(self):
+        term = parse_program("(f a b c)")
+        # ((f a) b) c — three nested Apps.
+        assert term.label == "App"
+        assert term.children[0].label == "App"
+
+    def test_apply_is_application(self):
+        assert parse_program("(apply f x)") == parse_program("(f x)")
+
+    def test_nil_is_a_value_form(self):
+        assert parse_program("nil").label == "Nil"
+
+    def test_prims_are_ops_not_applications(self):
+        assert parse_program("(+ 1 2)").label == "Op"
+        assert parse_program("(unknown-fn 1 2)").label == "App"
+
+    def test_shadowing_prims_is_not_possible_textually(self):
+        # (+ ...) always parses as the primitive; this is a documented
+        # simplification of the surface syntax.
+        term = parse_program("((lambda (x) (+ x 1)) 2)")
+        body = term.children[0].children[1]
+        assert body.label == "Op"
+
+    def test_multiline_sources(self):
+        term = parse_program(
+            """
+            (let ((x 1)
+                  (y 2))   ; a comment
+              (+ x y))
+            """
+        )
+        assert term.label == "Let"
+
+    def test_roundtrip_with_lists_and_while(self):
+        for source in (
+            "(list 1 (+ 1 1))",
+            "(cons 1 nil)",
+            "(while (< 0 n) (set! n (- n 1)))",
+            '(automaton a (a : ("x" -> b)) (b : accept))',
+        ):
+            term = parse_program(source)
+            assert parse_program(pretty(term)) == term

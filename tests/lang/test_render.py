@@ -1,0 +1,68 @@
+"""Unit tests for generic term rendering."""
+
+from repro.core.tags import transparent
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    HeadTag,
+    Node,
+    PList,
+    PVar,
+    Symbol,
+    Tagged,
+)
+from repro.lang.render import render
+
+
+class TestPlainRendering:
+    def test_constants(self):
+        assert render(Const(42)) == "42"
+        assert render(Const(2.5)) == "2.5"
+        assert render(Const(True)) == "true"
+        assert render(Const(False)) == "false"
+        assert render(Const(None)) == "none"
+        assert render(Const("hi")) == '"hi"'
+        assert render(Const(float("inf"))) == "infinity"
+        assert render(Const(float("-inf"))) == "-infinity"
+
+    def test_string_escaping(self):
+        assert render(Const('a"b')) == '"a\\"b"'
+        assert render(Const("a\\b")) == '"a\\\\b"'
+
+    def test_symbols_keep_their_backtick(self):
+        assert render(Const(Symbol("x"))) == "`x"
+
+    def test_variables(self):
+        assert render(PVar("xs")) == "xs"
+
+    def test_nodes_and_lists(self):
+        t = Node("Pair", (Const(1), PList((Const(2), Const(3)))))
+        assert render(t) == "Pair(1, [2, 3])"
+
+    def test_zero_arity_node(self):
+        assert render(Node("Empty", ())) == "Empty()"
+
+    def test_ellipsis(self):
+        p = PList((PVar("x"),), PVar("ys"))
+        assert render(p) == "[x, ys ...]"
+
+
+class TestTagRendering:
+    def test_head_tag(self):
+        t = Tagged(HeadTag(3), Const(1))
+        assert render(t) == "{#3: 1}"
+
+    def test_opaque_body_tag(self):
+        t = Tagged(BodyTag(False), Const(1))
+        assert render(t) == "⟨1⟩"
+
+    def test_transparent_body_tag(self):
+        t = transparent(Node("Foo", ()))
+        assert render(t) == "!⟨Foo()⟩"
+
+    def test_show_tags_false_hides_everything(self):
+        t = Tagged(
+            HeadTag(0),
+            Node("Foo", (Tagged(BodyTag(True), Const(1)),)),
+        )
+        assert render(t, show_tags=False) == "Foo(1)"

@@ -1,0 +1,157 @@
+"""Tests for the rule-definition DSL parser."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import ParseError, WellFormednessError
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    Node,
+    PList,
+    PVar,
+    Symbol,
+    Tagged,
+)
+from repro.lang.render import render
+from repro.lang.rule_parser import (
+    parse_pattern,
+    parse_rulelist,
+    parse_rules,
+    parse_term,
+)
+
+from tests.strategies import linear_patterns, terms
+
+
+class TestPatterns:
+    def test_variable(self):
+        assert parse_pattern("x") == PVar("x")
+
+    def test_zero_arity_node(self):
+        assert parse_pattern("Empty") == Node("Empty", ())
+        assert parse_pattern("Empty()") == Node("Empty", ())
+
+    def test_node_with_children(self):
+        assert parse_pattern("Pair(x, 1)") == Node("Pair", (PVar("x"), Const(1)))
+
+    def test_nested(self):
+        assert parse_pattern("If(Id(\"t\"), a, B())") == Node(
+            "If", (Node("Id", (Const("t"),)), PVar("a"), Node("B", ()))
+        )
+
+    def test_list(self):
+        assert parse_pattern("[1, x]") == PList((Const(1), PVar("x")))
+
+    def test_empty_list(self):
+        assert parse_pattern("[]") == PList(())
+
+    def test_ellipsis(self):
+        assert parse_pattern("[x, ys ...]") == PList((PVar("x"),), PVar("ys"))
+
+    def test_ellipsis_alone(self):
+        assert parse_pattern("[ys ...]") == PList((), PVar("ys"))
+
+    def test_nested_ellipsis(self):
+        p = parse_pattern("[State(n, [a ...]) ...]")
+        assert p == PList(
+            (), Node("State", (PVar("n"), PList((), PVar("a"))))
+        )
+
+    def test_constants(self):
+        assert parse_pattern("42") == Const(42)
+        assert parse_pattern("-3") == Const(-3)
+        assert parse_pattern("2.5") == Const(2.5)
+        assert parse_pattern("true") == Const(True)
+        assert parse_pattern("false") == Const(False)
+        assert parse_pattern("none") == Const(None)
+        assert parse_pattern("infinity") == Const(float("inf"))
+        assert parse_pattern("-infinity") == Const(float("-inf"))
+
+    def test_string_with_escapes(self):
+        assert parse_pattern(r'"a\"b"') == Const('a"b')
+
+    def test_symbol(self):
+        assert parse_pattern("`foo") == Const(Symbol("foo"))
+
+    def test_transparency_mark(self):
+        p = parse_pattern("!Or([x])")
+        assert isinstance(p, Tagged)
+        assert p.tag == BodyTag(transparent=True)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pattern("x y")
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pattern("Foo(x")
+
+    def test_comments_skipped(self):
+        rules = parse_rules(
+            """
+            # binary or
+            Or([x, y]) -> Pair(x, y);  // trailing comment
+            """
+        )
+        assert len(rules) == 1
+
+
+class TestTerms:
+    def test_parse_term_accepts_ground(self):
+        assert parse_term("Pair(1, [2])") == Node(
+            "Pair", (Const(1), PList((Const(2),)))
+        )
+
+    def test_parse_term_rejects_variables(self):
+        with pytest.raises(ParseError):
+            parse_term("Pair(x, 1)")
+
+    def test_parse_term_rejects_ellipses(self):
+        with pytest.raises(ParseError):
+            parse_term("Pair([1 ...], 2)")
+
+
+class TestRules:
+    def test_rule_with_arrow_and_semicolon(self):
+        rules = parse_rules('Not(x) -> If(x, False_(), True_());')
+        assert len(rules) == 1
+        assert rules[0].label == "Not"
+
+    def test_multiple_rules(self):
+        rules = parse_rules(
+            """
+            A(x) -> B(x);
+            C(x) -> D(x);
+            """
+        )
+        assert [r.label for r in rules] == ["A", "C"]
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_rules("A(x) -> B(x)")
+
+    def test_illformed_rule_rejected_at_parse(self):
+        with pytest.raises(WellFormednessError):
+            parse_rules("A(x) -> B(y);")
+
+    def test_parse_rulelist_runs_disjointness(self):
+        from repro.core.errors import DisjointnessError
+        from repro.core.wellformed import DisjointnessMode
+
+        src = """
+        Max([]) -> Raise("empty");
+        Max(xs) -> MaxAcc(xs, -infinity);
+        """
+        with pytest.raises(DisjointnessError):
+            parse_rulelist(src, DisjointnessMode.STRICT)
+
+
+class TestRenderRoundTrip:
+    @given(linear_patterns())
+    def test_patterns_roundtrip(self, pattern):
+        assert parse_pattern(render(pattern)) == pattern
+
+    @given(terms(max_leaves=10))
+    def test_terms_roundtrip(self, term):
+        assert parse_term(render(term)) == term

@@ -1,0 +1,133 @@
+"""Tests for the datatype extension (beyond the paper).
+
+Figure 5 marks ``datatype`` as not expressible; the paper suggests it
+"could be expressed by adding a block construct that does not introduce
+a new scope".  Our store-based ``DefRec`` is such a construct, and
+``make_pyret_rules(with_datatype=True)`` enables the sugar.
+"""
+
+import pytest
+
+from repro.confection import Confection
+from repro.core.errors import ParseError
+from repro.pyretcore import make_stepper, parse_program, pretty
+from repro.sugars.pyret_sugars import make_pyret_rules
+
+SHAPES = """
+datatype Shape:
+  | circle(r)
+  | square(s)
+end
+{body}
+"""
+
+
+@pytest.fixture(scope="module")
+def conf():
+    return Confection(make_pyret_rules(with_datatype=True), make_stepper())
+
+
+def run(conf, body):
+    program = parse_program(SHAPES.replace("{body}", body))
+    result = conf.lift(program)
+    return [pretty(t) for t in result.surface_sequence], result
+
+
+class TestParsing:
+    def test_datatype_structure(self):
+        term = parse_program(SHAPES.replace("{body}", "1"))
+        assert term.label == "Datatype"
+        assert [v.children[0].value for v in term.children[1].items] == [
+            "circle",
+            "square",
+        ]
+
+    def test_pretty_roundtrip(self):
+        term = parse_program(SHAPES.replace("{body}", "circle(1)"))
+        assert parse_program(pretty(term)) == term
+
+    def test_empty_datatype_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("datatype Void: end 1")
+
+    def test_datatype_must_scope_over_something(self):
+        with pytest.raises(ParseError):
+            parse_program("datatype Shape: | circle(r) end")
+
+
+class TestEvaluation:
+    def test_constructors_build_data_values(self, conf):
+        shown, _ = run(conf, "circle(5)")
+        assert shown[-1] == "circle(5)"
+
+    def test_zero_field_variants(self, conf):
+        program = parse_program(
+            "datatype Light: | red() | green() end green()"
+        )
+        result = conf.lift(program)
+        assert pretty(result.surface_sequence[-1]) == "green()"
+
+    def test_cases_dispatches_on_datatype(self, conf):
+        shown, _ = run(
+            conf,
+            "cases(Shape) circle(5): "
+            "| circle(r) => r | square(s) => 0 end",
+        )
+        assert shown[-1] == "5"
+
+    def test_cases_else_on_datatype(self, conf):
+        shown, _ = run(
+            conf,
+            "cases(Shape) square(3): | circle(r) => r | else => 99 end",
+        )
+        assert shown[-1] == "99"
+
+    def test_area_example_trace(self, conf):
+        shown, result = run(
+            conf,
+            "fun area(shape): cases(Shape) shape: "
+            "| circle(r) => 3 * (r * r) | square(s) => s * s end end "
+            "area(circle(5)) + area(square(2))",
+        )
+        assert shown[-1] == "79"
+        assert "area(circle(5)) + area(square(2))" in shown
+        # The constructor functions and _match dispatch stay hidden.
+        assert not any("_match" in s or "%temp" in s for s in shown)
+        assert result.skipped_count > result.shown_count
+
+    def test_recursive_datatype(self, conf):
+        shown, _ = run(
+            conf,
+            """
+            fun depth(t):
+              cases(Shape) t:
+                | circle(r) => 1
+                | square(s) => 1 + depth(s)
+              end
+            end
+            depth(square(square(circle(0))))
+            """,
+        )
+        assert shown[-1] == "3"
+
+    def test_arity_mismatch_is_stuck(self, conf):
+        from repro.core.errors import StuckError
+        from repro.pyretcore import make_semantics
+
+        sem = make_semantics()
+        core = conf.desugar(
+            parse_program(SHAPES.replace("{body}", "circle(1, 2)"))
+        )
+        with pytest.raises(StuckError):
+            sem.normal_form(core)
+
+
+class TestFaithfulModeStillRejects:
+    def test_default_rules_do_not_include_datatype(self):
+        conf = Confection(make_pyret_rules(), make_stepper())
+        # Without the extension, the Datatype node is no rule's LHS: the
+        # core gets stuck on the unexpanded surface node.
+        program = parse_program(SHAPES.replace("{body}", "1"))
+        result = conf.lift(program)
+        last = pretty(result.surface_sequence[-1])
+        assert last != "1"  # never reached the body

@@ -1,0 +1,109 @@
+"""Parser edge cases and error reporting for the Pyret-subset syntax."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.pyretcore import parse_program, pretty
+
+
+class TestErrorMessages:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("", "empty block"),
+            ("fun f(x): x end", "ends its block"),
+            ("fun f(x) x end 1", "expected ':'"),
+            ("fun f(x): x 1", "expected 'end'"),
+            ("cases(List) x: | => 1 end", "constructor"),
+            ("_ + _", "at most one operand"),
+            ("{x 1}", "expected ':'"),
+            ("1 +", "unexpected"),
+            ("datatype D: end 1", "at least one variant"),
+        ],
+    )
+    def test_message_mentions_problem(self, source, fragment):
+        with pytest.raises(ParseError) as exc:
+            parse_program(source)
+        assert fragment in str(exc.value)
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_program("1\n2\nfun f(x) x end")
+
+
+class TestNesting:
+    def test_cases_inside_cases(self):
+        source = (
+            "cases(List) [1]: "
+            "| empty() => 0 "
+            "| link(f, r) => cases(List) r: | empty() => f "
+            "| link(g, s) => g end end"
+        )
+        term = parse_program(source)
+        assert parse_program(pretty(term)) == term
+
+    def test_fun_inside_obj_field(self):
+        term = parse_program('{"f": fun(x): x end}')
+        assert parse_program(pretty(term)) == term
+
+    def test_deeply_nested_parens(self):
+        term = parse_program("(((((1)))))")
+        assert pretty(term) == "(((((1)))))"
+
+    def test_if_inside_operator(self):
+        term = parse_program("(if true: 1 else: 2 end) + 3")
+        assert parse_program(pretty(term)) == term
+
+    def test_chained_postfix(self):
+        term = parse_program('{"a": {"b": 7}}.a.b')
+        assert parse_program(pretty(term)) == term
+
+    def test_bracket_with_expression_key(self):
+        term = parse_program('o.["a" + "b"]')
+        assert parse_program(pretty(term)) == term
+
+
+class TestStatementForms:
+    def test_multiple_let_statements(self):
+        term = parse_program("x = 1 y = x + 1 x + y")
+        assert term.label == "LetDecl"
+
+    def test_equality_not_confused_with_binding(self):
+        # `x == 1` is a comparison, not a binding.
+        term = parse_program("x == 1")
+        assert term.label == "Op"
+
+    def test_block_keyword(self):
+        term = parse_program("block: 1 2 end")
+        assert term.label == "Block"
+
+    def test_comments_ignored(self):
+        term = parse_program("# a comment\n1 + 2 # trailing\n")
+        assert term.label == "Op"
+
+    def test_mixed_declarations_scope_in_order(self):
+        source = """
+        fun double(n): n * 2 end
+        x = double(4)
+        datatype Box: | box(v) end
+        cases(Box) box(x): | box(v) => v end
+        """
+        term = parse_program(source)
+        assert term.label == "FunDecl"
+
+
+class TestLexical:
+    def test_names_with_hyphens(self):
+        term = parse_program("is-empty(1)")
+        assert pretty(term) == "is-empty(1)"
+
+    def test_float_literals(self):
+        assert pretty(parse_program("2.5")) == "2.5"
+
+    def test_string_escapes(self):
+        term = parse_program(r'"say \"hi\""')
+        assert parse_program(pretty(term)) == term
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_program("1 ~ 2")

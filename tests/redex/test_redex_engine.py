@@ -1,0 +1,258 @@
+"""Tests for the mini reduction-semantics engine, using a small
+arithmetic/boolean language and a store-based counter language."""
+
+import pytest
+
+from repro.core.errors import StuckError
+from repro.core.terms import BodyTag, Const, HeadTag, Node, PList, PVar, Tagged
+from repro.redex import (
+    AtomPred,
+    EvalStrategy,
+    Grammar,
+    MachineState,
+    NTRef,
+    RedexStepper,
+    ReductionRule,
+    ReductionSemantics,
+    redex_match,
+)
+
+
+def num(n):
+    return Const(n)
+
+
+def add(a, b):
+    return Node("Add", (a, b))
+
+
+def iff(c, t, e):
+    return Node("If", (c, t, e))
+
+
+@pytest.fixture
+def arith():
+    grammar = Grammar()
+    grammar.define("v", AtomPred("number"), AtomPred("boolean"))
+    grammar.define(
+        "e",
+        NTRef("v"),
+        Node("Add", (NTRef("e"), NTRef("e"))),
+        Node("If", (NTRef("e"), NTRef("e"), NTRef("e"))),
+        Node("Amb", (NTRef("e"), NTRef("e"))),
+    )
+    strategy = (
+        EvalStrategy()
+        .congruence("Add", 0, 1)
+        .congruence("If", 0)
+        .congruence("Amb")  # no positions: immediate redex
+    )
+    rules = [
+        ReductionRule(
+            "add",
+            Node("Add", (AtomPred("number", "a"), AtomPred("number", "b"))),
+            lambda env, store: Const(env["a"].value + env["b"].value),
+        ),
+        ReductionRule(
+            "if-true", Node("If", (Const(True), PVar("t"), PVar("e"))), PVar("t")
+        ),
+        ReductionRule(
+            "if-false", Node("If", (Const(False), PVar("t"), PVar("e"))), PVar("e")
+        ),
+        ReductionRule(
+            "amb",
+            Node("Amb", (PVar("a"), PVar("b"))),
+            lambda env, store: [env["a"], env["b"]],
+        ),
+    ]
+    return ReductionSemantics(grammar, strategy, rules, name="arith")
+
+
+class TestGrammar:
+    def test_value_recognition(self, arith):
+        assert arith.is_value(num(3))
+        assert arith.is_value(Const(True))
+        assert not arith.is_value(add(num(1), num(2)))
+
+    def test_values_see_through_tags(self, arith):
+        assert arith.is_value(Tagged(BodyTag(), num(3)))
+
+    def test_expression_nonterminal(self, arith):
+        assert arith.grammar.matches(add(num(1), iff(Const(True), num(2), num(3))), "e")
+        assert not arith.grammar.matches(Node("Junk", ()), "e")
+
+    def test_memoization_is_safe_after_redefinition(self):
+        g = Grammar()
+        g.define("v", AtomPred("number"))
+        assert not g.matches(Const("s"), "v")
+        g.define("v", AtomPred("string"))
+        assert g.matches(Const("s"), "v")
+
+    def test_cyclic_nonterminals_terminate(self):
+        g = Grammar()
+        g.define("a", NTRef("b"))
+        g.define("b", NTRef("a"), AtomPred("number"))
+        assert g.matches(Const(1), "a")
+        assert not g.matches(Const("x"), "a")
+
+
+class TestRedexMatch:
+    def test_ntref_binds(self, arith):
+        env = redex_match(
+            add(num(1), num(2)),
+            Node("Add", (NTRef("v", "x"), NTRef("v", "y"))),
+            arith.grammar,
+        )
+        assert env == {"x": num(1), "y": num(2)}
+
+    def test_ntref_rejects_nonmember(self, arith):
+        assert (
+            redex_match(
+                add(add(num(1), num(2)), num(3)),
+                Node("Add", (NTRef("v", "x"), PVar("y"))),
+                arith.grammar,
+            )
+            is None
+        )
+
+    def test_atompred_binds_bare_constant(self, arith):
+        env = redex_match(
+            Tagged(BodyTag(), num(7)), AtomPred("number", "n"), arith.grammar
+        )
+        assert env == {"n": num(7)}
+
+    def test_tags_transparent_in_structure(self, arith):
+        t = Tagged(HeadTag(0), add(Tagged(BodyTag(), num(1)), num(2)))
+        env = redex_match(
+            t, Node("Add", (AtomPred("number", "a"), PVar("b"))), arith.grammar
+        )
+        assert env == {"a": num(1), "b": num(2)}
+
+
+class TestStepping:
+    def test_single_step(self, arith):
+        (s,) = arith.step(MachineState(add(num(1), num(2))))
+        assert s.term == num(3)
+
+    def test_leftmost_innermost_order(self, arith):
+        t = add(add(num(1), num(2)), add(num(3), num(4)))
+        (s,) = arith.step(MachineState(t))
+        assert s.term == add(num(3), add(num(3), num(4)))
+
+    def test_right_operand_waits_for_left(self, arith):
+        t = add(num(1), add(num(2), num(3)))
+        (s,) = arith.step(MachineState(t))
+        assert s.term == add(num(1), num(5))
+
+    def test_if_does_not_evaluate_branches(self, arith):
+        t = iff(Const(True), num(1), add(num(2), num(3)))
+        (s,) = arith.step(MachineState(t))
+        assert s.term == num(1)
+
+    def test_value_has_no_successors(self, arith):
+        assert arith.step(MachineState(num(42))) == []
+
+    def test_stuck_term_raises(self, arith):
+        with pytest.raises(StuckError):
+            arith.step(MachineState(add(num(1), Const(True))))
+
+    def test_trace(self, arith):
+        states = arith.trace(add(add(num(1), num(2)), num(4)))
+        assert [s.term for s in states] == [
+            add(add(num(1), num(2)), num(4)),
+            add(num(3), num(4)),
+            num(7),
+        ]
+
+    def test_normal_form(self, arith):
+        assert arith.normal_form(
+            iff(Const(False), num(0), add(num(2), num(3)))
+        ) == num(5)
+
+    def test_nondeterministic_trace_tree(self, arith):
+        t = Node("Amb", (num(1), add(num(1), num(1))))
+        states, edges = arith.trace_tree(t)
+        terms = [s.term for s in states]
+        assert num(1) in terms and num(2) in terms
+        assert len(edges) == 3  # root->1, root->Add, Add->2
+
+    def test_trace_rejects_nondeterminism(self, arith):
+        with pytest.raises(StuckError, match="nondeterministic"):
+            arith.trace(Node("Amb", (num(1), num(2))))
+
+
+class TestTagsThroughReduction:
+    def test_context_tags_preserved(self, arith):
+        # A tag above the redex survives the step.
+        tag = BodyTag()
+        t = Tagged(tag, add(add(num(1), num(2)), num(4)))
+        (s,) = arith.step(MachineState(t))
+        assert s.term == Tagged(tag, add(num(3), num(4)))
+
+    def test_redex_tags_consumed(self, arith):
+        # A tag on the redex itself disappears with it.
+        t = Tagged(BodyTag(), add(num(1), num(2)))
+        (s,) = arith.step(MachineState(t))
+        assert s.term == num(3)
+
+    def test_captured_subterm_tags_survive(self, arith):
+        # if-true returns its captured branch, tags intact.
+        branch = Tagged(BodyTag(), num(1))
+        t = iff(Const(True), branch, num(0))
+        (s,) = arith.step(MachineState(t))
+        assert s.term == branch
+
+    def test_tagged_operands_reduce(self, arith):
+        t = add(Tagged(BodyTag(), num(1)), num(2))
+        (s,) = arith.step(MachineState(t))
+        assert s.term == num(3)
+
+
+class TestStore:
+    @pytest.fixture
+    def counter(self):
+        grammar = Grammar()
+        grammar.define("v", AtomPred("number"))
+        rules = [
+            ReductionRule(
+                "incr",
+                Node("Incr", ()),
+                lambda env, store: (
+                    Const(store.get("n", 0) + 1),
+                    __import__("types").MappingProxyType(
+                        {**store, "n": store.get("n", 0) + 1}
+                    ),
+                ),
+            ),
+            ReductionRule(
+                "pair",
+                Node("Pair", (AtomPred("number", "a"), AtomPred("number", "b"))),
+                lambda env, store: PList((env["a"], env["b"])),
+            ),
+        ]
+        strategy = EvalStrategy().congruence("Pair", 0, 1)
+        grammar.define("v", PList((), NTRef("v")))
+        return ReductionSemantics(grammar, strategy, rules, name="counter")
+
+    def test_store_threads_through_steps(self, counter):
+        t = Node("Pair", (Node("Incr", ()), Node("Incr", ())))
+        states = counter.trace(t)
+        assert states[-1].term == PList((Const(1), Const(2)))
+        assert states[-1].store["n"] == 2
+
+
+class TestStepperAdapter:
+    def test_halts_on_stuck_by_default(self, arith):
+        stepper = RedexStepper(arith)
+        state = stepper.load(add(num(1), Const(True)))
+        assert stepper.step(state) == []
+
+    def test_raise_mode(self, arith):
+        stepper = RedexStepper(arith, on_stuck="raise")
+        with pytest.raises(StuckError):
+            stepper.step(stepper.load(add(num(1), Const(True))))
+
+    def test_term_extraction(self, arith):
+        stepper = RedexStepper(arith)
+        state = stepper.load(num(1))
+        assert stepper.term(state) == num(1)

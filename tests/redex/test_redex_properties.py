@@ -1,0 +1,169 @@
+"""Property-based tests for the reduction-semantics engine.
+
+Invariants:
+* decompose/plug is the identity: plugging the redex back into its
+  context reproduces the original term;
+* evaluation of random arithmetic terms agrees with a reference
+  evaluator;
+* tags never change *what* a term evaluates to, only what resugaring
+  sees.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.terms import BodyTag, Const, Node, Pattern, PVar, Tagged
+from repro.redex import (
+    AtomPred,
+    EvalStrategy,
+    Grammar,
+    MachineState,
+    NTRef,
+    ReductionRule,
+    ReductionSemantics,
+)
+
+
+def make_arith():
+    grammar = Grammar()
+    grammar.define("v", AtomPred("number"), AtomPred("boolean"))
+    strategy = (
+        EvalStrategy()
+        .congruence("Add", 0, 1)
+        .congruence("Mul", 0, 1)
+        .congruence("If", 0)
+        .congruence("Less", 0, 1)
+    )
+    rules = [
+        ReductionRule(
+            "add",
+            Node("Add", (AtomPred("number", "a"), AtomPred("number", "b"))),
+            lambda env, store: Const(env["a"].value + env["b"].value),
+        ),
+        ReductionRule(
+            "mul",
+            Node("Mul", (AtomPred("number", "a"), AtomPred("number", "b"))),
+            lambda env, store: Const(env["a"].value * env["b"].value),
+        ),
+        ReductionRule(
+            "less",
+            Node("Less", (AtomPred("number", "a"), AtomPred("number", "b"))),
+            lambda env, store: Const(env["a"].value < env["b"].value),
+        ),
+        ReductionRule(
+            "if-true", Node("If", (Const(True), PVar("t"), PVar("e"))), PVar("t")
+        ),
+        ReductionRule(
+            "if-false", Node("If", (Const(False), PVar("t"), PVar("e"))), PVar("e")
+        ),
+    ]
+    return ReductionSemantics(grammar, strategy, rules, name="arith-prop")
+
+
+ARITH = make_arith()
+
+
+def arith_terms():
+    numbers = st.integers(min_value=-20, max_value=20).map(Const)
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda a, b: Node("Add", (a, b)), children, children),
+            st.builds(lambda a, b: Node("Mul", (a, b)), children, children),
+            st.builds(
+                lambda a, b, t, e: Node(
+                    "If", (Node("Less", (a, b)), t, e)
+                ),
+                children, children, children, children,
+            ),
+        )
+
+    return st.recursive(numbers, extend, max_leaves=12)
+
+
+def reference_eval(t: Pattern):
+    while isinstance(t, Tagged):
+        t = t.term
+    if isinstance(t, Const):
+        return t.value
+    assert isinstance(t, Node)
+    if t.label == "Add":
+        return reference_eval(t.children[0]) + reference_eval(t.children[1])
+    if t.label == "Mul":
+        return reference_eval(t.children[0]) * reference_eval(t.children[1])
+    if t.label == "Less":
+        return reference_eval(t.children[0]) < reference_eval(t.children[1])
+    if t.label == "If":
+        if reference_eval(t.children[0]):
+            return reference_eval(t.children[1])
+        return reference_eval(t.children[2])
+    raise AssertionError(t.label)
+
+
+def sprinkle_tags(t: Pattern, salt: int) -> Pattern:
+    """Deterministically wrap some subterms in body tags."""
+    if isinstance(t, Node):
+        children = tuple(
+            sprinkle_tags(c, salt + i + 1) for i, c in enumerate(t.children)
+        )
+        rebuilt = Node(t.label, children)
+        if salt % 3 == 0:
+            return Tagged(BodyTag(salt % 2 == 0), rebuilt)
+        return rebuilt
+    if isinstance(t, Const) and salt % 5 == 0:
+        return Tagged(BodyTag(), t)
+    return t
+
+
+class TestDecomposePlug:
+    @given(arith_terms())
+    def test_plugging_redex_back_is_identity(self, term):
+        decomposition = ARITH.strategy.decompose(term, ARITH.is_value)
+        if decomposition is None:
+            assert ARITH.is_value(term)
+            return
+        assert decomposition.plug(decomposition.redex) == term
+
+    @given(arith_terms())
+    def test_values_do_not_decompose(self, term):
+        if ARITH.is_value(term):
+            assert ARITH.strategy.decompose(term, ARITH.is_value) is None
+
+    @given(arith_terms().map(lambda t: sprinkle_tags(t, 1)))
+    def test_plug_identity_with_tags(self, term):
+        decomposition = ARITH.strategy.decompose(term, ARITH.is_value)
+        if decomposition is not None:
+            assert decomposition.plug(decomposition.redex) == term
+
+
+class TestEvaluationAgreement:
+    @given(arith_terms())
+    def test_normal_form_matches_reference(self, term):
+        expected = reference_eval(term)
+        result = ARITH.normal_form(term)
+        assert isinstance(result, Const)
+        assert result.value == expected
+
+    @given(arith_terms().map(lambda t: sprinkle_tags(t, 1)))
+    def test_tags_do_not_change_results(self, term):
+        from repro.core.terms import strip_tags
+
+        expected = reference_eval(strip_tags(term))
+        result = ARITH.normal_form(term)
+        while isinstance(result, Tagged):
+            result = result.term
+        assert result.value == expected
+
+    @given(arith_terms())
+    def test_trace_is_connected(self, term):
+        states = ARITH.trace(term)
+        for before, after in zip(states, states[1:]):
+            successors = ARITH.step(before)
+            assert [after] == successors
+
+    @given(arith_terms())
+    def test_step_count_bounded_by_node_count(self, term):
+        from repro.core.terms import term_size
+
+        states = ARITH.trace(term)
+        # Each step consumes at least one redex node.
+        assert len(states) <= term_size(term) + 1

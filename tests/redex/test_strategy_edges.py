@@ -1,0 +1,108 @@
+"""Edge cases for evaluation strategies and grammars."""
+
+import pytest
+
+from repro.core.errors import LanguageError
+from repro.core.terms import BodyTag, Const, Node, PList, PVar, Tagged
+from repro.redex import (
+    AtomPred,
+    EvalStrategy,
+    Grammar,
+    MachineState,
+    ReductionRule,
+    ReductionSemantics,
+)
+
+
+def is_num(t):
+    while isinstance(t, Tagged):
+        t = t.term
+    return isinstance(t, Const)
+
+
+class TestPositions:
+    def test_out_of_range_position_raises(self):
+        strategy = EvalStrategy().congruence("Foo", 5)
+        with pytest.raises(LanguageError, match="out of range"):
+            strategy.decompose(Node("Foo", (Const(1),)), is_num)
+
+    def test_unknown_position_kind_raises(self):
+        strategy = EvalStrategy().congruence("Foo", ("sideways", 0))
+        with pytest.raises(LanguageError, match="unknown evaluation position"):
+            strategy.decompose(Node("Foo", (Node("Bar", ()),)), is_num)
+
+    def test_undeclared_label_is_immediate_redex(self):
+        strategy = EvalStrategy()
+        d = strategy.decompose(Node("Mystery", (Node("Inner", ()),)), is_num)
+        assert d.redex == Node("Mystery", (Node("Inner", ()),))
+
+    def test_nth_with_min_len_skips_short_lists(self):
+        strategy = EvalStrategy().congruence("Seq", ("nth", 0, 0, 2))
+        term = Node("Seq", (PList((Node("Work", ()),)),))
+        d = strategy.decompose(term, is_num)
+        # One element: the Seq itself is the redex, not the element.
+        assert d.redex == term
+
+    def test_list_child_skips_non_matching_elements(self):
+        strategy = EvalStrategy().congruence("Obj", ("list_child", 0, 1))
+        field = Node("Field", (Const("a"), Node("Work", ())))
+        term = Node("Obj", (PList((Const(7), field)),))
+        d = strategy.decompose(term, is_num)
+        assert d.redex == Node("Work", ())
+        rebuilt = d.plug(Const(9))
+        assert rebuilt == Node(
+            "Obj", (PList((Const(7), Node("Field", (Const("a"), Const(9))))),)
+        )
+
+    def test_list_child_on_non_list_is_no_position(self):
+        strategy = EvalStrategy().congruence("Obj", ("list_child", 0, 1))
+        term = Node("Obj", (Const(1),))
+        d = strategy.decompose(term, is_num)
+        assert d.redex == term
+
+
+class TestRuleApplication:
+    def test_control_rule_requires_callable_rhs(self):
+        from repro.core.errors import StuckError
+
+        rule = ReductionRule("bad", Node("Foo", ()), PVar("x"), control=True)
+        with pytest.raises(StuckError, match="callable"):
+            rule.apply({}, {}, plug=lambda t: t)
+
+    def test_rule_order_respected(self):
+        grammar = Grammar()
+        grammar.define("v", AtomPred("number"))
+        rules = [
+            ReductionRule("first", Node("Foo", ()), Const(1)),
+            ReductionRule("second", Node("Foo", ()), Const(2)),
+        ]
+        sem = ReductionSemantics(grammar, EvalStrategy(), rules)
+        (s,) = sem.step(MachineState(Node("Foo", ())))
+        assert s.term == Const(1)
+
+    def test_preserve_redex_tags(self):
+        grammar = Grammar()
+        grammar.define("v", AtomPred("number"))
+        rules = [
+            ReductionRule(
+                "tick",
+                Node("Box", (AtomPred("number", "n"),)),
+                lambda env, store: Node("Box2", (env["n"],)),
+                preserve_redex_tags=True,
+            ),
+        ]
+        sem = ReductionSemantics(grammar, EvalStrategy(), rules)
+        tag = BodyTag()
+        (s,) = sem.step(MachineState(Tagged(tag, Node("Box", (Const(1),)))))
+        assert s.term == Tagged(tag, Node("Box2", (Const(1),)))
+
+
+class TestGrammarErrors:
+    def test_empty_nonterminal_rejected(self):
+        with pytest.raises(LanguageError, match=">= 1 production"):
+            Grammar().define("v")
+
+    def test_undefined_nonterminal_raises(self):
+        g = Grammar()
+        with pytest.raises(LanguageError, match="undefined"):
+            g.matches(Const(1), "ghost")

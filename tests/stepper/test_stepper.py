@@ -1,0 +1,158 @@
+"""Tests for the section 7 stepper machinery: big-step evaluation,
+A-normalization, and shadow-stack instrumentation."""
+
+import pytest
+
+from repro.core.errors import StuckError
+from repro.lambdacore import parse_program, pretty
+from repro.stepper import (
+    InstrumentedEvaluator,
+    anf,
+    evaluate,
+    is_anf,
+    measure_overhead,
+)
+
+
+def ev(source):
+    return evaluate(parse_program(source))
+
+
+class TestBigStep:
+    def test_arithmetic(self):
+        assert ev("(+ 1 (* 2 3))") == 7
+
+    def test_closures(self):
+        assert ev("((lambda (x) (+ x 1)) 41)") == 42
+
+    def test_higher_order(self):
+        assert ev("(((lambda (f) (lambda (x) (f (f x)))) (lambda (y) (* y 2))) 3)") == 12
+
+    def test_if(self):
+        assert ev("(if (< 1 2) 10 20)") == 10
+
+    def test_seq(self):
+        assert ev("(begin 1 2 3)") == 3
+
+    def test_strings(self):
+        assert ev('(rest "abc")') == "bc"
+
+    def test_unbound_variable(self):
+        with pytest.raises(StuckError):
+            ev("mystery")
+
+    def test_apply_non_function(self):
+        with pytest.raises(StuckError):
+            ev("(1 2)")
+
+    def test_recursion_via_self_application(self):
+        # Z-combinator-free recursion through self-application.
+        source = """
+        (((lambda (f) (lambda (n) ((f f) n)))
+          (lambda (self)
+            (lambda (n) (if (zero? n) 1 (* n ((self self) (- n 1)))))))
+         5)
+        """
+        assert ev(source) == 120
+
+    def test_hook_counts_steps(self):
+        count = [0]
+        evaluate(parse_program("(+ 1 2)"), hook=lambda: count.__setitem__(0, count[0] + 1))
+        assert count[0] > 1
+
+
+class TestANF:
+    def test_trivial_terms_unchanged(self):
+        for source in ("1", "x", "(lambda (x) x)"):
+            term = parse_program(source)
+            assert anf(term) == term or is_anf(anf(term))
+
+    def test_nested_application_is_named(self):
+        out = anf(parse_program("(f (g 1))"))
+        assert is_anf(out)
+        assert "%anf" in pretty(out)
+
+    def test_nested_ops_are_named(self):
+        out = anf(parse_program("(+ 1 (* 2 3))"))
+        assert is_anf(out)
+
+    def test_if_test_is_named(self):
+        out = anf(parse_program("(if (< (+ 1 1) 3) 1 2)"))
+        assert is_anf(out)
+
+    def test_already_anf_is_stable(self):
+        term = parse_program("(f x)")
+        assert anf(term) == term
+
+    def test_anf_preserves_meaning(self):
+        # Evaluate the original and the A-normalized term; same value.
+        # ANF introduces Let sugar, so desugar the result first.
+        from repro.confection import Confection
+        from repro.lambdacore import make_semantics
+        from repro.sugars.scheme_sugars import make_scheme_rules
+
+        conf = Confection(make_scheme_rules())
+        sem = make_semantics()
+        for source in (
+            "(+ 1 (* 2 3))",
+            "((lambda (x) (+ x 1)) (+ 20 21))",
+            "(if (< (+ 1 1) 3) (+ 1 9) 2)",
+        ):
+            original = sem.normal_form(conf.desugar(parse_program(source)))
+            normalized = sem.normal_form(conf.desugar(anf(parse_program(source))))
+            assert original == normalized
+
+    def test_deep_nesting(self):
+        source = "(+ 1 (+ 2 (+ 3 (+ 4 (+ 5 6)))))"
+        out = anf(parse_program(source))
+        assert is_anf(out)
+
+
+FIB = """
+(((lambda (f) (lambda (n) ((f f) n)))
+  (lambda (self)
+    (lambda (n)
+      (if (< n 2) n (+ ((self self) (- n 1)) ((self self) (- n 2)))))))
+ 10)
+"""
+
+
+class TestInstrumentation:
+    def test_instrumented_agrees_with_plain(self):
+        term = parse_program(FIB)
+        assert InstrumentedEvaluator().evaluate(term) == evaluate(term)
+
+    def test_step_count_positive(self):
+        inst = InstrumentedEvaluator()
+        inst.evaluate(parse_program("(+ 1 (* 2 3))"))
+        assert inst.steps > 3
+
+    def test_stack_depth_tracks_nesting(self):
+        shallow = InstrumentedEvaluator()
+        shallow.evaluate(parse_program("(+ 1 2)"))
+        deep = InstrumentedEvaluator()
+        deep.evaluate(parse_program(FIB))
+        assert deep.stack.max_depth > shallow.stack.max_depth
+
+    def test_continuation_reconstruction(self):
+        seen = []
+        inst = InstrumentedEvaluator(on_step=seen.append)
+        inst.evaluate(parse_program("(+ 1 (* 2 3))"))
+        # The first pause sees the whole program as the continuation.
+        assert pretty(seen[0]) == "(+ 1 (* 2 3))"
+        # Some later pause focuses inside the multiplication.
+        assert any("(* 2 3)" in pretty(t) for t in seen)
+
+    def test_reconstruction_has_no_holes_at_root_focus(self):
+        seen = []
+        inst = InstrumentedEvaluator(on_step=seen.append)
+        inst.evaluate(parse_program("((lambda (x) x) 5)"))
+        assert all("<hole>" not in pretty(t) for t in seen)
+
+    def test_overhead_report_shape(self):
+        report = measure_overhead("fib(10)", parse_program(FIB), repetitions=2)
+        assert report.steps > 100
+        assert report.plain_seconds > 0
+        # Instrumentation costs more than nothing; the magnitude is
+        # asserted (loosely) in the benchmark, not here.
+        assert report.full_seconds >= report.stack_only_seconds * 0.5

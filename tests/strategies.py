@@ -1,0 +1,183 @@
+"""Hypothesis strategies for terms, patterns, and well-formed rules.
+
+These power the property-based tests that stand in for the paper's Coq
+development: matching/substitution correctness, unification correctness,
+the lens laws, and the desugar/resugar inverse theorems.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.rules import Rule, RuleList
+from repro.core.terms import Const, Node, Pattern, PList, PVar, Symbol
+from repro.core.wellformed import DisjointnessMode
+
+LABELS = ["Foo", "Bar", "Baz", "Pair", "Triple", "Wrap"]
+VAR_NAMES = ["a", "b", "c", "d", "e", "f", "g", "h"]
+
+atoms = st.one_of(
+    st.integers(min_value=-100, max_value=100),
+    st.booleans(),
+    st.sampled_from(["s", "t", "hello"]),
+    st.sampled_from([Symbol("x"), Symbol("y"), Symbol("z")]),
+)
+
+consts = atoms.map(Const)
+
+
+def terms(max_leaves: int = 12) -> st.SearchStrategy[Pattern]:
+    """Random tag-free terms."""
+    return st.recursive(
+        consts,
+        lambda children: st.one_of(
+            st.builds(
+                Node,
+                st.sampled_from(LABELS),
+                st.lists(children, min_size=0, max_size=3).map(tuple),
+            ),
+            st.lists(children, min_size=0, max_size=3).map(
+                lambda items: PList(tuple(items))
+            ),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def _linear_patterns(var_pool: list[str], allow_ellipsis: bool):
+    """Build a strategy for linear patterns drawing variables from a
+    shared mutable pool (each draw consumes a name)."""
+
+    def fresh_var(_):
+        if var_pool:
+            return PVar(var_pool.pop())
+        return Const(0)
+
+    base = st.one_of(consts, st.integers(0, 0).map(fresh_var))
+
+    def extend(children):
+        options = [
+            st.builds(
+                Node,
+                st.sampled_from(LABELS),
+                st.lists(children, min_size=0, max_size=3).map(tuple),
+            ),
+            st.lists(children, min_size=0, max_size=3).map(
+                lambda items: PList(tuple(items))
+            ),
+        ]
+        if allow_ellipsis:
+            options.append(
+                st.tuples(
+                    st.lists(children, min_size=0, max_size=2),
+                    st.integers(0, 0).map(fresh_var),
+                ).map(lambda t: PList(tuple(t[0]), t[1]))
+            )
+        return st.one_of(options)
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+@st.composite
+def linear_patterns(draw, allow_ellipsis: bool = True) -> Pattern:
+    """A pattern in which no variable repeats (criterion 2)."""
+    pool = list(VAR_NAMES)
+    return draw(_linear_patterns(pool, allow_ellipsis))
+
+
+@st.composite
+def matching_pairs(draw):
+    """A (term, pattern) pair such that the term matches the pattern.
+
+    Built by generating a pattern and then instantiating it: variables
+    become random terms, ellipses are repeated 0-3 times.
+    """
+    from repro.core.substitution import subst
+    from repro.core.bindings import ListBinding
+    from repro.core.terms import pattern_variables, variable_depths
+
+    pattern = draw(linear_patterns())
+    depths = variable_depths(pattern)
+
+    def binding_at_depth(depth):
+        if depth == 0:
+            return draw(terms(max_leaves=4))
+        k = draw(st.integers(min_value=0, max_value=3))
+        return ListBinding(tuple(binding_at_depth(depth - 1) for _ in range(k)))
+
+    env = {}
+    for name in pattern_variables(pattern):
+        env[name] = binding_at_depth(depths[name])
+
+    # Ellipses with variables at mismatched sibling depths can make the
+    # instantiation ill-defined; retry via hypothesis' assume mechanism.
+    from hypothesis import assume
+    from repro.core.errors import SubstitutionError
+
+    try:
+        term = subst(env, pattern)
+    except SubstitutionError:
+        assume(False)
+        raise
+    return term, pattern, env
+
+
+@st.composite
+def wellformed_rules(draw) -> Rule:
+    """A random rule satisfying the well-formedness criteria.
+
+    The LHS is a node over fresh variables (possibly under one ellipsis);
+    the RHS reuses a subset of those variables inside random structure.
+    """
+    label = draw(st.sampled_from(LABELS))
+    n_vars = draw(st.integers(min_value=0, max_value=4))
+    names = VAR_NAMES[:n_vars]
+    use_ellipsis = draw(st.booleans()) and n_vars >= 1
+
+    lhs_children: list[Pattern] = [PVar(name) for name in names]
+    if use_ellipsis:
+        ell_var = lhs_children.pop()
+        lhs = Node(label, (PList(tuple(lhs_children), ell_var),))
+        depths = {name: 0 for name in names[:-1]}
+        depths[names[-1]] = 1
+    else:
+        lhs = Node(label, tuple(lhs_children))
+        depths = {name: 0 for name in names}
+
+    kept = [name for name in names if draw(st.booleans())]
+
+    def rhs_for(name):
+        if depths[name] == 0:
+            return PVar(name)
+        return PList((), PVar(name))
+
+    rhs_parts = tuple(rhs_for(name) for name in kept)
+    shape = draw(st.integers(min_value=0, max_value=2))
+    # RHS labels are disjoint from LHS labels ("Out..."/"Shell"), so a
+    # generated rulelist can never diverge.
+    if shape == 0:
+        rhs: Pattern = Node("Out" + label, rhs_parts)
+    elif shape == 1:
+        rhs = Node("Out" + label, (PList(rhs_parts),))
+    else:
+        rhs = Node("Shell", (Node("Out" + label, rhs_parts),))
+    return Rule(lhs, rhs)
+
+
+@st.composite
+def disjoint_rulelists(draw) -> RuleList:
+    """A rulelist whose rules have pairwise-distinct outer labels (hence
+    trivially disjoint LHSs)."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    rules = []
+    seen = set()
+    for _ in range(n):
+        rule = draw(wellformed_rules())
+        if rule.label in seen:
+            continue
+        seen.add(rule.label)
+        rules.append(rule)
+    from hypothesis import assume
+
+    assume(rules)
+    return RuleList(rules, DisjointnessMode.STRICT)

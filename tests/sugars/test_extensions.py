@@ -1,0 +1,169 @@
+"""Tests for the sugar additions beyond the paper's exact list:
+While for the scheme tower, and/or for Pyret, extra primitives."""
+
+import pytest
+
+from repro.confection import Confection
+from repro.lambdacore import make_stepper, parse_program, pretty
+from repro.pyretcore import make_stepper as pyret_stepper
+from repro.pyretcore import parse_program as pyret_parse
+from repro.pyretcore import pretty as pyret_pretty
+from repro.sugars.pyret_sugars import make_pyret_rules
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+
+@pytest.fixture(scope="module")
+def conf():
+    return Confection(make_scheme_rules(), make_stepper())
+
+
+@pytest.fixture(scope="module")
+def pyret():
+    return Confection(make_pyret_rules(), pyret_stepper())
+
+
+class TestWhile:
+    def test_counting_loop(self, conf):
+        source = """
+        ((lambda (n)
+           ((lambda (acc)
+              (begin
+                (while (< 0 n)
+                  (begin (set! acc (+ acc n)) (set! n (- n 1))))
+                acc))
+            0))
+         4)
+        """
+        result = conf.lift(parse_program(source))
+        assert pretty(result.surface_sequence[-1]) == "10"
+
+    def test_false_condition_runs_zero_times(self, conf):
+        result = conf.lift(parse_program("(while #f 1)"))
+        assert pretty(result.surface_sequence[-1]) == "<void>"
+
+    def test_loop_internals_stay_hidden(self, conf):
+        source = """
+        ((lambda (n)
+           (begin (while (< 0 n) (set! n (- n 1))) n))
+         3)
+        """
+        result = conf.lift(parse_program(source))
+        shown = [pretty(t) for t in result.surface_sequence]
+        assert not any("%loop" in s for s in shown)
+        assert shown[-1] == "0"
+
+    def test_while_roundtrips_through_syntax(self, conf):
+        term = parse_program("(while (< 0 n) (set! n (- n 1)))")
+        assert parse_program(pretty(term)) == term
+
+
+class TestPyretAndOr:
+    def test_truth_table(self, pyret):
+        cases = {
+            "true and true": "true",
+            "true and false": "false",
+            "false or true": "true",
+            "false or false": "false",
+        }
+        for source, expected in cases.items():
+            result = pyret.lift(pyret_parse(source))
+            assert pyret_pretty(result.surface_sequence[-1]) == expected
+
+    def test_short_circuit(self, pyret):
+        result = pyret.lift(pyret_parse('false and raise("boom")'))
+        assert pyret_pretty(result.surface_sequence[-1]) == "false"
+        result = pyret.lift(pyret_parse('true or raise("boom")'))
+        assert pyret_pretty(result.surface_sequence[-1]) == "true"
+
+    def test_mixes_with_comparisons(self, pyret):
+        result = pyret.lift(pyret_parse("(1 < 2) and (3 < 4)"))
+        assert pyret_pretty(result.surface_sequence[-1]) == "true"
+
+    def test_pretty_roundtrip(self):
+        for source in ("a and b", "a or b", "not a and b"):
+            term = pyret_parse(source)
+            assert pyret_parse(pyret_pretty(term)) == term
+
+
+class TestExtraPrimitives:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("(min 3 1 2)", "1"),
+            ("(max 3 1 2)", "3"),
+            ("(abs -5)", "5"),
+            ("(modulo 7 3)", "1"),
+            ('(string-length "hello")', "5"),
+        ],
+    )
+    def test_primitive(self, conf, source, expected):
+        result = conf.lift(parse_program(source))
+        assert pretty(result.surface_sequence[-1]) == expected
+
+    def test_modulo_by_zero_is_stuck(self, conf):
+        from repro.lambdacore import make_semantics
+
+        sem = make_semantics()
+        from repro.core.errors import StuckError
+
+        with pytest.raises(StuckError):
+            sem.normal_form(conf.desugar(parse_program("(modulo 1 0)")))
+
+
+class TestLists:
+    """cons/car/cdr pairs and the (list ...) literal sugar."""
+
+    def test_list_literal(self, conf):
+        result = conf.lift(parse_program("(list 1 (+ 1 1) 3)"))
+        assert pretty(result.surface_sequence[-1]) == "(list 1 2 3)"
+
+    def test_empty_list(self, conf):
+        result = conf.lift(parse_program("(list)"))
+        assert pretty(result.surface_sequence[-1]) == "nil"
+
+    def test_car_cdr(self, conf):
+        assert (
+            pretty(conf.lift(parse_program("(car (list 1 2))")).surface_sequence[-1])
+            == "1"
+        )
+        assert (
+            pretty(conf.lift(parse_program("(cdr (list 1 2))")).surface_sequence[-1])
+            == "(list 2)"
+        )
+
+    def test_null_and_pair_predicates(self, conf):
+        assert (
+            pretty(conf.lift(parse_program("(null? nil)")).surface_sequence[-1])
+            == "#t"
+        )
+        assert (
+            pretty(
+                conf.lift(parse_program("(pair? (cons 1 nil))")).surface_sequence[-1]
+            )
+            == "#t"
+        )
+
+    def test_improper_pair_prints_as_cons(self, conf):
+        result = conf.lift(parse_program("(cons 1 2)"))
+        assert pretty(result.surface_sequence[-1]) == "(cons 1 2)"
+
+    def test_map_via_letrec(self, conf):
+        source = """
+        (letrec ((map (lambda (f)
+                        (lambda (xs)
+                          (if (null? xs)
+                              nil
+                              (cons (f (car xs)) ((map f) (cdr xs))))))))
+          ((map (lambda (x) (* x x))) (list 1 2 3)))
+        """
+        result = conf.lift(parse_program(source))
+        shown = [pretty(t) for t in result.surface_sequence]
+        assert shown[-1] == "(list 1 4 9)"
+
+    def test_car_of_non_pair_is_stuck(self, conf):
+        from repro.core.errors import StuckError
+        from repro.lambdacore import make_semantics
+
+        sem = make_semantics()
+        with pytest.raises(StuckError):
+            sem.normal_form(conf.desugar(parse_program("(car 5)")))

@@ -1,0 +1,224 @@
+"""Integration tests: the section 8.1/8.2 sugar tower over the lambda
+core, lifted through CONFECTION.  Every expected trace below is either
+printed verbatim in the paper or follows directly from its prose."""
+
+import pytest
+
+from repro.confection import Confection
+from repro.lambdacore import make_stepper, parse_program, pretty
+from repro.sugars.automaton import make_automaton_rules
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+
+def lifted(conf, source):
+    result = conf.lift(parse_program(source))
+    return [pretty(t) for t in result.surface_sequence], result
+
+
+@pytest.fixture(scope="module")
+def conf():
+    return Confection(make_scheme_rules(), make_stepper())
+
+
+@pytest.fixture(scope="module")
+def conf_return():
+    return Confection(make_scheme_rules(return_support=True), make_stepper())
+
+
+@pytest.fixture(scope="module")
+def conf_auto():
+    return Confection(make_automaton_rules(), make_stepper())
+
+
+class TestOrTraces:
+    def test_section_31_binary_or(self, conf):
+        shown, result = lifted(conf, "(or (not #t) (not #f))")
+        assert shown == [
+            "(or (not #t) (not #f))",
+            "(or #f (not #f))",
+            "(not #f)",
+            "#t",
+        ]
+        # Exactly the "if false then false else not(false)" step skips.
+        assert result.skipped_count == 1
+
+    def test_section_34_opaque(self, conf):
+        shown, _ = lifted(conf, "(or #f #f #t)")
+        assert shown == ["(or #f #f #t)", "#t"]
+
+    def test_section_34_transparent(self):
+        conf = Confection(
+            make_scheme_rules(transparent_recursion=True), make_stepper()
+        )
+        shown, _ = lifted(conf, "(or #f #f #t)")
+        assert shown == ["(or #f #f #t)", "(or #f #t)", "#t"]
+
+    def test_or_short_circuits(self, conf):
+        shown, _ = lifted(conf, '(or #t (+ 1 "boom"))')
+        assert shown[-1] == "#t"
+
+    def test_empty_and_singleton(self, conf):
+        assert lifted(conf, "(or)")[0][-1] == "#f"
+        assert lifted(conf, "(and)")[0][-1] == "#t"
+        assert lifted(conf, "(or 5)")[0][-1] == "5"
+
+
+class TestAndCondWhen:
+    def test_and_trace(self, conf):
+        shown, _ = lifted(conf, "(and #t (not #t))")
+        assert shown[0] == "(and #t (not #t))"
+        assert shown[-1] == "#f"
+
+    def test_and_short_circuits(self, conf):
+        shown, _ = lifted(conf, '(and #f (+ 1 "boom"))')
+        assert shown[-1] == "#f"
+
+    def test_cond_picks_first_true_clause(self, conf):
+        shown, _ = lifted(
+            conf, "(cond ((< 2 1) 10) ((< 1 2) 20) (else 30))"
+        )
+        assert shown[-1] == "20"
+
+    def test_cond_else(self, conf):
+        shown, _ = lifted(conf, "(cond ((< 2 1) 10) (else 30))")
+        assert shown[-1] == "30"
+
+    def test_when(self, conf):
+        assert lifted(conf, "(when (< 1 2) 9)")[0][-1] == "9"
+        assert lifted(conf, "(when (< 2 1) 9)")[0][-1] == "<void>"
+
+
+class TestLetAndFunctions:
+    def test_let_single(self, conf):
+        shown, _ = lifted(conf, "(let ((x 1)) (+ x 2))")
+        assert shown[0] == "(let ((x 1)) (+ x 2))"
+        assert shown[-1] == "3"
+
+    def test_let_sequential_scoping(self, conf):
+        shown, _ = lifted(conf, "(let ((x 1) (y (+ x 1))) (+ x y))")
+        assert shown[-1] == "3"
+
+    def test_let_empty(self, conf):
+        assert lifted(conf, "(let () 42)")[0][-1] == "42"
+
+    def test_let_evaluates_binding_in_surface_view(self, conf):
+        shown, _ = lifted(conf, "(let ((x (+ 1 2))) x)")
+        assert "(let ((x 3)) x)" in shown
+
+    def test_multiarg_function(self, conf):
+        shown, _ = lifted(conf, "((function (x y z) (+ x (+ y z))) 1 2 3)")
+        assert shown[-1] == "6"
+
+    def test_thunk_force(self, conf):
+        shown, _ = lifted(conf, "(force (thunk (+ 1 2)))")
+        assert shown == ["(force (thunk (+ 1 2)))", "(+ 1 2)", "3"]
+
+    def test_unforced_thunk_is_not_evaluated(self, conf):
+        shown, _ = lifted(conf, '(let ((t (thunk (+ 1 "boom")))) 5)')
+        assert shown[-1] == "5"
+
+
+class TestLetrec:
+    def test_section_81_letrec_trace(self, conf):
+        # "(letrec ((x y) (y 2)) (+ x y)) steps directly to (+ 2 2)":
+        # no intermediate state of the bindings is ever shown.
+        shown, _ = lifted(conf, "(letrec ((x y) (y 2)) (+ x y))")
+        assert shown[0] == "(letrec ((x y) (y 2)) (+ x y))"
+        assert "(+ 2 2)" in shown
+        assert shown[-1] == "4"
+        # No step exposes a partially-initialized binding.
+        assert not any("undefined" in s or "set!" in s for s in shown)
+
+    def test_letrec_recursion(self, conf):
+        source = """
+        (letrec ((fact (lambda (n) (if (zero? n) 1 (* n (fact (- n 1)))))))
+          (fact 5))
+        """
+        shown, _ = lifted(conf, source)
+        assert shown[-1] == "120"
+
+    def test_letrec_mutual_recursion(self, conf):
+        source = """
+        (letrec ((even? (lambda (n) (if (zero? n) #t (odd? (- n 1)))))
+                 (odd?  (lambda (n) (if (zero? n) #f (even? (- n 1))))))
+          (even? 10))
+        """
+        shown, _ = lifted(conf, source)
+        assert shown[-1] == "#t"
+
+
+class TestReturn:
+    def test_section_82_trace_exactly(self, conf_return):
+        shown, _ = lifted(
+            conf_return,
+            "(+ 1 ((function (x) (+ 1 (return (+ x 2)))) (+ 3 4)))",
+        )
+        assert shown == [
+            "(+ 1 ((function (x) (+ 1 (return (+ x 2)))) (+ 3 4)))",
+            "(+ 1 ((function (x) (+ 1 (return (+ x 2)))) 7))",
+            "(+ 1 (+ 1 (return (+ 7 2))))",
+            "(+ 1 (+ 1 (return 9)))",
+            "(+ 1 9)",
+            "10",
+        ]
+
+    def test_function_without_return_behaves_normally(self, conf_return):
+        shown, _ = lifted(conf_return, "((function (x) (+ x 1)) 4)")
+        assert shown[-1] == "5"
+
+    def test_return_skips_rest_of_body(self, conf_return):
+        shown, _ = lifted(
+            conf_return,
+            '((function (x) (begin (return 1) (+ 1 "boom"))) 0)',
+        )
+        assert shown[-1] == "1"
+
+
+class TestAutomaton:
+    PROGRAM = """
+    (let ((M (automaton init
+               (init : ("c" -> more))
+               (more : ("a" -> more)
+                       ("d" -> more)
+                       ("r" -> end))
+               (end  : accept))))
+      (M "cadr"))
+    """
+
+    def test_figure_4_trace(self, conf_auto):
+        shown, result = lifted(conf_auto, self.PROGRAM)
+        # The transitions of Figure 4, with the machinery hidden.
+        assert shown[-6:] == [
+            '(init "cadr")',
+            '(more "adr")',
+            '(more "dr")',
+            '(more "r")',
+            '(end "")',
+            "#t",
+        ]
+        # Figure 4's caption: "the underlying core evaluation took 264
+        # steps".  Our core differs in primitive granularity, but the
+        # order of magnitude and the hiding ratio must match.
+        assert result.core_step_count > 40
+        assert result.skipped_count >= result.core_step_count - 10
+
+    def test_rejecting_run(self, conf_auto):
+        program = self.PROGRAM.replace('"cadr"', '"cax"')
+        shown, _ = lifted(conf_auto, program)
+        assert shown[-1] == "#f"
+
+    def test_wrong_first_character_rejects(self, conf_auto):
+        program = self.PROGRAM.replace('"cadr"', '"xadr"')
+        shown, _ = lifted(conf_auto, program)
+        assert shown[-1] == "#f"
+
+    def test_input_ending_midway_rejects(self, conf_auto):
+        program = self.PROGRAM.replace('"cadr"', '"ca"')
+        shown, _ = lifted(conf_auto, program)
+        assert shown[-1] == "#f"
+
+    def test_emulation_holds_throughout(self, conf_auto):
+        # lift() runs with check_emulation=True by default; reaching the
+        # end without EmulationViolation is the assertion.
+        shown, result = lifted(conf_auto, self.PROGRAM)
+        assert result.shown_count == len(shown)

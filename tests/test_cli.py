@@ -1,0 +1,141 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestLift:
+    def test_lambda_or(self, capsys):
+        code, out, err = run(capsys, "lift", "--lang", "lambda", "(or #t #f)")
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0] == "(or #t #f)"
+        assert lines[-1] == "#t"
+        assert "core steps" in err
+
+    def test_pyret_naive_vs_object(self, capsys):
+        _, naive_out, _ = run(capsys, "lift", "--lang", "pyret", "1 + (2 + 3)")
+        _, object_out, _ = run(
+            capsys, "lift", "--lang", "pyret", "--op", "object", "1 + (2 + 3)"
+        )
+        assert "1 + 5" not in naive_out
+        assert "1 + 5" in object_out
+
+    def test_transparent_flag(self, capsys):
+        _, opaque, _ = run(capsys, "lift", "--lang", "lambda", "(or #f #f #t)")
+        _, transparent, _ = run(
+            capsys, "lift", "--lang", "lambda", "--transparent", "(or #f #f #t)"
+        )
+        assert "(or #f #t)" not in opaque
+        assert "(or #f #t)" in transparent
+
+    def test_tree(self, capsys):
+        code, out, _ = run(
+            capsys, "lift", "--lang", "lambda", "--tree", "(amb 1 2)"
+        )
+        assert code == 0
+        assert "1" in out and "2" in out
+
+    def test_show_skipped(self, capsys):
+        _, out, _ = run(
+            capsys, "lift", "--lang", "lambda", "--show-skipped", "(or #t #f)"
+        )
+        assert any(line.startswith("x ") for line in out.splitlines())
+
+    def test_automaton_sugar_set(self, capsys):
+        code, out, _ = run(
+            capsys,
+            "lift",
+            "--lang",
+            "lambda",
+            "--sugar",
+            "automaton",
+            '(let ((M (automaton a (a : ("x" -> b)) (b : accept)))) (M "x"))',
+        )
+        assert code == 0
+        assert out.strip().splitlines()[-1] == "#t"
+
+    def test_unknown_sugar_set(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lift", "--lang", "lambda", "--sugar", "bogus", "1"])
+
+    def test_program_from_file(self, capsys, tmp_path):
+        path = tmp_path / "prog.scm"
+        path.write_text("(+ 1 2)")
+        code, out, _ = run(capsys, "lift", "--lang", "lambda", f"@{path}")
+        assert code == 0
+        assert out.strip().splitlines()[-1] == "3"
+
+    def test_rules_file(self, capsys, tmp_path):
+        path = tmp_path / "rules.confection"
+        path.write_text('Twice(x) -> Op("*", [2, x]);\n')
+        code, out, _ = run(
+            capsys,
+            "lift",
+            "--lang",
+            "lambda",
+            "--rules-file",
+            str(path),
+            "@" + str(_write(tmp_path, "(+ 1 2)")),
+        )
+        assert code == 0
+
+
+def _write(tmp_path, text):
+    p = tmp_path / "p.scm"
+    p.write_text(text)
+    return p
+
+
+class TestDesugar:
+    def test_plain(self, capsys):
+        code, out, _ = run(capsys, "desugar", "--lang", "lambda", "(or #t #f)")
+        assert code == 0
+        assert "lambda" in out  # the Or expansion is an applied lambda
+
+    def test_tags(self, capsys):
+        code, out, _ = run(
+            capsys, "desugar", "--lang", "lambda", "--tags", "(or #t #f)"
+        )
+        assert code == 0
+        assert "#" in out  # head-tag marker
+
+
+class TestTrace:
+    def test_core_trace(self, capsys):
+        code, out, _ = run(capsys, "trace", "--lang", "lambda", "(+ 1 (* 2 3))")
+        assert code == 0
+        assert out.strip().splitlines() == ["(+ 1 (* 2 3))", "(+ 1 6)", "7"]
+
+
+class TestCheck:
+    def test_valid_rules(self, capsys, tmp_path):
+        path = tmp_path / "rules.confection"
+        path.write_text("Swap(x, y) -> Pair(y, x);\n")
+        code, out, _ = run(capsys, "check", str(path))
+        assert code == 0
+        assert "Swap" in out
+
+    def test_overlapping_rules_fail(self, capsys, tmp_path):
+        path = tmp_path / "rules.confection"
+        path.write_text(
+            'Max([]) -> Raise("e");\nMax(xs) -> MaxAcc(xs, -infinity);\n'
+        )
+        code, _, err = run(capsys, "check", str(path))
+        assert code == 1
+        assert "error" in err
+
+    def test_off_mode_accepts(self, capsys, tmp_path):
+        path = tmp_path / "rules.confection"
+        path.write_text(
+            'Max([]) -> Raise("e");\nMax(xs) -> MaxAcc(xs, -infinity);\n'
+        )
+        code, out, _ = run(capsys, "check", str(path), "--disjointness", "off")
+        assert code == 0

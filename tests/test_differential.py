@@ -1,0 +1,103 @@
+"""Differential testing: the small-step reduction semantics and the
+big-step evaluator must agree on the pure lambda-core fragment.
+
+Two independently written interpreters over the same language are a
+classic oracle: any disagreement is a bug in one of them.  Random
+programs are generated closed and well-typed-enough (by construction)
+so both sides terminate without sticking.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.terms import Const, Node, Pattern, PList
+from repro.lambdacore import make_semantics, pretty
+from repro.stepper.bigstep import Closure, evaluate
+
+SEMANTICS = make_semantics()
+
+
+def _op(name, *args):
+    return Node("Op", (Const(name), PList(tuple(args))))
+
+
+def _num_leaf(env):
+    options = [st.integers(-9, 9).map(Const)]
+    if env:
+        options.append(
+            st.sampled_from(env).map(lambda n: Node("Id", (Const(n),)))
+        )
+    return st.one_of(options)
+
+
+@st.composite
+def _num_expr(draw, depth, env):
+    if depth <= 0:
+        return draw(_num_leaf(env))
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return draw(_num_leaf(env))
+    if choice == 1:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return _op(
+            op,
+            draw(_num_expr(depth - 1, env)),
+            draw(_num_expr(depth - 1, env)),
+        )
+    if choice == 2:
+        cond_op = draw(st.sampled_from(["<", "<=", "="]))
+        cond = _op(
+            cond_op,
+            draw(_num_expr(depth - 1, env)),
+            draw(_num_expr(depth - 1, env)),
+        )
+        return Node(
+            "If",
+            (cond, draw(_num_expr(depth - 1, env)), draw(_num_expr(depth - 1, env))),
+        )
+    if choice == 3:
+        exprs = tuple(
+            draw(_num_expr(depth - 1, env))
+            for _ in range(draw(st.integers(1, 3)))
+        )
+        return Node("Seq", (PList(exprs),))
+    # Immediately-applied lambda: ((lambda (v) body) arg).
+    name = f"v{len(env)}"
+    body = draw(_num_expr(depth - 1, env + [name]))
+    arg = draw(_num_expr(depth - 1, env))
+    return Node("App", (Node("Lam", (Const(name), body)), arg))
+
+
+def pure_programs():
+    return _num_expr(3, [])
+
+
+class TestDifferential:
+    @given(pure_programs())
+    @settings(max_examples=200, deadline=None)
+    def test_small_step_agrees_with_big_step(self, program):
+        small = SEMANTICS.normal_form(program)
+        big = evaluate(program)
+        assert isinstance(small, Const)
+        assert small.value == big, pretty(program)
+
+    @given(pure_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_instrumented_agrees_with_both(self, program):
+        from repro.stepper import InstrumentedEvaluator
+
+        small = SEMANTICS.normal_form(program)
+        instrumented = InstrumentedEvaluator().evaluate(program)
+        assert small.value == instrumented
+
+    @given(pure_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_anf_preserves_small_step_semantics(self, program):
+        from repro.confection import Confection
+        from repro.stepper import anf
+        from repro.sugars.scheme_sugars import make_scheme_rules
+
+        conf = Confection(make_scheme_rules())
+        original = SEMANTICS.normal_form(program)
+        normalized = SEMANTICS.normal_form(conf.desugar(anf(program)))
+        assert original == normalized

@@ -1,0 +1,202 @@
+"""Whole-pipeline property tests: random sugared programs, lifted.
+
+For arbitrary programs over the section 8.1 sugar tower, lifting must
+finish without an Emulation violation (the check is on), every emitted
+step must be a surface term, the first step must be the program itself,
+and the final step must be the program's value (independently computed
+by a reference evaluator over the surface language).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confection import Confection
+from repro.core.tags import is_surface_term
+from repro.core.terms import Const, Node, Pattern, PList
+from repro.lambdacore import make_stepper, pretty
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+CONF = Confection(make_scheme_rules(), make_stepper())
+
+# --- a reference evaluator for the surface fragment we generate -------
+
+
+def reference_eval(t: Pattern, env=()):
+    if isinstance(t, Const):
+        return t.value
+    assert isinstance(t, Node), t
+    label = t.label
+    if label == "Id":
+        name = t.children[0].value
+        scope = env
+        while scope:
+            if scope[0] == name:
+                return scope[1]
+            scope = scope[2]
+        raise AssertionError(f"unbound {name}")
+    if label == "Op":
+        op = t.children[0].value
+        args = [reference_eval(a, env) for a in t.children[1].items]
+        return {
+            "+": lambda: args[0] + args[1],
+            "*": lambda: args[0] * args[1],
+            "<": lambda: args[0] < args[1],
+            "not": lambda: not args[0],
+        }[op]()
+    if label == "Or":
+        result = False
+        for item in t.children[0].items:
+            result = reference_eval(item, env)
+            if result is not False:
+                return result
+        return result if t.children[0].items else False
+    if label == "And":
+        result = True
+        for item in t.children[0].items:
+            result = reference_eval(item, env)
+            if result is False:
+                return False
+        return result
+    if label == "If":
+        if reference_eval(t.children[0], env):
+            return reference_eval(t.children[1], env)
+        return reference_eval(t.children[2], env)
+    if label == "Cond":
+        for clause in t.children[0].items:
+            if clause.label == "Else":
+                return reference_eval(clause.children[0], env)
+            if reference_eval(clause.children[0], env):
+                return reference_eval(clause.children[1], env)
+        raise AssertionError("cond fell through")
+    if label == "Let":
+        scope = env
+        for binding in t.children[0].items:
+            scope = (
+                binding.children[0].value,
+                reference_eval(binding.children[1], scope),
+                scope,
+            )
+        return reference_eval(t.children[1], scope)
+    raise AssertionError(label)
+
+
+# --- program generator -------------------------------------------------
+
+VAR_NAMES = ["a", "b", "c"]
+
+
+@st.composite
+def programs(draw, depth: int = 3, env=()):
+    """A closed (term, expected-type) over Or/And/Cond/If/Let/Op."""
+    want_bool = draw(st.booleans())
+    return draw(_expr(depth, env, "bool" if want_bool else "num"))
+
+
+def _leaf(env, kind):
+    options = []
+    if kind == "bool":
+        options.append(st.booleans().map(Const))
+    else:
+        options.append(st.integers(-9, 9).map(Const))
+    in_scope = [name for name, k in env if k == kind]
+    if in_scope:
+        options.append(
+            st.sampled_from(in_scope).map(
+                lambda n: Node("Id", (Const(n),))
+            )
+        )
+    return st.one_of(options)
+
+
+@st.composite
+def _expr(draw, depth, env, kind):
+    if depth <= 0:
+        return draw(_leaf(env, kind))
+    choice = draw(st.integers(0, 5))
+    if choice == 0:
+        return draw(_leaf(env, kind))
+    if choice == 1 and kind == "bool":
+        n = draw(st.integers(0, 3))
+        label = draw(st.sampled_from(["Or", "And"]))
+        items = tuple(
+            draw(_expr(depth - 1, env, "bool")) for _ in range(n)
+        )
+        return Node(label, (PList(items),))
+    if choice == 2 and kind == "bool":
+        left = draw(_expr(depth - 1, env, "num"))
+        right = draw(_expr(depth - 1, env, "num"))
+        return Node("Op", (Const("<"), PList((left, right))))
+    if choice == 3:
+        cond = draw(_expr(depth - 1, env, "bool"))
+        then = draw(_expr(depth - 1, env, kind))
+        els = draw(_expr(depth - 1, env, kind))
+        return Node("If", (cond, then, els))
+    if choice == 4:
+        n = draw(st.integers(0, 2))
+        clauses = []
+        for _ in range(n):
+            c = draw(_expr(depth - 1, env, "bool"))
+            e = draw(_expr(depth - 1, env, kind))
+            clauses.append(Node("Clause", (c, e)))
+        clauses.append(Node("Else", (draw(_expr(depth - 1, env, kind)),)))
+        return Node("Cond", (PList(tuple(clauses)),))
+    # let-binding: extend scope with a fresh numeric or boolean variable.
+    name = VAR_NAMES[len(env) % len(VAR_NAMES)] + str(len(env))
+    bound_kind = draw(st.sampled_from(["bool", "num"]))
+    bound = draw(_expr(depth - 1, env, bound_kind))
+    body = draw(_expr(depth - 1, env + ((name, bound_kind),), kind))
+    return Node(
+        "Let",
+        (PList((Node("Binding", (Const(name), bound)),)), body),
+    )
+
+
+# --- the properties -----------------------------------------------------
+
+
+class TestEndToEnd:
+    @given(programs())
+    @settings(max_examples=120, deadline=None)
+    def test_lift_is_sound_and_complete_on_random_programs(self, program):
+        expected = reference_eval(program)
+        result = CONF.lift(program)  # EmulationViolation would raise here
+
+        sequence = result.surface_sequence
+        assert sequence, "at least the initial program is shown"
+        assert sequence[0] == program
+        final = sequence[-1]
+        assert isinstance(final, Const)
+        assert final == Const(expected)
+
+    @given(programs())
+    @settings(max_examples=120, deadline=None)
+    def test_every_emitted_step_is_a_surface_term(self, program):
+        result = CONF.lift(program)
+        for term in result.surface_sequence:
+            assert is_surface_term(term)
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_transparency_never_changes_the_answer(self, program):
+        transparent = Confection(
+            make_scheme_rules(transparent_recursion=True), make_stepper()
+        )
+        opaque_result = CONF.lift(program)
+        transparent_result = transparent.lift(program)
+        assert (
+            opaque_result.surface_sequence[-1]
+            == transparent_result.surface_sequence[-1]
+        )
+        # Transparency can only widen the trace.
+        assert transparent_result.shown_count >= opaque_result.shown_count
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_no_sugar_internals_leak(self, program):
+        result = CONF.lift(program)
+        for term in result.surface_sequence:
+            # %t is the Or sugar's internal binder; lambda only ever
+            # appears through sugar in this fragment.
+            text = pretty(term)
+            assert "%t" not in text
+            assert "lambda" not in text

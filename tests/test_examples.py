@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline results its docstring promises."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "(or #f (not #f))" in out
+    assert "coverage 80%" in out
+    assert "(or #f #t)" in out  # the transparent variant
+
+
+def test_automaton(capsys):
+    out = run_example("automaton", capsys)
+    assert '(more "adr")' in out
+    assert '(end "")' in out
+    assert "#t" in out
+    assert "#f" in out  # the rejecting run
+
+
+def test_pyret_len(capsys):
+    out = run_example("pyret_len", capsys)
+    assert "cases(List) [1, 2]:" in out
+    assert "0 + 1 + 1" in out
+    assert "1 + 5" in out  # the Figure 6 comparison
+
+
+def test_return_callcc(capsys):
+    out = run_example("return_callcc", capsys)
+    assert "(+ 1 (+ 1 (return 9)))" in out
+    assert "(+ 1 9)" in out
+
+
+def test_amb_tree(capsys):
+    out = run_example("amb_tree", capsys)
+    assert "outcomes:" in out
+    assert "12" in out and "30" in out
+
+
+def test_max_pitfall(capsys):
+    out = run_example("max_pitfall", capsys)
+    assert "DisjointnessError" in out
+    assert "EmulationViolation" in out
+    assert "Max([-infinity])" in out
+
+
+def test_custom_language(capsys):
+    out = run_example("custom_language", capsys)
+    assert "Abs(-5)" in out
+    assert "Clamp(0, -7, 100)" in out
+
+
+def test_surface_debugger(capsys):
+    out = run_example("surface_debugger", capsys)
+    assert "(+ 1 (+ 2 (+ 3 0)))" in out or "6" in out
+    assert "core | surface" in out
+    assert "HTML report written" in out

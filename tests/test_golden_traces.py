@@ -1,0 +1,100 @@
+"""Golden-trace regression tests.
+
+``tests/golden/*.trace`` record the exact lifted surface sequences of a
+corpus of programs covering every bundled sugar.  Any change to the
+engine, the sugars, the interpreters, or the pretty-printers that
+perturbs a trace fails here with a readable diff.
+
+File format::
+
+    # sugar: <config name>
+    # program:
+    <program source>
+    # trace:
+    <surface step>
+    ...
+    # stats: core=<n> skipped=<m>
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.confection import Confection
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _configs():
+    from repro.lambdacore import make_stepper as lam_stepper
+    from repro.lambdacore import parse_program as lam_parse
+    from repro.lambdacore import pretty as lam_pretty
+    from repro.pyretcore import make_stepper as py_stepper
+    from repro.pyretcore import parse_program as py_parse
+    from repro.pyretcore import pretty as py_pretty
+    from repro.sugars.automaton import make_automaton_rules
+    from repro.sugars.pyret_sugars import make_pyret_rules
+    from repro.sugars.returns import make_return_rules
+    from repro.sugars.scheme_sugars import make_scheme_rules
+
+    return {
+        "scheme": (make_scheme_rules, lam_stepper, lam_parse, lam_pretty),
+        "scheme-transparent": (
+            lambda: make_scheme_rules(transparent_recursion=True),
+            lam_stepper,
+            lam_parse,
+            lam_pretty,
+        ),
+        "return": (make_return_rules, lam_stepper, lam_parse, lam_pretty),
+        "automaton": (make_automaton_rules, lam_stepper, lam_parse, lam_pretty),
+        "pyret": (make_pyret_rules, py_stepper, py_parse, py_pretty),
+        "pyret-object": (
+            lambda: make_pyret_rules("object"),
+            py_stepper,
+            py_parse,
+            py_pretty,
+        ),
+        "pyret-datatype": (
+            lambda: make_pyret_rules(with_datatype=True),
+            py_stepper,
+            py_parse,
+            py_pretty,
+        ),
+    }
+
+
+def parse_golden(path: Path):
+    lines = path.read_text().splitlines()
+    assert lines[0].startswith("# sugar: ")
+    sugar = lines[0][len("# sugar: "):]
+    assert lines[1] == "# program:"
+    trace_at = lines.index("# trace:")
+    program = "\n".join(lines[2:trace_at])
+    stats_at = next(
+        i for i, l in enumerate(lines) if l.startswith("# stats:")
+    )
+    trace = lines[trace_at + 1 : stats_at]
+    stats = dict(
+        part.split("=") for part in lines[stats_at][len("# stats: "):].split()
+    )
+    return sugar, program, trace, {k: int(v) for k, v in stats.items()}
+
+
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.trace"))
+
+
+def test_corpus_is_present():
+    assert len(GOLDEN_FILES) >= 25
+
+
+@pytest.mark.parametrize(
+    "path", GOLDEN_FILES, ids=[p.stem for p in GOLDEN_FILES]
+)
+def test_golden_trace(path):
+    sugar, program, expected_trace, stats = parse_golden(path)
+    make_rules, make_stepper, parse, pretty = _configs()[sugar]
+    confection = Confection(make_rules(), make_stepper())
+    result = confection.lift(parse(program))
+    assert [pretty(t) for t in result.surface_sequence] == expected_trace
+    assert result.core_step_count == stats["core"]
+    assert result.skipped_count == stats["skipped"]

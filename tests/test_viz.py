@@ -1,0 +1,77 @@
+"""Tests for the trace visualization module."""
+
+import pytest
+
+from repro.confection import Confection
+from repro.lambdacore import make_stepper, parse_program, pretty
+from repro.sugars.scheme_sugars import make_scheme_rules
+from repro.viz import render_html, render_text, render_tree_text
+
+
+@pytest.fixture(scope="module")
+def result():
+    conf = Confection(make_scheme_rules(), make_stepper())
+    return conf.lift(parse_program("(or (not #t) (not #f))"))
+
+
+class TestText:
+    def test_columns_and_summary(self, result):
+        text = render_text(result, pretty)
+        assert "core step" in text and "surface" in text
+        assert "coverage 80%" in text
+
+    def test_shown_steps_marked(self, result):
+        text = render_text(result, pretty)
+        shown_lines = [l for l in text.splitlines() if " => " in l]
+        assert len(shown_lines) == result.shown_count
+
+    def test_skipped_steps_have_empty_surface(self, result):
+        text = render_text(result, pretty)
+        # The skipped if-step shows a core term but no arrow.
+        skipped = [
+            l
+            for l in text.splitlines()
+            if "if" in l and "=>" not in l and "==" not in l and "|" not in l
+        ]
+        assert skipped
+
+    def test_long_core_terms_clipped(self, result):
+        text = render_text(result, pretty, width=20)
+        for line in text.splitlines()[2:-2]:
+            core_column = line.split(" => ")[0].split(" == ")[0]
+            assert len(core_column) <= 24
+
+    def test_default_renderer_used_when_none(self, result):
+        assert "core step" in render_text(result)
+
+
+class TestHtml:
+    def test_standalone_document(self, result):
+        doc = render_html(result, pretty)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "</html>" in doc
+
+    def test_row_classes(self, result):
+        doc = render_html(result, pretty)
+        assert doc.count('class="shown"') == result.shown_count
+        assert doc.count('class="skipped"') == result.skipped_count
+
+    def test_escaping(self):
+        conf = Confection(make_scheme_rules(), make_stepper())
+        r = conf.lift(parse_program('(equal? "<b>" "<b>")'))
+        doc = render_html(r, pretty)
+        assert "<b>" not in doc.split("<table>")[1].split("</table>")[0]
+
+    def test_custom_title(self, result):
+        doc = render_html(result, pretty, title="Or & friends")
+        assert "Or &amp; friends" in doc
+
+
+class TestTree:
+    def test_tree_rendering(self):
+        conf = Confection(make_scheme_rules(), make_stepper())
+        tree = conf.lift_tree(parse_program("(+ (amb 1 2) 10)"))
+        text = render_tree_text(tree, pretty)
+        assert "(+ (amb 1 2) 10)" in text
+        assert "11" in text and "12" in text
+        assert "surface nodes" in text
