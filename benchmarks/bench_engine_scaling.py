@@ -13,6 +13,7 @@ from repro.lang import parse_pattern, parse_term
 from repro.sugars.scheme_sugars import make_scheme_rules
 
 from benchmarks.conftest import report
+from benchmarks.reporter import REPORTER
 
 RULES = make_scheme_rules()
 
@@ -37,6 +38,18 @@ def test_lift_scales_with_or_chain_length(benchmark):
         for n, r in results.items()
     ]
     report("Lift cost vs Or-chain length", lines)
+    REPORTER.record(
+        "scaling_or_chain_sweep",
+        **{
+            f"core_steps_{n}_arms": r.core_step_count
+            for n, r in results.items()
+        },
+    )
+    timing = getattr(benchmark, "stats", None)  # absent under --benchmark-disable
+    if timing is not None:
+        REPORTER.record(
+            "scaling_or_chain_sweep", sweep_seconds=round(timing.stats.mean, 4)
+        )
     # Core steps grow linearly in the number of arms.
     assert results[32].core_step_count < 20 * results[2].core_step_count
 

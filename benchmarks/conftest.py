@@ -12,6 +12,20 @@ from __future__ import annotations
 
 import sys
 
+import pytest
+
+from benchmarks.reporter import REPORTER
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_bench_report():
+    """Flush everything the benchmarks recorded to ``BENCH_lift.json``
+    once the session ends (no-op when nothing was recorded)."""
+    yield
+    if REPORTER.dirty:
+        path = REPORTER.write()
+        sys.stdout.write(f"\nwrote {path}\n")
+
 
 def report(title: str, lines) -> None:
     """Print a regenerated table/figure so it appears in benchmark runs

@@ -1,0 +1,99 @@
+"""Machine-readable benchmark reporting: ``BENCH_lift.json``.
+
+Benchmarks record measurements through the module-level
+:data:`REPORTER`; a session-scoped fixture in ``conftest.py`` writes the
+accumulated payload to ``BENCH_lift.json`` at the repo root when the
+pytest session ends (only if something was recorded).  The file is
+committed, so performance changes show up in review diffs and CI can
+validate the numbers without parsing pytest output.
+
+Schema (``repro-bench-lift/1``)::
+
+    {
+      "schema": "repro-bench-lift/1",
+      "generated": "<ISO 8601>",
+      "python": "3.11.7", "implementation": "CPython", "platform": "...",
+      "workloads": {
+        "<name>": {"core_steps": ..., "naive_seconds": ...,
+                   "incremental_seconds": ..., "speedup": ...,
+                   "incremental_steps_per_sec": ...,
+                   "resugar_calls_saved": ..., "resugar_hit_rate": ...,
+                   ...}
+      }
+    }
+
+Workload field sets vary by benchmark; :func:`validate` checks only the
+envelope plus per-workload sanity (numeric values, non-empty).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict
+
+__all__ = ["BenchReporter", "REPORTER", "DEFAULT_PATH", "SCHEMA", "validate"]
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_lift.json"
+SCHEMA = "repro-bench-lift/1"
+
+
+class BenchReporter:
+    """Accumulates named workload measurements and serializes them."""
+
+    def __init__(self, path: Path = DEFAULT_PATH) -> None:
+        self.path = Path(path)
+        self._workloads: Dict[str, Dict[str, Any]] = {}
+
+    def record(self, workload: str, **fields: Any) -> None:
+        """Merge ``fields`` into ``workload``'s entry (later wins)."""
+        self._workloads.setdefault(workload, {}).update(fields)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._workloads)
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "workloads": dict(sorted(self._workloads.items())),
+        }
+
+    def write(self) -> Path:
+        self.path.write_text(json.dumps(self.payload(), indent=2) + "\n")
+        return self.path
+
+
+REPORTER = BenchReporter()
+
+
+def validate(payload: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` if ``payload`` is not a well-formed report.
+
+    Used by the CI benchmark smoke job (and tests) to guarantee the
+    committed ``BENCH_lift.json`` stays machine-readable.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("report must be a JSON object")
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"unexpected schema: {payload.get('schema')!r}")
+    for key in ("generated", "python", "implementation", "platform"):
+        if not isinstance(payload.get(key), str) or not payload[key]:
+            raise ValueError(f"missing or empty field: {key!r}")
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        raise ValueError("report has no workloads")
+    for name, fields in workloads.items():
+        if not isinstance(fields, dict) or not fields:
+            raise ValueError(f"workload {name!r} has no measurements")
+        for field_name, value in fields.items():
+            if not isinstance(value, (int, float, str, bool)):
+                raise ValueError(
+                    f"workload {name!r} field {field_name!r} is not scalar"
+                )

@@ -88,9 +88,14 @@ class Confection:
         max_steps: int = 100_000,
         dedup: bool = True,
         check_emulation: bool = True,
+        incremental: bool = True,
     ) -> LiftResult:
         """Run the program and lift its core evaluation sequence into a
-        surface evaluation sequence, with per-step bookkeeping."""
+        surface evaluation sequence, with per-step bookkeeping.
+
+        ``incremental`` (default) resugars through a per-run cache so a
+        step costs work proportional to the rewritten spine; disable it
+        to force the naive full-tree path (reference semantics)."""
         self._require_stepper()
         return lift_evaluation(
             self.rules,
@@ -99,6 +104,7 @@ class Confection:
             max_steps=max_steps,
             dedup=dedup,
             check_emulation=check_emulation,
+            incremental=incremental,
         )
 
     def surface_steps(self, surface_term: TermLike, **kwargs) -> List[Pattern]:
@@ -115,6 +121,7 @@ class Confection:
         surface_term: TermLike,
         max_nodes: int = 100_000,
         check_emulation: bool = True,
+        incremental: bool = True,
     ) -> SurfaceTree:
         """Lift a nondeterministic evaluation into a surface tree."""
         self._require_stepper()
@@ -124,6 +131,7 @@ class Confection:
             self.term(surface_term),
             max_nodes=max_nodes,
             check_emulation=check_emulation,
+            incremental=incremental,
         )
 
     def _require_stepper(self) -> None:

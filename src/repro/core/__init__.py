@@ -22,6 +22,13 @@ from repro.core.errors import (
     WellFormednessError,
 )
 from repro.core.hygiene import HygieneWarning, lint_hygiene
+from repro.core.incremental import CacheStats, ResugarCache
+from repro.core.intern import (
+    clear_intern_caches,
+    intern,
+    intern_stats,
+    is_interned,
+)
 from repro.core.lenses import (
     check_desugar_resugar_inverse,
     check_get_put,
@@ -102,6 +109,9 @@ __all__ = [
     # lifting
     "Stepper", "FunctionStepper", "lift_evaluation", "lift_evaluation_tree",
     "LiftResult", "LiftedStep", "SurfaceTree", "EmulationViolation",
+    # performance layer
+    "intern", "is_interned", "intern_stats", "clear_intern_caches",
+    "ResugarCache", "CacheStats",
     # errors
     "ReproError", "PatternError", "WellFormednessError", "DisjointnessError",
     "SubstitutionError", "ExpansionError", "ParseError", "StuckError",

@@ -24,9 +24,11 @@ from a production evaluator; our interpreters provide one natively.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Callable,
+    Dict,
     Generic,
     Hashable,
     List,
@@ -39,6 +41,7 @@ from typing import (
 
 from repro.core.desugar import desugar, resugar
 from repro.core.errors import ReproError
+from repro.core.incremental import CacheStats, ResugarCache
 from repro.core.recursion import deep_recursion
 from repro.core.lenses import emulates
 from repro.core.rules import RuleList
@@ -124,6 +127,9 @@ class LiftResult:
 
     surface_sequence: List[Pattern] = field(default_factory=list)
     steps: List[LiftedStep] = field(default_factory=list)
+    cache_stats: Optional[CacheStats] = None
+    """Per-run :class:`~repro.core.incremental.CacheStats` when the lift
+    ran incrementally; ``None`` on the naive path."""
 
     @property
     def core_step_count(self) -> int:
@@ -152,6 +158,7 @@ def lift_evaluation(
     max_steps: int = 100_000,
     dedup: bool = True,
     check_emulation: bool = True,
+    incremental: bool = True,
 ) -> LiftResult:
     """Compute the surface evaluation sequence of ``surface_term``.
 
@@ -162,30 +169,46 @@ def lift_evaluation(
     machine state invisible at the surface).  ``check_emulation``
     verifies, for every emitted term, that it desugars back into the core
     term it represents, raising :class:`EmulationViolation` otherwise.
+
+    ``incremental`` (the default) resugars through a per-run
+    :class:`~repro.core.incremental.ResugarCache`, so each step costs
+    work proportional to the spine the stepper rewrote rather than the
+    whole term; the emitted sequence is identical to the naive path.
     """
     core = desugar(rules, surface_term)
     state = stepper.load(core)
     result = LiftResult()
-    last_emitted: Optional[Pattern] = None
+    cache = ResugarCache(rules) if incremental else None
 
     with deep_recursion():
         return _lift_loop(
-            rules, stepper, state, result, max_steps, dedup, check_emulation
+            rules, stepper, state, result, max_steps, dedup, check_emulation,
+            cache,
         )
 
 
-def _lift_loop(rules, stepper, state, result, max_steps, dedup, check_emulation):
+def _lift_loop(
+    rules, stepper, state, result, max_steps, dedup, check_emulation, cache
+):
     last_emitted: Optional[Pattern] = None
+    if cache is not None:
+        result.cache_stats = cache.stats
     for index in range(max_steps + 1):
         term = stepper.term(state)
-        surface = resugar(rules, term)
+        surface = cache.resugar(term) if cache else resugar(rules, term)
         emitted = False
         if surface is not None:
-            if check_emulation and not emulates(rules, surface, term):
-                raise EmulationViolation(
-                    f"surface step {surface} does not desugar into the core "
-                    f"term it represents: {term}"
+            if check_emulation:
+                faithful = (
+                    cache.emulates(surface, term)
+                    if cache
+                    else emulates(rules, surface, term)
                 )
+                if not faithful:
+                    raise EmulationViolation(
+                        f"surface step {surface} does not desugar into the "
+                        f"core term it represents: {term}"
+                    )
             if not (dedup and surface == last_emitted):
                 result.surface_sequence.append(surface)
                 last_emitted = surface
@@ -221,26 +244,47 @@ class SurfaceTree:
     root: Optional[int] = None
     core_node_count: int = 0
     skipped_count: int = 0
+    _adjacency: Optional[Dict[int, List[int]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _adjacency_edge_count: int = field(default=-1, repr=False, compare=False)
+
+    def _adj(self) -> Dict[int, List[int]]:
+        """Child adjacency, built once and rebuilt only when edges grew."""
+        if self._adjacency is None or self._adjacency_edge_count != len(
+            self.edges
+        ):
+            adj: Dict[int, List[int]] = {}
+            for u, v in self.edges:
+                adj.setdefault(u, []).append(v)
+            self._adjacency = adj
+            self._adjacency_edge_count = len(self.edges)
+        return self._adjacency
 
     def children(self, node_id: int) -> List[int]:
-        return [v for (u, v) in self.edges if u == node_id]
+        return list(self._adj().get(node_id, ()))
 
     def leaves(self) -> List[int]:
-        with_children = {u for (u, _) in self.edges}
+        with_children = self._adj()
         return [n for n in self.nodes if n not in with_children]
 
     def depth(self) -> int:
-        """Longest root-to-leaf path length, in edges."""
+        """Longest root-to-leaf path length, in edges (iterative, so
+        arbitrarily deep trees cannot overflow the Python stack)."""
         if self.root is None:
             return 0
-
-        def walk(node_id: int) -> int:
-            kids = self.children(node_id)
+        adj = self._adj()
+        best = 0
+        stack: List[Tuple[int, int]] = [(self.root, 0)]
+        while stack:
+            node_id, d = stack.pop()
+            kids = adj.get(node_id)
             if not kids:
-                return 0
-            return 1 + max(walk(k) for k in kids)
-
-        return walk(self.root)
+                if d > best:
+                    best = d
+            else:
+                stack.extend((k, d + 1) for k in kids)
+        return best
 
     def to_dot(self, label=None) -> str:
         """Render the tree in Graphviz DOT format.
@@ -270,6 +314,7 @@ def lift_evaluation_tree(
     surface_term: Pattern,
     max_nodes: int = 100_000,
     check_emulation: bool = True,
+    incremental: bool = True,
 ) -> SurfaceTree:
     """Lift a nondeterministic evaluation into a surface tree
     (section 5.3's breadth-first exploration with bookkeeping).
@@ -277,31 +322,41 @@ def lift_evaluation_tree(
     Core states are explored breadth-first from ``desugar(surface_term)``;
     each resugarable state becomes a surface node, attached to its nearest
     resugarable ancestor.  States whose core terms coincide are *not*
-    merged: the paper lifts a tree, not a graph.
+    merged: the paper lifts a tree, not a graph.  ``incremental`` shares
+    resugaring work across branches through a per-run
+    :class:`~repro.core.incremental.ResugarCache` — sibling states share
+    almost their entire term.
     """
     core = desugar(rules, surface_term)
     tree = SurfaceTree()
-    next_id = 0
+    cache = ResugarCache(rules) if incremental else None
 
     # Queue holds (state, nearest surface ancestor id or None).
-    queue: List[Tuple[object, Optional[int]]] = [(stepper.load(core), None)]
+    queue: deque = deque([(stepper.load(core), None)])
     with deep_recursion():
         return _tree_loop(
-            rules, stepper, tree, queue, max_nodes, check_emulation
+            rules, stepper, tree, queue, max_nodes, check_emulation, cache
         )
 
 
-def _tree_loop(rules, stepper, tree, queue, max_nodes, check_emulation):
+def _tree_loop(rules, stepper, tree, queue, max_nodes, check_emulation, cache):
     next_id = 0
     while queue:
         if tree.core_node_count >= max_nodes:
             raise ReproError(f"evaluation tree exceeded {max_nodes} core nodes")
-        state, parent = queue.pop(0)
+        state, parent = queue.popleft()
         tree.core_node_count += 1
         term = stepper.term(state)
-        surface = resugar(rules, term)
+        surface = cache.resugar(term) if cache else resugar(rules, term)
         if surface is not None:
-            if check_emulation and not emulates(rules, surface, term):
+            faithful = True
+            if check_emulation:
+                faithful = (
+                    cache.emulates(surface, term)
+                    if cache
+                    else emulates(rules, surface, term)
+                )
+            if not faithful:
                 raise EmulationViolation(
                     f"surface node {surface} does not desugar into the core "
                     f"term it represents: {term}"

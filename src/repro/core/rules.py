@@ -104,9 +104,14 @@ class RuleList:
             disjointness,
             [r.name for r in self.rules],
         )
-        self._by_label: Dict[str, list[int]] = {}
+        # Dispatch index (criterion 4 guarantees every LHS is a labeled
+        # node): label -> [(rule index, LHS arity)], in priority order.
+        # Expansion consults one bucket instead of scanning every rule,
+        # and the recorded arity skips matches that must fail at the root.
+        self._by_label: Dict[str, list[Tuple[int, int]]] = {}
         for i, rule in enumerate(self.rules):
-            self._by_label.setdefault(rule.label, []).append(i)
+            arity = len(rule.lhs.children) if isinstance(rule.lhs, Node) else -1
+            self._by_label.setdefault(rule.label, []).append((i, arity))
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -132,7 +137,10 @@ class RuleList:
         """
         if not isinstance(term, Node):
             return None
-        for index in self._by_label.get(term.label, ()):
+        term_arity = len(term.children)
+        for index, arity in self._by_label.get(term.label, ()):
+            if arity >= 0 and arity != term_arity:
+                continue
             rule = self.rules[index]
             sigma = match(term, rule.lhs, see_through_tags=True)
             if sigma is None:

@@ -28,6 +28,21 @@ Tags come in two kinds (section 5.2.1):
   RHS, distinguishing sugar-generated code from user code (preserving
   Abstraction).  A body tag is *transparent* if the sugar author prefixed
   the subterm with ``!``, and *opaque* otherwise.
+
+Performance notes.  The recursive classes (:class:`Const`, :class:`Node`,
+:class:`PList`, :class:`Tagged`) are hand-rolled immutable classes rather
+than dataclasses so they can carry two extra slots:
+
+* ``_hash`` — the structural hash, computed once on first use and cached.
+  Terms are immutable, so the cache never invalidates; repeated hashing
+  (memo tables, dedup, dict keys) is O(1) instead of O(size).
+* ``_interned`` — the hash-consing generation stamp managed by
+  :mod:`repro.core.intern`.  Interned terms are canonical: structurally
+  equal interned terms are pointer-identical, so ``==`` degenerates to
+  ``is`` and caches can key on identity.
+
+``__eq__`` additionally fast-paths on identity and on cached-hash
+disagreement before falling back to the structural walk.
 """
 
 from __future__ import annotations
@@ -108,7 +123,6 @@ class PVar(Pattern):
         return f"PVar({self.name!r})"
 
 
-@dataclass(frozen=True, slots=True, eq=False)
 class Const(Pattern):
     """An atomic constant: number, string, boolean, ``None``, or symbol.
 
@@ -117,44 +131,76 @@ class Const(Pattern):
     values equal.  Matching and unification rely on this.
     """
 
-    value: Atom
+    __slots__ = ("value", "_hash", "_interned")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.value, (int, float, str, bool, Symbol, type(None))):
+    def __init__(self, value: Atom) -> None:
+        if not isinstance(value, (int, float, str, bool, Symbol, type(None))):
             raise PatternError(
-                f"Const value must be atomic, got {type(self.value).__name__}"
+                f"Const value must be atomic, got {type(value).__name__}"
             )
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_interned", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Const):
             return NotImplemented
         return type(self.value) is type(other.value) and self.value == other.value
 
     def __hash__(self) -> int:
-        return hash((type(self.value).__name__, self.value))
+        h = self._hash
+        if h is None:
+            h = hash((type(self.value).__name__, self.value))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"Const({self.value!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class Node(Pattern):
     """A labeled node ``l(P1, ..., Pn)`` with fixed arity."""
 
-    label: str
-    children: Tuple[Pattern, ...] = ()
+    __slots__ = ("label", "children", "_hash", "_interned")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.label, str) or not self.label:
+    def __init__(self, label: str, children: Tuple[Pattern, ...] = ()) -> None:
+        if not isinstance(label, str) or not label:
             raise PatternError("Node label must be a non-empty string")
-        object.__setattr__(self, "children", tuple(self.children))
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "children", tuple(children))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_interned", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Node):
+            return NotImplemented
+        h1, h2 = self._hash, other._hash
+        if h1 is not None and h2 is not None and h1 != h2:
+            return False
+        return self.label == other.label and self.children == other.children
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.label, self.children))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(c) for c in self.children)
         return f"Node({self.label!r}, ({inner}))"
 
 
-@dataclass(frozen=True, slots=True)
 class PList(Pattern):
     """A list pattern ``(P1 ... Pn)`` or ``(P1 ... Pn Pe*)``.
 
@@ -163,11 +209,37 @@ class PList(Pattern):
     has ``ellipsis is None``.
     """
 
-    items: Tuple[Pattern, ...] = ()
-    ellipsis: Optional[Pattern] = None
+    __slots__ = ("items", "ellipsis", "_hash", "_interned")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "items", tuple(self.items))
+    def __init__(
+        self,
+        items: Tuple[Pattern, ...] = (),
+        ellipsis: Optional[Pattern] = None,
+    ) -> None:
+        object.__setattr__(self, "items", tuple(items))
+        object.__setattr__(self, "ellipsis", ellipsis)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_interned", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, PList):
+            return NotImplemented
+        h1, h2 = self._hash, other._hash
+        if h1 is not None and h2 is not None and h1 != h2:
+            return False
+        return self.items == other.items and self.ellipsis == other.ellipsis
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.items, self.ellipsis))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(c) for c in self.items)
@@ -215,16 +287,38 @@ class BodyTag(Tag):
         return f"BodyTag({kind})"
 
 
-@dataclass(frozen=True, slots=True)
 class Tagged(Pattern):
     """``(Tag O P)``: a pattern or term carrying an origin tag."""
 
-    tag: Tag
-    term: Pattern
+    __slots__ = ("tag", "term", "_hash", "_interned")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.tag, Tag):
-            raise PatternError(f"Tagged.tag must be a Tag, got {self.tag!r}")
+    def __init__(self, tag: Tag, term: Pattern) -> None:
+        if not isinstance(tag, Tag):
+            raise PatternError(f"Tagged.tag must be a Tag, got {tag!r}")
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "term", term)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_interned", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Tagged):
+            return NotImplemented
+        h1, h2 = self._hash, other._hash
+        if h1 is not None and h2 is not None and h1 != h2:
+            return False
+        return self.tag == other.tag and self.term == other.term
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.tag, self.term))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"Tagged({self.tag!r}, {self.term!r})"

@@ -6,14 +6,21 @@ from a nonterminal — the workhorse behind "is this a value?" during
 decomposition.  Matching sees through origin tags and memoizes per
 ``(nonterminal, term)``, with a visiting set to cut cycles through
 non-productive nonterminal chains.
+
+The memo table is the hottest dictionary in the engine: every
+decomposition probes it for every subterm along the evaluation spine.
+Term hashes are cached on the term objects themselves (see
+:mod:`repro.core.terms`), so probing costs one cached-hash lookup; equal
+keys short-circuit on pointer identity for the shared substructure that
+evaluation preserves from step to step.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.errors import LanguageError
-from repro.core.terms import Pattern
+from repro.core.terms import Const, Node, Pattern, PList, PVar, Tagged
 
 __all__ = ["Grammar"]
 
@@ -52,34 +59,38 @@ class Grammar:
 
     def matches(self, term: Pattern, nonterminal: str) -> bool:
         """Is ``term`` derivable from ``nonterminal``?  Tags transparent."""
-        return self._matches(term, nonterminal, frozenset())
+        return self._matches(term, nonterminal, set())
 
-    def _matches(self, term: Pattern, nonterminal: str, visiting) -> bool:
-        from repro.redex.patterns import redex_match, strip_outer_tags
+    def _matches(self, term: Pattern, nonterminal: str, visiting: Set) -> bool:
+        from repro.redex.patterns import strip_outer_tags
 
         bare = strip_outer_tags(term)
         key = (nonterminal, bare)
-        if key in self._memo:
-            return self._memo[key]
+        memo = self._memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
         probe = (nonterminal, id(bare))
         if probe in visiting:
             # A cycle through nonterminal chains on the same term cannot
             # produce a new derivation.
             return False
-        visiting = visiting | {probe}
-        result = False
-        for production in self.productions(nonterminal):
-            if _production_matches(bare, production, self, visiting):
-                result = True
-                break
-        self._memo[key] = result
+        visiting.add(probe)
+        try:
+            result = False
+            for production in self.productions(nonterminal):
+                if _production_matches(bare, production, self, visiting):
+                    result = True
+                    break
+        finally:
+            visiting.discard(probe)
+        memo[key] = result
         return result
 
 
 def _production_matches(term, production, grammar, visiting) -> bool:
     """Like redex_match but threading the cycle-detection set through
     nonterminal checks."""
-    from repro.core.terms import Const, Node, PList, PVar, Tagged
     from repro.redex.patterns import AtomPred, NTRef, strip_outer_tags
 
     bare = strip_outer_tags(term)

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.bindings import Env
 from repro.core.errors import StuckError
 from repro.core.substitution import subst
-from repro.core.terms import Pattern, Tagged
+from repro.core.terms import Node, Pattern, Tagged
 from repro.redex.grammar import Grammar
 from repro.redex.patterns import redex_match
 from repro.redex.strategy import EvalStrategy
@@ -146,6 +146,39 @@ class ReductionSemantics:
         self.rules: Tuple[ReductionRule, ...] = tuple(rules)
         self.value_nonterminal = value_nonterminal
         self.name = name
+        # Label-indexed dispatch: a rule whose LHS is a labeled node can
+        # only match a redex with that label, so bucket rules by label at
+        # construction and consult one bucket per step instead of trying
+        # every rule.  Rules with a non-node LHS go into a wildcard
+        # bucket; merging by original index preserves priority order.
+        self._by_label: Dict[str, List[int]] = {}
+        self._wildcard: List[int] = []
+        for i, rule in enumerate(self.rules):
+            lhs = rule.lhs
+            while isinstance(lhs, Tagged):
+                lhs = lhs.term
+            if isinstance(lhs, Node):
+                self._by_label.setdefault(lhs.label, []).append(i)
+            else:
+                self._wildcard.append(i)
+
+    def _candidate_rules(self, redex: Pattern) -> List[ReductionRule]:
+        """The rules whose LHS could possibly match ``redex``, in
+        priority order."""
+        bare = redex
+        while isinstance(bare, Tagged):
+            bare = bare.term
+        if not isinstance(bare, Node):
+            indices = self._wildcard
+        else:
+            labeled = self._by_label.get(bare.label, ())
+            if not self._wildcard:
+                indices = labeled
+            elif not labeled:
+                indices = self._wildcard
+            else:
+                indices = sorted((*labeled, *self._wildcard))
+        return [self.rules[i] for i in indices]
 
     def is_value(self, term: Pattern) -> bool:
         return self.grammar.matches(term, self.value_nonterminal)
@@ -161,7 +194,7 @@ class ReductionSemantics:
         if decomposition is None:
             return []
         redex, plug = decomposition.redex, decomposition.plug
-        for rule in self.rules:
+        for rule in self._candidate_rules(redex):
             env = redex_match(redex, rule.lhs, self.grammar)
             if env is None:
                 continue

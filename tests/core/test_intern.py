@@ -1,0 +1,144 @@
+"""Hash-consing (:mod:`repro.core.intern`): canonicalization semantics.
+
+Interning must be transparent — the canonical term is structurally equal
+to its input — while making structural equality coincide with pointer
+identity for ground terms, across rebuilds and against lookalike values
+(``True`` vs ``1``, ``1`` vs ``1.0``, symbols vs strings).
+"""
+
+import pytest
+
+from repro.core import clear_intern_caches, intern, intern_stats, is_interned
+from repro.core.errors import ExpansionError
+from repro.core.incremental import ResugarCache
+from repro.core.rules import Rule, RuleList
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    Node,
+    PList,
+    PVar,
+    Symbol,
+    Tagged,
+)
+
+
+def _tree():
+    return Node(
+        "Add",
+        (
+            Node("Num", (Const(1),)),
+            Node(
+                "Mul",
+                (Node("Num", (Const(2),)), Node("Num", (Const(3),))),
+            ),
+        ),
+    )
+
+
+class TestCanonicalization:
+    def test_structurally_equal_terms_become_identical(self):
+        a, b = intern(_tree()), intern(_tree())
+        assert a is b
+
+    def test_interning_preserves_equality(self):
+        t = _tree()
+        assert intern(t) == t
+
+    def test_idempotent(self):
+        t = intern(_tree())
+        assert intern(t) is t
+        assert is_interned(t)
+
+    def test_shared_subterms_are_shared_objects(self):
+        a = intern(Node("Pair", (_tree(), _tree())))
+        assert a.children[0] is a.children[1]
+
+    def test_plists_intern(self):
+        a = intern(PList((Const(1), Const(2))))
+        b = intern(PList((Const(1), Const(2))))
+        assert a is b
+
+    def test_tagged_interns_by_tag_and_body(self):
+        a = intern(Tagged(BodyTag(), Const(1)))
+        b = intern(Tagged(BodyTag(), Const(1)))
+        assert a is b
+        other = intern(Tagged(BodyTag(transparent=True), Const(1)))
+        assert other is not a
+
+
+class TestValueDistinctions:
+    """Const equality is type-aware; interning must not blur it."""
+
+    @pytest.mark.parametrize(
+        "left, right",
+        [
+            (True, 1),
+            (False, 0),
+            (1, 1.0),
+            (Symbol("x"), "x"),
+            (0, 0.0),
+        ],
+    )
+    def test_lookalike_consts_stay_distinct(self, left, right):
+        assert intern(Const(left)) is not intern(Const(right))
+
+    def test_equal_symbols_unify(self):
+        assert intern(Const(Symbol("x"))) is intern(Const(Symbol("x")))
+
+
+class TestPatternPassthrough:
+    def test_pvar_is_not_interned(self):
+        v = PVar("x")
+        assert intern(v) is v
+        assert not is_interned(v)
+
+    def test_node_containing_pvar_passes_through(self):
+        pattern = Node("Or", (PVar("x"),))
+        assert intern(pattern) is pattern
+        assert not is_interned(pattern)
+
+    def test_ground_subterms_of_patterns_still_canonicalize(self):
+        ground = Node("Num", (Const(7),))
+        intern(Node("Or", (ground, PVar("x"))))
+        # The ground subterm entered the table during the pattern walk:
+        # re-interning an equal fresh term is pure hits, no new entries.
+        misses = intern_stats()["misses"]
+        canon = intern(Node("Num", (Const(7),)))
+        assert intern_stats()["misses"] == misses
+        assert is_interned(canon)
+        assert canon == ground
+
+    def test_ellipsis_plist_passes_through(self):
+        pattern = PList((PVar("x"),), ellipsis=PVar("xs"))
+        assert intern(pattern) is pattern
+
+
+class TestGenerations:
+    def test_clear_invalidates_stamps(self):
+        canon = intern(_tree())
+        assert is_interned(canon)
+        clear_intern_caches()
+        assert not is_interned(canon)
+        fresh = intern(_tree())
+        assert fresh == canon
+        assert is_interned(fresh)
+
+    def test_stats_track_table_and_generation(self):
+        clear_intern_caches()
+        before = intern_stats()
+        intern(_tree())
+        after = intern_stats()
+        assert after["generation"] == before["generation"]
+        assert after["size"] > before["size"]
+        assert after["misses"] > before["misses"]
+        intern(_tree())
+        assert intern_stats()["hits"] > after["hits"]
+
+    def test_resugar_cache_refuses_stale_generation(self):
+        rules = RuleList([Rule(Node("Two", ()), Node("Num", (Const(2),)))])
+        cache = ResugarCache(rules)
+        cache.resugar(intern(Node("Num", (Const(1),))))
+        clear_intern_caches()
+        with pytest.raises(ExpansionError):
+            cache.resugar(intern(Node("Num", (Const(1),))))
