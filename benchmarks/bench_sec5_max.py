@@ -8,7 +8,6 @@ rewritten rules make the LHSs disjoint and the offending step is safely
 skipped instead.
 """
 
-import pytest
 
 from repro.core import (
     DisjointnessError,

@@ -1,0 +1,138 @@
+"""Streaming vs batch lifting: latency-to-first-step and event backlog.
+
+The batch path cannot show a user anything until the *entire* evaluation
+has been lifted; the streaming engine emits the first surface step as
+soon as it exists and holds one event at a time.  On the repository's
+headline 513-step workload this benchmark measures
+
+* **time to first emitted step** — stream (first ``SurfaceEmitted``
+  pulled from the generator) vs batch (the full ``lift()`` call, which
+  is when a batch consumer first sees any step);
+* **peak event backlog** — the largest number of per-step records a
+  consumer must hold before it can act: 1 for the stream, the whole
+  trace for the batch result;
+
+asserts the streaming output is identical to the batch output, and
+records everything in ``BENCH_lift.json`` via :mod:`benchmarks.reporter`.
+"""
+
+import time
+
+from repro.confection import Confection
+from repro.engine.events import BudgetExhausted, CoreStepped, SurfaceEmitted
+from repro.lambdacore import make_stepper, parse_program
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+from benchmarks.conftest import report
+from benchmarks.reporter import REPORTER
+
+RULES = make_scheme_rules()
+HEADLINE_OR_ARMS = 256  # lifts in 513 core steps
+MIN_HEADLINE_STEPS = 500
+# Emitting step 0 still costs one full desugar + resugar of the program,
+# so first-step latency is bounded below by that; on the 513-step chain
+# the stream reaches it ~8x sooner than the batch path finishes.  Assert
+# a conservative floor so slow CI machines do not flake.
+MIN_FIRST_STEP_SPEEDUP = 3.0
+
+
+def _or_chain(n: int) -> str:
+    return "(or " + " ".join(["#f"] * n) + " #t)"
+
+
+def test_headline_time_to_first_step_and_backlog():
+    program = parse_program(_or_chain(HEADLINE_OR_ARMS))
+    confection = Confection(RULES, make_stepper())
+
+    # Batch: the first step becomes visible when the whole lift returns.
+    start = time.perf_counter()
+    batch = confection.lift(program)
+    batch_total = time.perf_counter() - start
+    batch_first_step = batch_total
+    batch_backlog = batch.core_step_count  # every step record, materialized
+
+    # Stream: consume events as they arrive, timing the first emission.
+    start = time.perf_counter()
+    stream_first_step = None
+    surface_sequence = []
+    core_steps = 0
+    for event in confection.lift_stream(program):
+        if isinstance(event, CoreStepped):
+            core_steps += 1
+        elif isinstance(event, SurfaceEmitted):
+            if stream_first_step is None:
+                stream_first_step = time.perf_counter() - start
+            surface_sequence.append(event.surface_term)
+    stream_total = time.perf_counter() - start
+    stream_backlog = 1  # a consumer holds exactly the event in hand
+
+    assert core_steps == batch.core_step_count >= MIN_HEADLINE_STEPS
+    assert surface_sequence == batch.surface_sequence, (
+        "streaming surface sequence diverged from batch"
+    )
+    first_step_speedup = batch_first_step / stream_first_step
+    assert first_step_speedup >= MIN_FIRST_STEP_SPEEDUP, (
+        f"first step only {first_step_speedup:.1f}x sooner via streaming "
+        f"(need >= {MIN_FIRST_STEP_SPEEDUP}x)"
+    )
+
+    REPORTER.record(
+        "stream_lift_513",
+        core_steps=core_steps,
+        shown_steps=len(surface_sequence),
+        batch_seconds_to_first_step=round(batch_first_step, 4),
+        stream_seconds_to_first_step=round(stream_first_step, 6),
+        first_step_speedup=round(first_step_speedup, 1),
+        batch_total_seconds=round(batch_total, 4),
+        stream_total_seconds=round(stream_total, 4),
+        stream_overhead=round(stream_total / batch_total, 3),
+        peak_event_backlog_batch=batch_backlog,
+        peak_event_backlog_stream=stream_backlog,
+    )
+    report(
+        f"Streaming vs batch lift: or_chain_{HEADLINE_OR_ARMS} "
+        f"({core_steps} core steps)",
+        [
+            f"time to first step (batch):  {batch_first_step:.3f}s",
+            f"time to first step (stream): {stream_first_step * 1000:.2f}ms"
+            f"  ({first_step_speedup:.0f}x sooner)",
+            f"total (batch):               {batch_total:.3f}s",
+            f"total (stream):              {stream_total:.3f}s"
+            f"  ({stream_total / batch_total:.2f}x batch)",
+            f"peak event backlog:          batch {batch_backlog}, stream "
+            f"{stream_backlog}",
+        ],
+    )
+
+
+def test_truncation_costs_only_what_it_explores():
+    """A step budget with on_budget='truncate' does work proportional to
+    the budget, not to the full evaluation — the serving story."""
+    program = parse_program(_or_chain(HEADLINE_OR_ARMS))
+    confection = Confection(RULES, make_stepper())
+
+    start = time.perf_counter()
+    partial = confection.lift(program, max_steps=16, on_budget="truncate")
+    partial_s = time.perf_counter() - start
+
+    assert partial.truncated
+    assert partial.core_step_count == 17
+
+    events = list(
+        confection.lift_stream(program, max_steps=16, on_budget="truncate")
+    )
+    assert isinstance(events[-1], BudgetExhausted)
+
+    REPORTER.record(
+        "stream_lift_truncated_16",
+        core_steps=partial.core_step_count,
+        truncated_lift_seconds=round(partial_s, 4),
+    )
+    report(
+        "Budget-truncated lift (max_steps=16)",
+        [
+            f"explored:  {partial.core_step_count} of 513 core steps",
+            f"cost:      {partial_s * 1000:.1f}ms",
+            f"truncated: {partial.truncated}",
+        ],
+    )

@@ -37,6 +37,7 @@ from repro.lang import parse_pattern, parse_rulelist, parse_rules, parse_term, r
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
     "Confection",
     "Const",
     "Node",
@@ -64,14 +65,34 @@ __all__ = [
     "parse_term",
     "render",
     "__version__",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "lift_stream",
+    "lift_tree_stream",
 ]
+
+_LAZY_EXPORTS = {
+    # Confection pulls in the stepper machinery, and the engine pulls in
+    # Confection; import them lazily so that ``import repro`` stays
+    # cheap for users of the core only.
+    "Confection": ("repro.confection", "Confection"),
+    "Backend": ("repro.engine.registry", "Backend"),
+    "register_backend": ("repro.engine.registry", "register_backend"),
+    "get_backend": ("repro.engine.registry", "get_backend"),
+    "available_backends": ("repro.engine.registry", "available_backends"),
+    "lift_stream": ("repro.engine.stream", "lift_stream"),
+    "lift_tree_stream": ("repro.engine.stream", "lift_tree_stream"),
+}
 
 
 def __getattr__(name: str):
-    # Confection pulls in the stepper machinery; import it lazily so that
-    # ``import repro`` stays cheap for users of the core only.
-    if name == "Confection":
-        from repro.confection import Confection
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
 
-        return Confection
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(module_name), attr)

@@ -1,14 +1,22 @@
 """Command-line interface: CONFECTION as a tool.
 
 The paper's artifact is a command-line program fed a grammar file and
-rewrite rules; this CLI plays the same role for the two bundled
-languages and any user rules file.
+rewrite rules; this CLI plays the same role for every language backend
+registered with :mod:`repro.engine.registry` (the bundled ``lambda`` and
+``pyret`` plus anything third-party code registers) and any user rules
+file.  ``lift`` output *streams*: surface steps are printed as the
+underlying :func:`~repro.engine.stream.lift_stream` produces them, so
+the first step appears before evaluation finishes and long runs can be
+budgeted with ``--max-steps`` / ``--max-seconds`` (``--on-budget
+truncate`` turns budget exhaustion into a truncated-but-valid trace
+instead of an error).
 
 Examples::
 
     python -m repro lift --lang lambda '(or (not #t) (not #f))'
     python -m repro lift --lang pyret  '1 + (2 + 3)' --op object
     python -m repro lift --lang lambda --sugar automaton --tree '(amb 1 2)'
+    python -m repro lift --lang lambda --max-seconds 1 --on-budget truncate @prog.scm
     python -m repro desugar --lang pyret 'not true'
     python -m repro trace --lang lambda '(+ 1 (* 2 3))'
     python -m repro check my_rules.confection
@@ -18,65 +26,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.confection import Confection
 from repro.core.errors import ReproError
 from repro.core.wellformed import DisjointnessMode
+from repro.engine import events
+from repro.engine.registry import Backend, available_backends, get_backend
+from repro.engine.stream import ON_BUDGET_POLICIES
 
 __all__ = ["main", "build_parser"]
-
-
-class _Language:
-    """Everything the CLI needs to know about one object language."""
-
-    def __init__(self, parse, pretty, make_stepper, sugar_factories):
-        self.parse = parse
-        self.pretty = pretty
-        self.make_stepper = make_stepper
-        self.sugar_factories = sugar_factories
-
-
-def _lambda_language() -> _Language:
-    from repro.lambdacore import make_stepper, parse_program, pretty
-    from repro.sugars.automaton import make_automaton_rules
-    from repro.sugars.returns import make_return_rules
-    from repro.sugars.scheme_sugars import make_scheme_rules
-
-    return _Language(
-        parse_program,
-        pretty,
-        make_stepper,
-        {
-            "scheme": make_scheme_rules,
-            "automaton": lambda **kw: make_automaton_rules(
-                transparent_recursion=kw.get("transparent_recursion", False)
-            ),
-            "return": lambda **kw: make_return_rules(**kw),
-        },
-    )
-
-
-def _pyret_language() -> _Language:
-    from repro.pyretcore import make_stepper, parse_program, pretty
-    from repro.sugars.pyret_sugars import make_pyret_rules
-
-    return _Language(
-        parse_program,
-        pretty,
-        make_stepper,
-        {
-            "pyret": lambda op_desugaring="naive", **kw: make_pyret_rules(
-                op_desugaring
-            ),
-        },
-    )
-
-
-_LANGUAGES: dict[str, Callable[[], _Language]] = {
-    "lambda": _lambda_language,
-    "pyret": _pyret_language,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,15 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p, with_program=True):
         p.add_argument(
             "--lang",
-            choices=sorted(_LANGUAGES),
+            choices=available_backends(),
             default="lambda",
-            help="object language (default: lambda)",
+            help="object language backend (default: lambda)",
         )
         p.add_argument(
             "--sugar",
             default=None,
             help="bundled sugar set (lambda: scheme/automaton/return; "
-            "pyret: pyret); default: the language's standard set",
+            "pyret: pyret); default: the backend's standard set",
         )
         p.add_argument(
             "--rules-file",
@@ -124,7 +83,25 @@ def build_parser() -> argparse.ArgumentParser:
     lift.add_argument(
         "--tree", action="store_true", help="lift a nondeterministic tree"
     )
-    lift.add_argument("--max-steps", type=int, default=100_000)
+    lift.add_argument(
+        "--max-steps",
+        type=int,
+        default=100_000,
+        help="step budget (explored core nodes with --tree)",
+    )
+    lift.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget for the lift",
+    )
+    lift.add_argument(
+        "--on-budget",
+        choices=ON_BUDGET_POLICIES,
+        default="raise",
+        help="budget exhaustion policy: error out, or truncate the "
+        "trace (default: raise)",
+    )
     lift.add_argument(
         "--show-skipped",
         action="store_true",
@@ -174,97 +151,136 @@ def _read_program(arg: str) -> str:
     return arg
 
 
-def _build_confection(args) -> tuple[Confection, _Language]:
-    language = _LANGUAGES[args.lang]()
+def _build_confection(args) -> tuple[Confection, Backend]:
+    backend = get_backend(args.lang)
     if args.rules_file:
         with open(args.rules_file) as handle:
             rules_source = handle.read()
-        confection = Confection(rules_source, language.make_stepper())
-        return confection, language
-    sugar = args.sugar or next(iter(language.sugar_factories))
+        return Confection(rules_source, backend.make_stepper()), backend
+    # Every backend's factories see the full option set and pick what
+    # they understand (the registry contract) — so no flag can be
+    # silently discarded by a language-specific override.
+    options = {
+        "transparent_recursion": args.transparent,
+        "op_desugaring": args.op,
+    }
     try:
-        factory = language.sugar_factories[sugar]
-    except KeyError:
-        known = ", ".join(sorted(language.sugar_factories))
-        raise SystemExit(
-            f"unknown sugar set {sugar!r} for --lang {args.lang} "
-            f"(choose from: {known})"
-        )
-    kwargs = {}
-    if args.transparent:
-        kwargs["transparent_recursion"] = True
-    if args.lang == "pyret":
-        kwargs = {"op_desugaring": args.op}
-    rules = factory(**kwargs)
-    return Confection(rules, language.make_stepper()), language
+        confection = backend.make_confection(args.sugar, **options)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    return confection, backend
+
+
+def _print_budget_notice(event: events.BudgetExhausted) -> None:
+    print(f"[truncated: {event.describe()}]", file=sys.stderr)
 
 
 def _cmd_lift(args) -> int:
-    confection, language = _build_confection(args)
-    program = language.parse(_read_program(args.program))
+    confection, backend = _build_confection(args)
+    program = backend.parse(_read_program(args.program))
+    budget_kwargs = dict(max_seconds=args.max_seconds, on_budget=args.on_budget)
     if args.tree:
-        tree = confection.lift_tree(program)
-
-        def walk(node_id, depth):
-            print("  " * depth + language.pretty(tree.nodes[node_id]))
-            for child in tree.children(node_id):
-                walk(child, depth + 1)
-
-        walk(tree.root, 0)
-        print(
-            f"[{tree.core_node_count} core states, "
-            f"{tree.skipped_count} skipped]",
-            file=sys.stderr,
+        return _cmd_lift_tree(args, confection, backend, program, budget_kwargs)
+    if args.html or args.table:
+        # These renderings need the whole trace; fold the stream.
+        result = confection.lift(
+            program, max_steps=args.max_steps, **budget_kwargs
         )
-        return 0
-    result = confection.lift(program, max_steps=args.max_steps)
-    if args.html:
-        from repro.viz import render_html
+        if args.html:
+            from repro.viz import render_html
 
-        with open(args.html, "w") as handle:
-            handle.write(render_html(result, language.pretty))
-        print(f"wrote {args.html}", file=sys.stderr)
-        return 0
-    if args.table:
-        from repro.viz import render_text
+            with open(args.html, "w") as handle:
+                handle.write(render_html(result, backend.pretty))
+            print(f"wrote {args.html}", file=sys.stderr)
+        else:
+            from repro.viz import render_text
 
-        print(render_text(result, language.pretty))
+            print(render_text(result, backend.pretty))
         return 0
-    if args.show_skipped:
-        for step in result.steps:
-            mark = " " if step.emitted else ("x" if step.skipped else "=")
-            print(f"{mark} {language.pretty(step.core_term)}")
-    else:
-        for term in result.surface_sequence:
-            print(language.pretty(term))
+
+    # Streaming path: print surface steps as the engine produces them.
+    core = skipped = 0
+    exhausted: Optional[events.BudgetExhausted] = None
+    for event in confection.lift_stream(
+        program, max_steps=args.max_steps, **budget_kwargs
+    ):
+        if isinstance(event, events.CoreStepped):
+            core += 1
+        elif isinstance(event, events.SurfaceEmitted):
+            line = (
+                f"  {backend.pretty(event.core_term)}"
+                if args.show_skipped
+                else backend.pretty(event.surface_term)
+            )
+            print(line, flush=True)
+        elif isinstance(event, events.StepSkipped):
+            skipped += 1
+            if args.show_skipped:
+                print(f"x {backend.pretty(event.core_term)}", flush=True)
+        elif isinstance(event, events.Deduped):
+            if args.show_skipped:
+                print(f"= {backend.pretty(event.core_term)}", flush=True)
+        elif isinstance(event, events.BudgetExhausted):
+            exhausted = event
+    coverage = 1.0 - skipped / core if core else 1.0
     print(
-        f"[{result.core_step_count} core steps, "
-        f"{result.skipped_count} skipped, "
-        f"coverage {result.coverage:.0%}]",
+        f"[{core} core steps, {skipped} skipped, coverage {coverage:.0%}]",
         file=sys.stderr,
     )
+    if exhausted is not None:
+        _print_budget_notice(exhausted)
+    return 0
+
+
+def _cmd_lift_tree(args, confection, backend, program, budget_kwargs) -> int:
+    tree = confection.lift_tree(
+        program, max_nodes=args.max_steps, **budget_kwargs
+    )
+    if tree.root is not None:
+        stack = [(tree.root, 0)]
+        while stack:
+            node_id, depth = stack.pop()
+            print("  " * depth + backend.pretty(tree.nodes[node_id]))
+            stack.extend(
+                (child, depth + 1) for child in reversed(tree.children(node_id))
+            )
+    print(
+        f"[{tree.core_node_count} core states, "
+        f"{tree.skipped_count} skipped]",
+        file=sys.stderr,
+    )
+    if tree.truncated:
+        print("[truncated: node or time budget exhausted]", file=sys.stderr)
+    if tree.root is None:
+        print(
+            "no explored core state has a surface representation; "
+            "nothing to display (try --show-skipped with a sequence "
+            "lift, or check the sugar's transparency annotations)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
 def _cmd_desugar(args) -> int:
-    confection, language = _build_confection(args)
-    core = confection.desugar(language.parse(_read_program(args.program)))
+    confection, backend = _build_confection(args)
+    core = confection.desugar(backend.parse(_read_program(args.program)))
     if args.tags:
         from repro.lang.render import render
 
         print(render(core, show_tags=True))
     else:
-        print(language.pretty(core))
+        print(backend.pretty(core))
     return 0
 
 
 def _cmd_trace(args) -> int:
-    confection, language = _build_confection(args)
-    core = confection.desugar(language.parse(_read_program(args.program)))
+    confection, backend = _build_confection(args)
+    core = confection.desugar(backend.parse(_read_program(args.program)))
     stepper = confection.stepper
     state = stepper.load(core)
     for _ in range(args.max_steps):
-        print(language.pretty(stepper.term(state)))
+        print(backend.pretty(stepper.term(state)))
         successors = stepper.step(state)
         if not successors:
             return 0

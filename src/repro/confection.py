@@ -12,7 +12,7 @@ results can be rendered back to strings with :meth:`Confection.show`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Iterator, List, Optional, Union
 
 from repro.core.desugar import desugar as _desugar
 from repro.core.desugar import resugar as _resugar
@@ -89,19 +89,57 @@ class Confection:
         dedup: bool = True,
         check_emulation: bool = True,
         incremental: bool = True,
+        max_seconds: Optional[float] = None,
+        on_budget: str = "raise",
     ) -> LiftResult:
         """Run the program and lift its core evaluation sequence into a
         surface evaluation sequence, with per-step bookkeeping.
 
         ``incremental`` (default) resugars through a per-run cache so a
         step costs work proportional to the rewritten spine; disable it
-        to force the naive full-tree path (reference semantics)."""
+        to force the naive full-tree path (reference semantics).
+
+        ``max_steps``/``max_seconds`` budget the lift; with
+        ``on_budget="truncate"`` an exhausted budget returns a
+        well-formed partial result (``truncated=True``) instead of
+        raising."""
         self._require_stepper()
         return lift_evaluation(
             self.rules,
             self.stepper,
             self.term(surface_term),
             max_steps=max_steps,
+            dedup=dedup,
+            check_emulation=check_emulation,
+            incremental=incremental,
+            max_seconds=max_seconds,
+            on_budget=on_budget,
+        )
+
+    def lift_stream(
+        self,
+        surface_term: TermLike,
+        max_steps: int = 100_000,
+        dedup: bool = True,
+        check_emulation: bool = True,
+        incremental: bool = True,
+        max_seconds: Optional[float] = None,
+        on_budget: str = "raise",
+    ) -> Iterator["LiftEvent"]:
+        """Lift lazily, yielding :mod:`repro.engine.events` events as
+        core evaluation proceeds (the streaming face of :meth:`lift` —
+        same options, same output, but the first surface step is
+        available immediately and memory stays bounded)."""
+        from repro.engine.stream import lift_stream
+
+        self._require_stepper()
+        return lift_stream(
+            self.rules,
+            self.stepper,
+            self.term(surface_term),
+            max_steps=max_steps,
+            max_seconds=max_seconds,
+            on_budget=on_budget,
             dedup=dedup,
             check_emulation=check_emulation,
             incremental=incremental,
@@ -122,6 +160,8 @@ class Confection:
         max_nodes: int = 100_000,
         check_emulation: bool = True,
         incremental: bool = True,
+        max_seconds: Optional[float] = None,
+        on_budget: str = "raise",
     ) -> SurfaceTree:
         """Lift a nondeterministic evaluation into a surface tree."""
         self._require_stepper()
@@ -130,6 +170,34 @@ class Confection:
             self.stepper,
             self.term(surface_term),
             max_nodes=max_nodes,
+            check_emulation=check_emulation,
+            incremental=incremental,
+            max_seconds=max_seconds,
+            on_budget=on_budget,
+        )
+
+    def lift_tree_stream(
+        self,
+        surface_term: TermLike,
+        max_nodes: int = 100_000,
+        check_emulation: bool = True,
+        incremental: bool = True,
+        max_seconds: Optional[float] = None,
+        on_budget: str = "raise",
+    ) -> Iterator["LiftEvent"]:
+        """Lift a nondeterministic evaluation lazily, yielding events in
+        breadth-first exploration order (the streaming face of
+        :meth:`lift_tree`)."""
+        from repro.engine.stream import lift_tree_stream
+
+        self._require_stepper()
+        return lift_tree_stream(
+            self.rules,
+            self.stepper,
+            self.term(surface_term),
+            max_nodes=max_nodes,
+            max_seconds=max_seconds,
+            on_budget=on_budget,
             check_emulation=check_emulation,
             incremental=incremental,
         )

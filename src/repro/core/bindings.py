@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import PatternError, SubstitutionError
-from repro.core.terms import Const, Pattern, PList, is_atomic
+from repro.core.terms import Const, Pattern, PList
 
 __all__ = [
     "Binding",

@@ -38,7 +38,6 @@ from repro.core.recursion import deep_recursion
 from repro.core.rules import RuleList
 from repro.core.tags import has_head_tags, has_opaque_body_tags
 from repro.core.terms import (
-    BodyTag,
     Const,
     HeadTag,
     Node,

@@ -25,7 +25,7 @@ suite asserts this over the whole golden corpus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.desugar import (

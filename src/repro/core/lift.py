@@ -20,17 +20,21 @@ owns whatever machine state evaluation needs (typically a store) and can
 always render its current state as a core *term* — the thing resugaring
 consumes.  Section 7 of the paper describes recovering such a stepper
 from a production evaluator; our interpreters provide one natively.
+
+The loop itself lives in :mod:`repro.engine.stream` as a lazy event
+generator (the serving-oriented interface: first step available
+immediately, bounded memory, step/time budgets).  The batch functions
+here — :func:`lift_evaluation` and :func:`lift_evaluation_tree` — are
+eager folds over those streams, so the two interfaces cannot drift
+apart.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
-    Generic,
-    Hashable,
     List,
     Optional,
     Protocol,
@@ -39,12 +43,8 @@ from typing import (
     TypeVar,
 )
 
-from repro.core.desugar import desugar, resugar
 from repro.core.errors import ReproError
-from repro.core.incremental import CacheStats, ResugarCache
-from repro.core.recursion import deep_recursion
-from repro.core.lenses import emulates
-from repro.core.rules import RuleList
+from repro.core.incremental import CacheStats
 from repro.core.terms import Pattern
 
 __all__ = [
@@ -130,6 +130,10 @@ class LiftResult:
     cache_stats: Optional[CacheStats] = None
     """Per-run :class:`~repro.core.incremental.CacheStats` when the lift
     ran incrementally; ``None`` on the naive path."""
+    truncated: bool = False
+    """True when a step or wall-clock budget ran out under
+    ``on_budget="truncate"``; the result is then a well-formed prefix of
+    the full lift."""
 
     @property
     def core_step_count(self) -> int:
@@ -152,13 +156,15 @@ class LiftResult:
 
 
 def lift_evaluation(
-    rules: RuleList,
+    rules,
     stepper: "Stepper",
     surface_term: Pattern,
     max_steps: int = 100_000,
     dedup: bool = True,
     check_emulation: bool = True,
     incremental: bool = True,
+    max_seconds: Optional[float] = None,
+    on_budget: str = "raise",
 ) -> LiftResult:
     """Compute the surface evaluation sequence of ``surface_term``.
 
@@ -174,58 +180,30 @@ def lift_evaluation(
     :class:`~repro.core.incremental.ResugarCache`, so each step costs
     work proportional to the spine the stepper rewrote rather than the
     whole term; the emitted sequence is identical to the naive path.
+
+    ``max_steps`` and ``max_seconds`` budget the lift; ``on_budget``
+    decides whether exhaustion raises :class:`ReproError` (``"raise"``,
+    the default) or returns a well-formed partial result with
+    ``truncated=True`` (``"truncate"``).
+
+    This is an eager fold over :func:`repro.engine.stream.lift_stream`;
+    use the stream directly to consume steps as they are produced.
     """
-    core = desugar(rules, surface_term)
-    state = stepper.load(core)
-    result = LiftResult()
-    cache = ResugarCache(rules) if incremental else None
+    from repro.engine.stream import fold_lift, lift_stream
 
-    with deep_recursion():
-        return _lift_loop(
-            rules, stepper, state, result, max_steps, dedup, check_emulation,
-            cache,
+    return fold_lift(
+        lift_stream(
+            rules,
+            stepper,
+            surface_term,
+            max_steps=max_steps,
+            max_seconds=max_seconds,
+            on_budget=on_budget,
+            dedup=dedup,
+            check_emulation=check_emulation,
+            incremental=incremental,
         )
-
-
-def _lift_loop(
-    rules, stepper, state, result, max_steps, dedup, check_emulation, cache
-):
-    last_emitted: Optional[Pattern] = None
-    if cache is not None:
-        result.cache_stats = cache.stats
-    for index in range(max_steps + 1):
-        term = stepper.term(state)
-        surface = cache.resugar(term) if cache else resugar(rules, term)
-        emitted = False
-        if surface is not None:
-            if check_emulation:
-                faithful = (
-                    cache.emulates(surface, term)
-                    if cache
-                    else emulates(rules, surface, term)
-                )
-                if not faithful:
-                    raise EmulationViolation(
-                        f"surface step {surface} does not desugar into the "
-                        f"core term it represents: {term}"
-                    )
-            if not (dedup and surface == last_emitted):
-                result.surface_sequence.append(surface)
-                last_emitted = surface
-                emitted = True
-        result.steps.append(LiftedStep(index, term, surface, emitted))
-
-        successors = stepper.step(state)
-        if not successors:
-            return result
-        if len(successors) > 1:
-            raise ReproError(
-                "nondeterministic step during sequence lifting; use "
-                "lift_evaluation_tree for languages with amb"
-            )
-        state = successors[0]
-
-    raise ReproError(f"evaluation did not finish within {max_steps} steps")
+    )
 
 
 @dataclass
@@ -244,6 +222,10 @@ class SurfaceTree:
     root: Optional[int] = None
     core_node_count: int = 0
     skipped_count: int = 0
+    truncated: bool = False
+    """True when a node or wall-clock budget ran out under
+    ``on_budget="truncate"``; the tree is then a well-formed
+    breadth-first prefix of the full tree."""
     _adjacency: Optional[Dict[int, List[int]]] = field(
         default=None, repr=False, compare=False
     )
@@ -309,12 +291,14 @@ class SurfaceTree:
 
 
 def lift_evaluation_tree(
-    rules: RuleList,
+    rules,
     stepper: "Stepper",
     surface_term: Pattern,
     max_nodes: int = 100_000,
     check_emulation: bool = True,
     incremental: bool = True,
+    max_seconds: Optional[float] = None,
+    on_budget: str = "raise",
 ) -> SurfaceTree:
     """Lift a nondeterministic evaluation into a surface tree
     (section 5.3's breadth-first exploration with bookkeeping).
@@ -326,51 +310,22 @@ def lift_evaluation_tree(
     resugaring work across branches through a per-run
     :class:`~repro.core.incremental.ResugarCache` — sibling states share
     almost their entire term.
+
+    ``max_nodes``/``max_seconds``/``on_budget`` budget the exploration
+    exactly as on :func:`lift_evaluation`.  This is an eager fold over
+    :func:`repro.engine.stream.lift_tree_stream`.
     """
-    core = desugar(rules, surface_term)
-    tree = SurfaceTree()
-    cache = ResugarCache(rules) if incremental else None
+    from repro.engine.stream import fold_tree, lift_tree_stream
 
-    # Queue holds (state, nearest surface ancestor id or None).
-    queue: deque = deque([(stepper.load(core), None)])
-    with deep_recursion():
-        return _tree_loop(
-            rules, stepper, tree, queue, max_nodes, check_emulation, cache
+    return fold_tree(
+        lift_tree_stream(
+            rules,
+            stepper,
+            surface_term,
+            max_nodes=max_nodes,
+            max_seconds=max_seconds,
+            on_budget=on_budget,
+            check_emulation=check_emulation,
+            incremental=incremental,
         )
-
-
-def _tree_loop(rules, stepper, tree, queue, max_nodes, check_emulation, cache):
-    next_id = 0
-    while queue:
-        if tree.core_node_count >= max_nodes:
-            raise ReproError(f"evaluation tree exceeded {max_nodes} core nodes")
-        state, parent = queue.popleft()
-        tree.core_node_count += 1
-        term = stepper.term(state)
-        surface = cache.resugar(term) if cache else resugar(rules, term)
-        if surface is not None:
-            faithful = True
-            if check_emulation:
-                faithful = (
-                    cache.emulates(surface, term)
-                    if cache
-                    else emulates(rules, surface, term)
-                )
-            if not faithful:
-                raise EmulationViolation(
-                    f"surface node {surface} does not desugar into the core "
-                    f"term it represents: {term}"
-                )
-            node_id = next_id
-            next_id += 1
-            tree.nodes[node_id] = surface
-            if parent is None:
-                tree.root = node_id
-            else:
-                tree.edges.append((parent, node_id))
-            parent = node_id
-        else:
-            tree.skipped_count += 1
-        for successor in stepper.step(state):
-            queue.append((successor, parent))
-    return tree
+    )

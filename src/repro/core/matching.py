@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
-from repro.core.bindings import Binding, Env, ListBinding, merge
+from repro.core.bindings import Binding, Env, merge
 from repro.core.terms import (
     BodyTag,
     Const,

@@ -20,14 +20,14 @@ configurable via :class:`~repro.core.wellformed.DisjointnessMode`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
-from repro.core.bindings import Binding, Env, restrict, right_biased_union
+from repro.core.bindings import Binding, restrict, right_biased_union
 from repro.core.errors import ExpansionError
 from repro.core.matching import match
 from repro.core.substitution import subst
 from repro.core.tags import insert_body_tags
-from repro.core.terms import HeadTag, Node, Pattern, pattern_variables
+from repro.core.terms import Node, Pattern, pattern_variables
 from repro.core.wellformed import (
     DisjointnessMode,
     check_disjointness,

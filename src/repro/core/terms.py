@@ -47,7 +47,7 @@ disagreement before falling back to the structural walk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple, Union
 
 from repro.core.errors import PatternError

@@ -33,7 +33,6 @@ from repro.core.terms import (
     Node,
     Pattern,
     PList,
-    PVar,
     Tagged,
     pattern_variables,
     variable_depths,

@@ -1,0 +1,139 @@
+"""Typed events produced by the streaming lift engine.
+
+A lift is a sequence of events, in core-evaluation order.  For every
+core step the stream yields a :class:`CoreStepped` announcing the core
+term, followed by exactly one *classification* event:
+
+* :class:`SurfaceEmitted` — the term resugared and the surface term is
+  new output (this is what a user-facing stepper displays);
+* :class:`Deduped` — the term resugared but to the same surface term as
+  the previously emitted one (consecutive core steps can differ only in
+  machine state invisible at the surface);
+* :class:`StepSkipped` — the term has no faithful surface representation
+  (an unexpansion failed or an opaque body tag survived).
+
+The stream ends with exactly one *terminal* event:
+
+* :class:`Halted` — evaluation finished (the stepper returned no
+  successor);
+* :class:`BudgetExhausted` — a step-count or wall-clock budget ran out
+  under the ``on_budget="truncate"`` policy (under ``"raise"`` the
+  stream raises :class:`~repro.core.errors.ReproError` instead).
+
+Tree lifts (:func:`repro.engine.stream.lift_tree_stream`) reuse the same
+vocabulary: ``core_index`` is the breadth-first exploration order of the
+core state, and :class:`SurfaceEmitted` additionally carries ``node_id``
+and ``parent_id`` so the surface tree can be reconstructed from the
+events alone.
+
+Events are frozen dataclasses: safe to store, hash, and ship across
+threads or serialization boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.incremental import CacheStats
+from repro.core.terms import Pattern
+
+__all__ = [
+    "LiftEvent",
+    "CoreStepped",
+    "SurfaceEmitted",
+    "StepSkipped",
+    "Deduped",
+    "Halted",
+    "BudgetExhausted",
+]
+
+
+class LiftEvent:
+    """Marker base class for every event a lift stream yields."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class CoreStepped(LiftEvent):
+    """The stepper reached core state ``core_index`` (0 is the desugared
+    input program).  Always followed by a classification event for the
+    same index."""
+
+    core_index: int
+    core_term: Pattern
+
+
+@dataclass(frozen=True)
+class SurfaceEmitted(LiftEvent):
+    """Core step ``core_index`` has a (new) surface representation —
+    display it.
+
+    For tree lifts, ``node_id`` is the id of the surface node this event
+    created and ``parent_id`` the id of its nearest resugarable ancestor
+    (``None`` for a root).  Sequence lifts leave both ``None``.
+    """
+
+    core_index: int
+    core_term: Pattern
+    surface_term: Pattern
+    node_id: Optional[int] = None
+    parent_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Deduped(LiftEvent):
+    """Core step ``core_index`` resugars to the same surface term as the
+    previously emitted step; it is recorded but not displayed."""
+
+    core_index: int
+    core_term: Pattern
+    surface_term: Pattern
+
+
+@dataclass(frozen=True)
+class StepSkipped(LiftEvent):
+    """Core step ``core_index`` has no faithful surface representation
+    (the paper's Abstraction property in action)."""
+
+    core_index: int
+    core_term: Pattern
+
+
+@dataclass(frozen=True)
+class Halted(LiftEvent):
+    """Evaluation finished normally after ``core_step_count`` core
+    steps.  ``cache_stats`` is the live per-run
+    :class:`~repro.core.incremental.CacheStats` when the lift ran
+    incrementally, ``None`` on the naive path."""
+
+    core_step_count: int
+    cache_stats: Optional[CacheStats] = None
+
+
+@dataclass(frozen=True)
+class BudgetExhausted(LiftEvent):
+    """A budget ran out before evaluation finished (only under
+    ``on_budget="truncate"``; the ``"raise"`` policy raises instead).
+
+    ``budget`` names the exhausted budget: ``"steps"`` (sequence lifts),
+    ``"nodes"`` (tree lifts), or ``"seconds"`` (wall clock).  ``limit``
+    is the configured bound.  Everything yielded before this event is a
+    valid, well-formed prefix of the full lift.
+    """
+
+    core_step_count: int
+    cache_stats: Optional[CacheStats] = None
+    budget: str = "steps"
+    limit: Union[int, float] = 0
+
+    def describe(self) -> str:
+        """A human-readable one-liner for CLIs and logs."""
+        unit = {"steps": "core steps", "nodes": "core nodes"}.get(
+            self.budget, self.budget
+        )
+        return (
+            f"{self.budget} budget exhausted after {self.core_step_count} "
+            f"core steps (limit: {self.limit:g} {unit})"
+        )

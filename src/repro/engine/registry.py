@@ -1,0 +1,160 @@
+"""First-class language backends: register once, lift everywhere.
+
+A :class:`Backend` bundles everything the toolchain needs to know about
+one object language — a parser, a pretty-printer, a stepper factory, and
+its named sugar sets.  Backends live in a process-wide registry: the CLI
+resolves ``--lang`` through :func:`get_backend`, and library users get a
+ready :class:`~repro.confection.Confection` from
+:meth:`Backend.make_confection`.
+
+The bundled languages register themselves when their package is
+imported (:mod:`repro.lambdacore` as ``"lambda"``,
+:mod:`repro.pyretcore` as ``"pyret"``); :func:`get_backend` imports
+them on demand so nothing heavy loads until a backend is actually used.
+Third-party languages call :func:`register_backend` at import time and
+immediately appear in ``python -m repro lift --lang <name>``.
+
+Sugar factories are ``fn(**options) -> RuleList`` callables.  They
+receive the full option set the caller assembled (the CLI passes e.g.
+``transparent_recursion`` *and* ``op_desugaring`` to every backend
+uniformly) and must ignore options they do not understand — that
+contract is what makes backend-generic drivers possible.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "Backend",
+    "UnknownBackendError",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+class UnknownBackendError(ReproError):
+    """No backend is registered (or bundled) under the requested name."""
+
+
+@dataclass(frozen=True)
+class Backend:
+    """Everything the toolchain needs to know about one object language.
+
+    ``parse`` maps program text to a surface term; ``pretty`` renders a
+    term back to program text; ``make_stepper`` builds a fresh
+    :class:`~repro.core.lift.Stepper`; ``sugar_factories`` maps sugar-set
+    names to ``fn(**options) -> RuleList`` factories (see the module
+    docstring for the options contract).  ``default_sugar`` names the
+    set used when the caller does not choose one (defaults to the first
+    registered factory).
+    """
+
+    name: str
+    parse: Callable[[str], Any]
+    pretty: Callable[[Any], str]
+    make_stepper: Callable[[], Any]
+    sugar_factories: Mapping[str, Callable[..., Any]] = field(
+        default_factory=dict
+    )
+    default_sugar: Optional[str] = None
+    description: str = ""
+
+    @property
+    def sugar_names(self) -> Tuple[str, ...]:
+        return tuple(self.sugar_factories)
+
+    def make_rules(self, sugar: Optional[str] = None, **options: Any):
+        """Build the named sugar set (or the default one) as a
+        :class:`~repro.core.rules.RuleList`."""
+        name = sugar or self.default_sugar
+        if name is None:
+            if not self.sugar_factories:
+                raise ReproError(
+                    f"backend {self.name!r} has no sugar sets; pass rules "
+                    f"explicitly"
+                )
+            name = next(iter(self.sugar_factories))
+        try:
+            factory = self.sugar_factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self.sugar_factories)) or "<none>"
+            raise ReproError(
+                f"unknown sugar set {name!r} for backend {self.name!r} "
+                f"(choose from: {known})"
+            ) from None
+        return factory(**options)
+
+    def make_confection(
+        self,
+        sugar: Optional[str] = None,
+        rules: Any = None,
+        **options: Any,
+    ):
+        """A ready :class:`~repro.confection.Confection`: the named (or
+        default) sugar set — or explicit ``rules`` — plus a fresh
+        stepper."""
+        from repro.confection import Confection
+
+        if rules is None:
+            rules = self.make_rules(sugar, **options)
+        return Confection(rules, self.make_stepper())
+
+
+_BACKENDS: Dict[str, Backend] = {}
+
+# Bundled backends, importable on demand; importing the module runs its
+# register_backend() call.
+_BUILTIN_MODULES: Dict[str, str] = {
+    "lambda": "repro.lambdacore",
+    "pyret": "repro.pyretcore",
+}
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Register ``backend`` under ``backend.name``.
+
+    Re-registering an identical name raises unless ``replace=True``
+    (idempotent re-imports of the same module are fine: registering the
+    exact same names is only an error when the backend object differs).
+    """
+    existing = _BACKENDS.get(backend.name)
+    if existing is not None and existing is not backend and not replace:
+        raise ValueError(
+            f"a backend named {backend.name!r} is already registered; "
+            f"pass replace=True to override it"
+        )
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (no-op when absent)."""
+    _BACKENDS.pop(name, None)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name, importing bundled ones on demand."""
+    if name not in _BACKENDS:
+        module = _BUILTIN_MODULES.get(name)
+        if module is not None:
+            importlib.import_module(module)
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(available_backends()) or "<none>"
+        raise UnknownBackendError(
+            f"unknown language backend {name!r} (known: {known})"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names resolvable by :func:`get_backend`: everything registered
+    plus the bundled backends (whether or not imported yet)."""
+    return tuple(sorted(set(_BACKENDS) | set(_BUILTIN_MODULES)))

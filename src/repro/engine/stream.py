@@ -1,0 +1,303 @@
+"""Streaming lift generators and the folds back to batch results.
+
+:func:`lift_stream` is the paper's lifting loop (section 5.3) as a lazy
+generator: desugar once, then *emit a surface term, step the core,
+repeat* — yielding a typed :mod:`~repro.engine.events` event at every
+juncture instead of materializing a :class:`~repro.core.lift.LiftResult`
+up front.  Consumers see the first surface step as soon as it exists,
+hold at most one event at a time, and can stop early by abandoning the
+generator.  :func:`lift_tree_stream` does the same for nondeterministic
+evaluation trees (breadth-first).
+
+Both generators take budgets:
+
+* ``max_steps`` / ``max_nodes`` — a step-count budget (how much core
+  evaluation to explore);
+* ``max_seconds`` — a wall-clock budget measured from the first event;
+
+and an ``on_budget`` policy deciding what exhaustion means:
+
+* ``"raise"`` (default) — raise :class:`~repro.core.errors.ReproError`,
+  the historical batch behaviour;
+* ``"truncate"`` — yield a terminal
+  :class:`~repro.engine.events.BudgetExhausted` event and stop; every
+  event already yielded is a valid prefix of the full lift.
+
+:func:`fold_lift` and :func:`fold_tree` replay an event stream into the
+batch :class:`~repro.core.lift.LiftResult` /
+:class:`~repro.core.lift.SurfaceTree` values; the batch entry points in
+:mod:`repro.core.lift` are exactly these folds, so streaming and batch
+lifting cannot disagree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import monotonic
+from typing import Iterable, Iterator, Optional
+
+from repro.core.desugar import desugar, resugar
+from repro.core.errors import ReproError
+from repro.core.incremental import ResugarCache
+from repro.core.lenses import emulates
+from repro.core.lift import (
+    EmulationViolation,
+    LiftedStep,
+    LiftResult,
+    Stepper,
+    SurfaceTree,
+)
+from repro.core.recursion import deep_recursion
+from repro.core.rules import RuleList
+from repro.core.terms import Pattern
+from repro.engine.events import (
+    BudgetExhausted,
+    CoreStepped,
+    Deduped,
+    Halted,
+    LiftEvent,
+    StepSkipped,
+    SurfaceEmitted,
+)
+
+__all__ = [
+    "ON_BUDGET_POLICIES",
+    "lift_stream",
+    "lift_tree_stream",
+    "fold_lift",
+    "fold_tree",
+]
+
+ON_BUDGET_POLICIES = ("raise", "truncate")
+
+
+def _check_policy(on_budget: str) -> None:
+    if on_budget not in ON_BUDGET_POLICIES:
+        raise ValueError(
+            f"on_budget must be one of {ON_BUDGET_POLICIES}, "
+            f"got {on_budget!r}"
+        )
+
+
+def _deadline(max_seconds: Optional[float]) -> Optional[float]:
+    if max_seconds is None:
+        return None
+    if max_seconds < 0:
+        raise ValueError(f"max_seconds must be >= 0, got {max_seconds!r}")
+    return monotonic() + max_seconds
+
+
+def lift_stream(
+    rules: RuleList,
+    stepper: "Stepper",
+    surface_term: Pattern,
+    *,
+    max_steps: int = 100_000,
+    max_seconds: Optional[float] = None,
+    on_budget: str = "raise",
+    dedup: bool = True,
+    check_emulation: bool = True,
+    incremental: bool = True,
+) -> Iterator[LiftEvent]:
+    """Lazily lift ``surface_term``'s evaluation, yielding events.
+
+    Per core step: a :class:`CoreStepped`, then exactly one of
+    :class:`SurfaceEmitted` / :class:`Deduped` / :class:`StepSkipped`.
+    Terminal event: :class:`Halted`, or :class:`BudgetExhausted` when a
+    budget runs out under ``on_budget="truncate"``.
+
+    ``dedup``, ``check_emulation``, and ``incremental`` mean exactly
+    what they mean on :func:`repro.core.lift.lift_evaluation` — that
+    function *is* :func:`fold_lift` over this generator.
+    """
+    _check_policy(on_budget)
+    core = desugar(rules, surface_term)
+    state = stepper.load(core)
+    cache = ResugarCache(rules) if incremental else None
+    stats = cache.stats if cache else None
+    deadline = _deadline(max_seconds)
+    last_emitted: Optional[Pattern] = None
+    index = 0
+
+    with deep_recursion():
+        while True:
+            if index > max_steps:
+                if on_budget == "raise":
+                    raise ReproError(
+                        f"evaluation did not finish within {max_steps} steps"
+                    )
+                yield BudgetExhausted(index, stats, "steps", max_steps)
+                return
+            if deadline is not None and monotonic() >= deadline:
+                if on_budget == "raise":
+                    raise ReproError(
+                        f"evaluation exceeded the {max_seconds:g}s time "
+                        f"budget after {index} core steps"
+                    )
+                yield BudgetExhausted(index, stats, "seconds", max_seconds)
+                return
+
+            term = stepper.term(state)
+            yield CoreStepped(index, term)
+            surface = cache.resugar(term) if cache else resugar(rules, term)
+            if surface is None:
+                yield StepSkipped(index, term)
+            else:
+                if check_emulation:
+                    faithful = (
+                        cache.emulates(surface, term)
+                        if cache
+                        else emulates(rules, surface, term)
+                    )
+                    if not faithful:
+                        raise EmulationViolation(
+                            f"surface step {surface} does not desugar into "
+                            f"the core term it represents: {term}"
+                        )
+                if dedup and surface == last_emitted:
+                    yield Deduped(index, term, surface)
+                else:
+                    last_emitted = surface
+                    yield SurfaceEmitted(index, term, surface)
+
+            successors = stepper.step(state)
+            if not successors:
+                yield Halted(index + 1, stats)
+                return
+            if len(successors) > 1:
+                raise ReproError(
+                    "nondeterministic step during sequence lifting; use "
+                    "lift_evaluation_tree for languages with amb"
+                )
+            state = successors[0]
+            index += 1
+
+
+def lift_tree_stream(
+    rules: RuleList,
+    stepper: "Stepper",
+    surface_term: Pattern,
+    *,
+    max_nodes: int = 100_000,
+    max_seconds: Optional[float] = None,
+    on_budget: str = "raise",
+    check_emulation: bool = True,
+    incremental: bool = True,
+) -> Iterator[LiftEvent]:
+    """Lazily lift a nondeterministic evaluation tree, breadth-first.
+
+    ``core_index`` on the yielded events is the exploration order of the
+    core state; :class:`SurfaceEmitted` carries ``node_id``/``parent_id``
+    so :func:`fold_tree` can rebuild the
+    :class:`~repro.core.lift.SurfaceTree` from events alone.  The budget
+    is ``max_nodes`` explored core states (terminal event budget kind:
+    ``"nodes"``) plus the optional wall clock.
+    """
+    _check_policy(on_budget)
+    core = desugar(rules, surface_term)
+    cache = ResugarCache(rules) if incremental else None
+    stats = cache.stats if cache else None
+    deadline = _deadline(max_seconds)
+    # Queue holds (state, nearest surface ancestor id or None).
+    queue: deque = deque([(stepper.load(core), None)])
+    next_id = 0
+    explored = 0
+
+    with deep_recursion():
+        while queue:
+            if explored >= max_nodes:
+                if on_budget == "raise":
+                    raise ReproError(
+                        f"evaluation tree exceeded {max_nodes} core nodes"
+                    )
+                yield BudgetExhausted(explored, stats, "nodes", max_nodes)
+                return
+            if deadline is not None and monotonic() >= deadline:
+                if on_budget == "raise":
+                    raise ReproError(
+                        f"evaluation tree exceeded the {max_seconds:g}s time "
+                        f"budget after {explored} core nodes"
+                    )
+                yield BudgetExhausted(explored, stats, "seconds", max_seconds)
+                return
+
+            state, parent = queue.popleft()
+            index = explored
+            explored += 1
+            term = stepper.term(state)
+            yield CoreStepped(index, term)
+            surface = cache.resugar(term) if cache else resugar(rules, term)
+            if surface is None:
+                yield StepSkipped(index, term)
+            else:
+                if check_emulation:
+                    faithful = (
+                        cache.emulates(surface, term)
+                        if cache
+                        else emulates(rules, surface, term)
+                    )
+                    if not faithful:
+                        raise EmulationViolation(
+                            f"surface node {surface} does not desugar into "
+                            f"the core term it represents: {term}"
+                        )
+                node_id = next_id
+                next_id += 1
+                yield SurfaceEmitted(
+                    index, term, surface, node_id=node_id, parent_id=parent
+                )
+                parent = node_id
+            for successor in stepper.step(state):
+                queue.append((successor, parent))
+        yield Halted(explored, stats)
+
+
+def fold_lift(events: Iterable[LiftEvent]) -> LiftResult:
+    """Replay a :func:`lift_stream` event stream into the batch
+    :class:`~repro.core.lift.LiftResult` (byte-identical to what the
+    historical in-place loop produced)."""
+    result = LiftResult()
+    for event in events:
+        if isinstance(event, SurfaceEmitted):
+            result.surface_sequence.append(event.surface_term)
+            result.steps.append(
+                LiftedStep(
+                    event.core_index, event.core_term, event.surface_term, True
+                )
+            )
+        elif isinstance(event, Deduped):
+            result.steps.append(
+                LiftedStep(
+                    event.core_index, event.core_term, event.surface_term, False
+                )
+            )
+        elif isinstance(event, StepSkipped):
+            result.steps.append(
+                LiftedStep(event.core_index, event.core_term, None, False)
+            )
+        elif isinstance(event, Halted):
+            result.cache_stats = event.cache_stats
+        elif isinstance(event, BudgetExhausted):
+            result.cache_stats = event.cache_stats
+            result.truncated = True
+    return result
+
+
+def fold_tree(events: Iterable[LiftEvent]) -> SurfaceTree:
+    """Replay a :func:`lift_tree_stream` event stream into the batch
+    :class:`~repro.core.lift.SurfaceTree`."""
+    tree = SurfaceTree()
+    for event in events:
+        if isinstance(event, CoreStepped):
+            tree.core_node_count += 1
+        elif isinstance(event, SurfaceEmitted):
+            tree.nodes[event.node_id] = event.surface_term
+            if event.parent_id is None:
+                tree.root = event.node_id
+            else:
+                tree.edges.append((event.parent_id, event.node_id))
+        elif isinstance(event, StepSkipped):
+            tree.skipped_count += 1
+        elif isinstance(event, BudgetExhausted):
+            tree.truncated = True
+    return tree

@@ -66,3 +66,58 @@ __all__ = [
     "amb", "idref", "unit", "undefined", "callcc_val", "cont", "num",
     "string", "boolean",
 ]
+
+
+# --- backend registration -----------------------------------------------
+#
+# Importing this package makes the language available to every
+# backend-generic driver (CLI, benchmarks, services) under the name
+# "lambda".  Sugar factories take the full option set a driver
+# assembles and pick out what they understand (the registry contract).
+
+
+def _scheme_sugar(**options):
+    from repro.sugars.scheme_sugars import make_scheme_rules
+
+    return make_scheme_rules(
+        transparent_recursion=options.get("transparent_recursion", False)
+    )
+
+
+def _automaton_sugar(**options):
+    from repro.sugars.automaton import make_automaton_rules
+
+    return make_automaton_rules(
+        transparent_recursion=options.get("transparent_recursion", False)
+    )
+
+
+def _return_sugar(**options):
+    from repro.sugars.returns import make_return_rules
+
+    return make_return_rules(
+        transparent_recursion=options.get("transparent_recursion", False)
+    )
+
+
+def _register() -> None:
+    from repro.engine.registry import Backend, register_backend
+
+    register_backend(
+        Backend(
+            name="lambda",
+            parse=parse_program,
+            pretty=pretty,
+            make_stepper=make_stepper,
+            sugar_factories={
+                "scheme": _scheme_sugar,
+                "automaton": _automaton_sugar,
+                "return": _return_sugar,
+            },
+            default_sugar="scheme",
+            description="stateful lambda-calculus core (section 8.1)",
+        )
+    )
+
+
+_register()

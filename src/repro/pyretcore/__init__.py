@@ -25,3 +25,38 @@ __all__ = [
     "NUMBER_METHODS",
     "STRING_METHODS",
 ]
+
+
+# --- backend registration -----------------------------------------------
+#
+# Importing this package makes the language available to every
+# backend-generic driver under the name "pyret" (see
+# repro.engine.registry for the sugar-factory options contract).
+
+
+def _pyret_sugar(**options):
+    from repro.sugars.pyret_sugars import make_pyret_rules
+
+    return make_pyret_rules(
+        op_desugaring=options.get("op_desugaring", "naive"),
+        with_datatype=options.get("with_datatype", False),
+    )
+
+
+def _register() -> None:
+    from repro.engine.registry import Backend, register_backend
+
+    register_backend(
+        Backend(
+            name="pyret",
+            parse=parse_program,
+            pretty=pretty,
+            make_stepper=make_stepper,
+            sugar_factories={"pyret": _pyret_sugar},
+            default_sugar="pyret",
+            description="Pyret-like core object language (sections 4, 8.3)",
+        )
+    )
+
+
+_register()

@@ -337,7 +337,6 @@ def _raise(env, store, plug):
 
 def _rules():
     v = NTRef("v")
-    str_ = AtomPred("string", "name")
     return [
         ReductionRule(
             "beta",

@@ -17,7 +17,7 @@ evaluation preserves from step to step.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.core.errors import LanguageError
 from repro.core.terms import Const, Node, Pattern, PList, PVar, Tagged

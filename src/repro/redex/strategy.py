@@ -33,7 +33,7 @@ tags of consumed syntax and keeps the tags of captured code
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.errors import LanguageError
 from repro.core.terms import Node, Pattern, PList, Tagged

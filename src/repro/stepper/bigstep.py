@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.errors import StuckError
-from repro.core.terms import Const, Node, Pattern, PList, Tagged
+from repro.core.terms import Const, Node, Pattern, Tagged
 
 __all__ = ["Closure", "evaluate", "Value"]
 

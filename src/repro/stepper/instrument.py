@@ -16,8 +16,8 @@ evaluator — the experiment behind the paper's "5-40% overhead" claim.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.core.errors import StuckError
 from repro.core.terms import Const, Node, Pattern, PList, Tagged

@@ -6,18 +6,26 @@ text rendering and a standalone HTML report showing, for every core
 step, whether it was shown, deduplicated, or skipped, and what surface
 term represents it.
 
+Every renderer accepts either a batch result
+(:class:`~repro.core.lift.LiftResult` / ``SurfaceTree``) or a lift
+*event stream* straight from
+:func:`~repro.engine.stream.lift_stream` /
+:meth:`~repro.confection.Confection.lift_stream` — streams are folded
+internally, so no intermediate result object is needed.  Truncated
+lifts (``on_budget="truncate"``) are flagged in the summary line.
+
 ::
 
     from repro.viz import render_text, render_html
-    result = confection.lift(program)
-    print(render_text(result, pretty))
-    open("trace.html", "w").write(render_html(result, pretty))
+    print(render_text(confection.lift(program), pretty))
+    print(render_text(confection.lift_stream(program), pretty))
+    open("trace.html", "w").write(render_html(confection.lift(program), pretty))
 """
 
 from __future__ import annotations
 
 import html
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Union
 
 from repro.core.lift import LiftResult, SurfaceTree
 from repro.core.terms import Pattern
@@ -26,6 +34,9 @@ __all__ = ["render_text", "render_html", "render_tree_text"]
 
 Renderer = Callable[[Pattern], str]
 
+Liftable = Union[LiftResult, Iterable]
+Treeable = Union[SurfaceTree, Iterable]
+
 
 def _default_renderer() -> Renderer:
     from repro.lang.render import render
@@ -33,8 +44,24 @@ def _default_renderer() -> Renderer:
     return lambda t: render(t, show_tags=False)
 
 
+def _coerce_result(result: Liftable) -> LiftResult:
+    if isinstance(result, LiftResult):
+        return result
+    from repro.engine.stream import fold_lift
+
+    return fold_lift(result)
+
+
+def _coerce_tree(tree: Treeable) -> SurfaceTree:
+    if isinstance(tree, SurfaceTree):
+        return tree
+    from repro.engine.stream import fold_tree
+
+    return fold_tree(tree)
+
+
 def render_text(
-    result: LiftResult,
+    result: Liftable,
     pretty: Optional[Renderer] = None,
     width: int = 60,
 ) -> str:
@@ -43,6 +70,7 @@ def render_text(
     Shown steps carry ``=>``, deduplicated ones ``==`` (same surface as
     the previous step), skipped ones a blank surface column.
     """
+    result = _coerce_result(result)
     pretty = pretty or _default_renderer()
     lines: List[str] = []
     header = f"{'core step':<{width}} | surface"
@@ -58,13 +86,20 @@ def render_text(
             marker, surface = "==", "(as above)"
         lines.append(f"{core:<{width}} {marker} {surface}")
     lines.append("-" * len(header))
-    lines.append(
+    lines.append(_summary(result))
+    return "\n".join(lines)
+
+
+def _summary(result: LiftResult) -> str:
+    text = (
         f"{result.core_step_count} core steps, "
         f"{result.shown_count} shown, "
         f"{result.skipped_count} skipped "
         f"(coverage {result.coverage:.0%})"
     )
-    return "\n".join(lines)
+    if result.truncated:
+        text += " [truncated: budget exhausted]"
+    return text
 
 
 def _clip(text: str, width: int) -> str:
@@ -87,11 +122,12 @@ tr.skipped { background: #fbecec; color: #888; }
 
 
 def render_html(
-    result: LiftResult,
+    result: Liftable,
     pretty: Optional[Renderer] = None,
     title: str = "Lifted evaluation sequence",
 ) -> str:
     """A standalone HTML report of the lifted trace."""
+    result = _coerce_result(result)
     pretty = pretty or _default_renderer()
     rows: List[str] = []
     for step in result.steps:
@@ -109,12 +145,7 @@ def render_html(
             f"</tr>"
         )
     body = "\n".join(rows)
-    summary = (
-        f"{result.core_step_count} core steps, "
-        f"{result.shown_count} shown, "
-        f"{result.skipped_count} skipped "
-        f"(coverage {result.coverage:.0%})"
-    )
+    summary = _summary(result)
     return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
 <style>{_HTML_STYLE}</style></head>
@@ -130,9 +161,10 @@ def render_html(
 
 
 def render_tree_text(
-    tree: SurfaceTree, pretty: Optional[Renderer] = None
+    tree: Treeable, pretty: Optional[Renderer] = None
 ) -> str:
     """An indented text view of a lifted evaluation tree."""
+    tree = _coerce_tree(tree)
     pretty = pretty or _default_renderer()
     lines: List[str] = []
 
@@ -143,8 +175,10 @@ def render_tree_text(
 
     if tree.root is not None:
         walk(tree.root, 0)
-    lines.append(
+    summary = (
         f"[{len(tree.nodes)} surface nodes over {tree.core_node_count} "
-        f"core states; {tree.skipped_count} skipped]"
+        f"core states; {tree.skipped_count} skipped"
     )
+    summary += "; truncated]" if tree.truncated else "]"
+    lines.append(summary)
     return "\n".join(lines)

@@ -11,7 +11,6 @@ from repro.core.terms import (
     Const,
     HeadTag,
     Node,
-    PList,
     PVar,
     Tagged,
     strip_tags,

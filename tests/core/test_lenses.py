@@ -16,9 +16,8 @@ from repro.core.lenses import (
     check_put_get,
     emulates,
 )
-from repro.core.rules import Rule, RuleList
+from repro.core.rules import RuleList
 from repro.core.tags import is_surface_term
-from repro.core.terms import Const, Node, PList, PVar
 from repro.core.wellformed import DisjointnessMode
 from repro.lang.rule_parser import parse_rules, parse_term
 

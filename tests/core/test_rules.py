@@ -9,7 +9,6 @@ from repro.core.terms import (
     BodyTag,
     Const,
     Node,
-    PList,
     PVar,
     strip_tags,
 )

@@ -5,7 +5,7 @@ from hypothesis import given
 
 from repro.core.matching import matches
 from repro.core.terms import BodyTag, Const, Node, PList, PVar, Tagged
-from repro.core.unification import rename_variables, subsumes, unifiable, unify
+from repro.core.unification import rename_variables, subsumes, unify
 
 from tests.strategies import linear_patterns, terms
 

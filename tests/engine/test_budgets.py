@@ -1,0 +1,229 @@
+"""Step-count and wall-clock budgets, and the on_budget policies.
+
+``on_budget="raise"`` must keep the historical batch behaviour
+(``ReproError`` with the historical messages); ``"truncate"`` must yield
+a terminal ``BudgetExhausted`` event and produce a well-formed partial
+result flagged ``truncated`` — never an exception.
+"""
+
+import time
+
+import pytest
+
+from repro.confection import Confection
+from repro.core.errors import ReproError
+from repro.core.lift import FunctionStepper, lift_evaluation
+from repro.engine.events import BudgetExhausted, Halted, SurfaceEmitted
+from repro.engine.stream import fold_lift, lift_stream, lift_tree_stream
+from repro.lambdacore import make_stepper, parse_program
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+RULES = make_scheme_rules()
+
+
+def _confection():
+    return Confection(RULES, make_stepper())
+
+
+def _or_chain(n):
+    return parse_program("(or " + " ".join(["#f"] * n) + " #t)")
+
+
+class TestStepBudget:
+    def test_truncate_yields_budget_exhausted(self):
+        events = list(
+            lift_stream(
+                RULES,
+                make_stepper(),
+                _or_chain(8),
+                max_steps=3,
+                on_budget="truncate",
+            )
+        )
+        last = events[-1]
+        assert isinstance(last, BudgetExhausted)
+        assert last.budget == "steps"
+        assert last.limit == 3
+        # Indices 0..3 were processed before the budget tripped.
+        assert last.core_step_count == 4
+        assert not any(isinstance(e, Halted) for e in events)
+
+    def test_truncated_result_is_wellformed_prefix(self):
+        confection = _confection()
+        full = confection.lift(_or_chain(8))
+        partial = confection.lift(_or_chain(8), max_steps=3, on_budget="truncate")
+        assert partial.truncated
+        assert not full.truncated
+        assert partial.core_step_count == 4
+        assert partial.steps == full.steps[:4]
+        assert (
+            partial.surface_sequence
+            == full.surface_sequence[: partial.shown_count]
+        )
+        assert 0.0 <= partial.coverage <= 1.0
+        assert partial.cache_stats is not None  # incremental default
+
+    def test_raise_policy_keeps_historical_error(self):
+        with pytest.raises(
+            ReproError, match="did not finish within 3 steps"
+        ):
+            lift_evaluation(RULES, make_stepper(), _or_chain(8), max_steps=3)
+
+    def test_zero_budget_truncates_after_initial_state(self):
+        result = lift_evaluation(
+            RULES,
+            make_stepper(),
+            _or_chain(8),
+            max_steps=0,
+            on_budget="truncate",
+        )
+        assert result.truncated
+        assert result.core_step_count == 1  # just the desugared program
+
+    def test_invalid_policy_rejected_before_work(self):
+        with pytest.raises(ValueError, match="on_budget"):
+            next(
+                lift_stream(
+                    RULES, make_stepper(), _or_chain(2), on_budget="explode"
+                )
+            )
+
+
+class TestTimeBudget:
+    def test_zero_seconds_truncates_immediately(self):
+        events = list(
+            lift_stream(
+                RULES,
+                make_stepper(),
+                _or_chain(4),
+                max_seconds=0.0,
+                on_budget="truncate",
+            )
+        )
+        assert len(events) == 1
+        assert isinstance(events[0], BudgetExhausted)
+        assert events[0].budget == "seconds"
+        assert events[0].core_step_count == 0
+        result = fold_lift(iter(events))
+        assert result.truncated and result.core_step_count == 0
+
+    def test_slow_stepper_trips_wall_clock(self):
+        ticks = iter(range(1000))
+
+        def slow_step(term):
+            time.sleep(0.02)
+            next(ticks)
+            return term  # never terminates on its own
+
+        events = []
+        for event in lift_stream(
+            RULES,
+            FunctionStepper(slow_step),
+            parse_program("(+ 1 2)"),
+            max_seconds=0.05,
+            on_budget="truncate",
+            check_emulation=False,
+            dedup=False,
+        ):
+            events.append(event)
+        assert isinstance(events[-1], BudgetExhausted)
+        assert events[-1].budget == "seconds"
+        # It made *some* progress before the deadline.
+        assert events[-1].core_step_count >= 1
+
+    def test_raise_policy_raises_on_wall_clock(self):
+        with pytest.raises(ReproError, match="time budget"):
+            list(
+                lift_stream(
+                    RULES,
+                    make_stepper(),
+                    _or_chain(4),
+                    max_seconds=0.0,
+                )
+            )
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_seconds"):
+            next(
+                lift_stream(
+                    RULES, make_stepper(), _or_chain(2), max_seconds=-1.0
+                )
+            )
+
+
+class TestTreeBudget:
+    AMB = "(+ (amb 1 2) (amb 10 20))"
+
+    def test_truncate_yields_partial_tree(self):
+        confection = _confection()
+        full = confection.lift_tree(parse_program(self.AMB))
+        partial = confection.lift_tree(
+            parse_program(self.AMB), max_nodes=3, on_budget="truncate"
+        )
+        assert partial.truncated and not full.truncated
+        assert partial.core_node_count == 3
+        assert partial.root == full.root
+        # A breadth-first prefix: every partial edge is a full edge.
+        assert partial.edges == full.edges[: len(partial.edges)]
+
+    def test_truncate_event_kind_is_nodes(self):
+        events = list(
+            lift_tree_stream(
+                RULES,
+                make_stepper(),
+                parse_program(self.AMB),
+                max_nodes=2,
+                on_budget="truncate",
+            )
+        )
+        assert isinstance(events[-1], BudgetExhausted)
+        assert events[-1].budget == "nodes"
+        assert events[-1].limit == 2
+
+    def test_raise_policy_keeps_historical_error(self):
+        with pytest.raises(ReproError, match="exceeded 2 core nodes"):
+            _confection().lift_tree(parse_program(self.AMB), max_nodes=2)
+
+    def test_wall_clock_applies_to_trees(self):
+        events = list(
+            lift_tree_stream(
+                RULES,
+                make_stepper(),
+                parse_program(self.AMB),
+                max_seconds=0.0,
+                on_budget="truncate",
+            )
+        )
+        assert isinstance(events[-1], BudgetExhausted)
+        assert events[-1].budget == "seconds"
+
+
+class TestStreamLaziness:
+    def test_first_step_available_before_evaluation_finishes(self):
+        """Pull exactly the first emission and abandon the stream: the
+        engine must not have evaluated the whole program."""
+        pulls = 0
+        inner = make_stepper()
+
+        class CountingStepper:
+            def load(self, core):
+                return inner.load(core)
+
+            def step(self, state):
+                nonlocal pulls
+                pulls += 1
+                return inner.step(state)
+
+            def term(self, state):
+                return inner.term(state)
+
+        stream = lift_stream(RULES, CountingStepper(), _or_chain(64))
+        for event in stream:
+            if isinstance(event, SurfaceEmitted):
+                break
+        stream.close()
+        assert pulls == 0  # first surface step is the program itself
+
+    def test_describe_is_human_readable(self):
+        event = BudgetExhausted(7, None, "steps", 5)
+        assert "7" in event.describe() and "steps" in event.describe()

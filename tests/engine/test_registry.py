@@ -1,0 +1,132 @@
+"""Tests for the language-backend registry."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.lift import FunctionStepper
+from repro.core.rules import RuleList
+from repro.engine.registry import (
+    Backend,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.lang.render import render
+from repro.lang.rule_parser import parse_term
+
+
+def _toy_backend(name="toy", **overrides):
+    fields = dict(
+        name=name,
+        parse=parse_term,
+        pretty=lambda t: render(t, show_tags=False),
+        make_stepper=lambda: FunctionStepper(lambda t: None),
+        sugar_factories={"none": lambda **options: RuleList([])},
+        default_sugar="none",
+    )
+    fields.update(overrides)
+    return Backend(**fields)
+
+
+@pytest.fixture
+def toy():
+    backend = register_backend(_toy_backend())
+    yield backend
+    unregister_backend("toy")
+
+
+class TestBundledBackends:
+    def test_available_includes_bundled_without_import(self):
+        names = available_backends()
+        assert "lambda" in names and "pyret" in names
+
+    def test_get_backend_imports_on_demand(self):
+        backend = get_backend("lambda")
+        assert backend.name == "lambda"
+        assert backend.sugar_names == ("scheme", "automaton", "return")
+        assert backend.default_sugar == "scheme"
+        assert get_backend("pyret").sugar_names == ("pyret",)
+
+    def test_bundled_backend_lifts_end_to_end(self):
+        backend = get_backend("lambda")
+        confection = backend.make_confection()
+        steps = confection.surface_steps(backend.parse("(or #t #f)"))
+        assert backend.pretty(steps[-1]) == "#t"
+
+    def test_factories_ignore_foreign_options(self):
+        """The registry contract: every factory sees the full option
+        set and picks out what it understands."""
+        for name in ("lambda", "pyret"):
+            rules = get_backend(name).make_rules(
+                transparent_recursion=True, op_desugaring="object"
+            )
+            assert len(rules) > 0
+
+    def test_unknown_backend_lists_known_names(self):
+        with pytest.raises(UnknownBackendError, match="lambda"):
+            get_backend("cobol")
+        with pytest.raises(ReproError):  # it is also a ReproError
+            get_backend("cobol")
+
+
+class TestRegistration:
+    def test_register_and_get(self, toy):
+        assert get_backend("toy") is toy
+        assert "toy" in available_backends()
+
+    def test_unregister(self):
+        register_backend(_toy_backend("ephemeral"))
+        unregister_backend("ephemeral")
+        assert "ephemeral" not in available_backends()
+        with pytest.raises(UnknownBackendError):
+            get_backend("ephemeral")
+        unregister_backend("ephemeral")  # no-op, no raise
+
+    def test_duplicate_name_rejected(self, toy):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(_toy_backend())
+
+    def test_same_object_reregistration_is_idempotent(self, toy):
+        assert register_backend(toy) is toy
+
+    def test_replace_overrides(self, toy):
+        other = _toy_backend(description="v2")
+        register_backend(other, replace=True)
+        assert get_backend("toy").description == "v2"
+
+
+class TestSugarResolution:
+    def test_default_sugar_used_when_unspecified(self, toy):
+        assert isinstance(toy.make_rules(), RuleList)
+
+    def test_unknown_sugar_lists_choices(self, toy):
+        with pytest.raises(ReproError, match="none"):
+            toy.make_rules("bogus")
+
+    def test_first_factory_is_fallback_default(self):
+        backend = _toy_backend("nodefault", default_sugar=None)
+        assert isinstance(backend.make_rules(), RuleList)
+
+    def test_no_sugar_sets_is_an_error(self):
+        backend = _toy_backend(
+            "bare", sugar_factories={}, default_sugar=None
+        )
+        with pytest.raises(ReproError, match="no sugar sets"):
+            backend.make_rules()
+
+    def test_make_confection_with_explicit_rules(self, toy):
+        confection = toy.make_confection(rules=RuleList([]))
+        term = parse_term("Pair(1, 2)")
+        assert confection.desugar(term) == term
+
+
+class TestTopLevelExports:
+    def test_engine_names_reachable_from_repro(self):
+        import repro
+
+        assert repro.get_backend("lambda").name == "lambda"
+        assert callable(repro.register_backend)
+        assert callable(repro.lift_stream)
+        assert "lambda" in repro.available_backends()

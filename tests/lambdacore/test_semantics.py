@@ -10,11 +10,8 @@ from repro.lambdacore import (
     lam,
     make_semantics,
     num,
-    op,
     parse_program,
     pretty,
-    seq,
-    setvar,
 )
 from repro.redex import MachineState
 

@@ -16,8 +16,6 @@ from repro.redex import (
     AtomPred,
     EvalStrategy,
     Grammar,
-    MachineState,
-    NTRef,
     ReductionRule,
     ReductionSemantics,
 )

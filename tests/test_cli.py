@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.engine.registry import register_backend, unregister_backend
 
 
 def run(capsys, *argv):
@@ -92,6 +93,165 @@ def _write(tmp_path, text):
     p = tmp_path / "p.scm"
     p.write_text(text)
     return p
+
+
+@pytest.fixture
+def recording_backend():
+    """A registered backend whose sugar factory records the options the
+    CLI hands it (a lambda-language clone)."""
+    from repro.engine.registry import Backend
+    from repro.lambdacore import make_stepper, parse_program, pretty
+    from repro.sugars.scheme_sugars import make_scheme_rules
+
+    recorded = {}
+
+    def factory(**options):
+        recorded.clear()
+        recorded.update(options)
+        return make_scheme_rules(
+            transparent_recursion=options.get("transparent_recursion", False)
+        )
+
+    register_backend(
+        Backend(
+            name="probe",
+            parse=parse_program,
+            pretty=pretty,
+            make_stepper=make_stepper,
+            sugar_factories={"scheme": factory},
+            default_sugar="scheme",
+        )
+    )
+    yield recorded
+    unregister_backend("probe")
+
+
+class TestOptionMerging:
+    def test_transparent_not_discarded_by_op(self, capsys, recording_backend):
+        """Regression: --op used to *overwrite* the sugar-option dict,
+        silently discarding --transparent.  Every backend's factory must
+        now see the full merged option set."""
+        code, out, _ = run(
+            capsys,
+            "lift", "--lang", "probe", "--transparent", "--op", "object",
+            "(or #f #f #t)",
+        )
+        assert code == 0
+        assert recording_backend["transparent_recursion"] is True
+        assert recording_backend["op_desugaring"] == "object"
+        # And the transparent flag actually took effect on the trace.
+        assert "(or #f #t)" in out
+
+    def test_pyret_still_accepts_both_flags(self, capsys):
+        code, out, _ = run(
+            capsys,
+            "lift", "--lang", "pyret", "--transparent", "--op", "object",
+            "1 + (2 + 3)",
+        )
+        assert code == 0
+        assert "1 + 5" in out
+
+    def test_registered_backend_appears_in_lang_choices(
+        self, capsys, recording_backend
+    ):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["lift", "--lang", "probe", "1"])
+        assert args.lang == "probe"
+
+
+class TestTreeFixes:
+    def test_rootless_tree_reports_instead_of_crashing(self, capsys):
+        """Regression: a tree whose root core term is not resugarable
+        used to die with KeyError: None."""
+        from repro.core.lift import FunctionStepper
+        from repro.core.rules import RuleList
+        from repro.core.terms import BodyTag, Const, Node, Tagged
+        from repro.engine.registry import Backend
+        from repro.lang.render import render
+
+        register_backend(
+            Backend(
+                name="opaque-root",
+                # Every parsed program is wrapped in an opaque body tag,
+                # so no state ever has a surface representation.
+                parse=lambda src: Tagged(
+                    BodyTag(transparent=False), Node("Box", (Const(1),))
+                ),
+                pretty=lambda t: render(t, show_tags=False),
+                make_stepper=lambda: FunctionStepper(lambda t: None),
+                sugar_factories={"none": lambda **options: RuleList([])},
+                default_sugar="none",
+            )
+        )
+        try:
+            code, out, err = run(
+                capsys, "lift", "--lang", "opaque-root", "--tree", "ignored"
+            )
+        finally:
+            unregister_backend("opaque-root")
+        assert code == 1
+        assert out == ""
+        assert "no explored core state has a surface representation" in err
+        assert "1 core states, 1 skipped" in err
+
+    def test_max_steps_plumbed_to_max_nodes(self, capsys):
+        """Regression: --max-steps was silently ignored for --tree."""
+        code, _, err = run(
+            capsys,
+            "lift", "--lang", "lambda", "--tree", "--max-steps", "2",
+            "(amb 1 2)",
+        )
+        assert code == 1
+        assert "exceeded 2 core nodes" in err
+
+    def test_tree_budget_truncates_cleanly(self, capsys):
+        code, out, err = run(
+            capsys,
+            "lift", "--lang", "lambda", "--tree", "--max-steps", "2",
+            "--on-budget", "truncate", "(amb 1 2)",
+        )
+        assert code == 0
+        assert "(amb 1 2)" in out
+        assert "truncated" in err
+
+
+class TestBudgetFlags:
+    def test_truncate_prints_notice_and_partial_trace(self, capsys):
+        code, out, err = run(
+            capsys,
+            "lift", "--lang", "lambda", "--max-steps", "3",
+            "--on-budget", "truncate", "(or #f #f #f #t)",
+        )
+        assert code == 0
+        assert out.splitlines()[0] == "(or #f #f #f #t)"
+        assert "truncated" in err and "steps budget" in err
+
+    def test_raise_is_default_budget_policy(self, capsys):
+        code, _, err = run(
+            capsys,
+            "lift", "--lang", "lambda", "--max-steps", "3", "(or #f #f #f #t)",
+        )
+        assert code == 1
+        assert "did not finish within 3 steps" in err
+
+    def test_max_seconds_flag(self, capsys):
+        code, _, err = run(
+            capsys,
+            "lift", "--lang", "lambda", "--max-seconds", "0",
+            "--on-budget", "truncate", "(or #t #f)",
+        )
+        assert code == 0
+        assert "seconds budget" in err
+
+    def test_table_marks_truncation(self, capsys):
+        code, out, _ = run(
+            capsys,
+            "lift", "--lang", "lambda", "--table", "--max-steps", "3",
+            "--on-budget", "truncate", "(or #f #f #f #t)",
+        )
+        assert code == 0
+        assert "[truncated: budget exhausted]" in out
 
 
 class TestDesugar:

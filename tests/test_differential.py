@@ -10,9 +10,9 @@ so both sides terminate without sticking.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.terms import Const, Node, Pattern, PList
+from repro.core.terms import Const, Node, PList
 from repro.lambdacore import make_semantics, pretty
-from repro.stepper.bigstep import Closure, evaluate
+from repro.stepper.bigstep import evaluate
 
 SEMANTICS = make_semantics()
 

@@ -2,10 +2,8 @@
 headline results its docstring promises."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
 
