@@ -1,0 +1,170 @@
+"""Observability overhead: the disabled path must stay under 3%.
+
+The :mod:`repro.obs` layer guards every instrumentation site on the
+:mod:`repro.obs._state` flag, so with observability off (the default) a
+lift pays exactly one branch per site.  This benchmark holds that
+contract to a number on the 513-step headline workload (the same
+``or_chain_256`` program the incremental/streaming benchmarks use):
+
+1. time the lift with observability disabled (``t_off``, best of N);
+2. run it once *enabled* so the counters themselves report how many
+   guard sites actually fired (``match.attempts`` counts every guarded
+   match call, the cache counters every guarded cache walk, ...);
+3. time the guard branch in isolation — deliberately *without*
+   subtracting loop overhead, so the per-check cost is an upper bound;
+4. multiply: the product bounds what the disabled path can possibly be
+   paying for observability, and must be <3% of the lift itself.
+
+The enabled path is also measured (metrics only, and metrics + JSONL
+spans to an in-memory sink) and everything — including the full metrics
+snapshot of the workload — lands in ``BENCH_lift.json``.
+"""
+
+import io
+import time
+
+from repro import obs
+from repro.confection import Confection
+from repro.lambdacore import make_stepper, parse_program
+from repro.obs import _state
+from repro.sugars.scheme_sugars import make_scheme_rules
+
+from benchmarks.conftest import report
+from benchmarks.reporter import REPORTER
+
+MAX_DISABLED_OVERHEAD = 0.03
+RUNS = 5
+
+
+def _or_chain(n: int) -> str:
+    return "(or " + " ".join(["#f"] * n) + " #t)"
+
+
+WORKLOAD = _or_chain(256)  # 513 core steps
+
+
+def _fresh_confection() -> Confection:
+    return Confection(make_scheme_rules(), make_stepper())
+
+
+def _timed_lift(confection: Confection, program):
+    start = time.perf_counter()
+    result = confection.lift(program)
+    return result, time.perf_counter() - start
+
+
+def _best_lift_seconds(program, runs: int = RUNS) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        _, seconds = _timed_lift(_fresh_confection(), program)
+        best = min(best, seconds)
+    return best
+
+
+def _guard_check_seconds(n: int = 200_000) -> float:
+    """Upper-bound cost of one ``if _state.enabled:`` guard.
+
+    The loop overhead is *not* subtracted, so this over-estimates the
+    real per-site cost — which is the safe direction for the assertion.
+    """
+    assert not _state.enabled
+    start = time.perf_counter()
+    for _ in range(n):
+        if _state.enabled:
+            raise AssertionError("obs must stay disabled during timing")
+    return (time.perf_counter() - start) / n
+
+
+def _guard_sites_fired(snapshot) -> int:
+    """How many guarded sites a lift of the workload executes, read off
+    the enabled-run counters (each guarded site increments exactly one
+    of these when enabled, and costs exactly one branch when disabled).
+    """
+    return (
+        snapshot["match.attempts"]
+        + snapshot["resugar.cache_hits"]
+        + snapshot["resugar.cache_misses"]
+        + snapshot["desugar.cache_hits"]
+        + snapshot["desugar.cache_misses"]
+        + snapshot["desugar.depth"]["count"]
+        + 2 * snapshot["lift.steps_total"]  # stream guard + classify branch
+        + snapshot["lift.runs"]
+    )
+
+
+def test_disabled_path_overhead_under_3_percent():
+    program = parse_program(WORKLOAD)
+    assert not obs.enabled()
+
+    t_off = _best_lift_seconds(program)
+
+    # Enabled run: counters double as an exact census of guard sites.
+    observability = obs.Observability()
+    confection = _fresh_confection()
+    confection.obs = observability
+    result, t_on_metrics = _timed_lift(confection, program)
+    snapshot = observability.snapshot()
+    assert not obs.enabled()
+    assert result.core_step_count >= 500
+    assert snapshot["lift.steps_total"] == result.core_step_count
+
+    sites = _guard_sites_fired(snapshot)
+    per_check = _guard_check_seconds()
+    bound = sites * per_check
+    overhead = bound / t_off
+
+    # Enabled with a JSONL sink, for the record.
+    sink_confection = _fresh_confection()
+    sink_confection.obs = obs.Observability(sinks=[obs.JsonlExporter(io.StringIO())])
+    _, t_on_trace = _timed_lift(sink_confection, program)
+
+    REPORTER.record(
+        "obs_lift_513",
+        core_steps=result.core_step_count,
+        disabled_seconds=round(t_off, 4),
+        guard_sites=sites,
+        guard_check_seconds=per_check,
+        disabled_overhead_bound=round(overhead, 4),
+        enabled_metrics_seconds=round(t_on_metrics, 4),
+        enabled_metrics_overhead=round(t_on_metrics / t_off - 1, 4),
+        enabled_trace_seconds=round(t_on_trace, 4),
+        enabled_trace_overhead=round(t_on_trace / t_off - 1, 4),
+    )
+    REPORTER.record_metrics("obs_lift_513", snapshot)
+    report(
+        "Observability overhead on the 513-step lift",
+        [
+            f"disabled lift:            {t_off * 1000:.1f} ms",
+            f"guard sites fired:        {sites}",
+            f"per-guard upper bound:    {per_check * 1e9:.0f} ns",
+            f"disabled overhead bound:  {overhead:.2%}  (budget: "
+            f"{MAX_DISABLED_OVERHEAD:.0%})",
+            f"enabled (metrics):        {t_on_metrics * 1000:.1f} ms "
+            f"({t_on_metrics / t_off - 1:+.1%})",
+            f"enabled (metrics+spans):  {t_on_trace * 1000:.1f} ms "
+            f"({t_on_trace / t_off - 1:+.1%})",
+        ],
+    )
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled-path observability overhead bound {overhead:.2%} "
+        f"exceeds the {MAX_DISABLED_OVERHEAD:.0%} budget "
+        f"({sites} guard sites x {per_check * 1e9:.0f} ns on a "
+        f"{t_off * 1000:.1f} ms lift)"
+    )
+
+
+def test_metrics_snapshot_lands_in_bench_report():
+    """The reporter flattens a metrics snapshot to scalar dotted keys
+    (so BENCH_lift.json stays machine-validatable)."""
+    observability = obs.Observability()
+    confection = _fresh_confection()
+    confection.obs = observability
+    confection.lift(parse_program(_or_chain(4)))
+    REPORTER.record_metrics("obs_smoke", observability.snapshot())
+    fields = REPORTER.payload()["workloads"]["obs_smoke"]
+    assert fields["metrics.lift.steps_total"] == 9
+    assert all(
+        isinstance(v, (int, float, str, bool)) for v in fields.values()
+    )
+    # Don't ship the smoke workload in the committed report.
+    del REPORTER._workloads["obs_smoke"]

@@ -51,6 +51,29 @@ class BenchReporter:
         """Merge ``fields`` into ``workload``'s entry (later wins)."""
         self._workloads.setdefault(workload, {}).update(fields)
 
+    def record_metrics(
+        self, workload: str, snapshot: Dict[str, Any], prefix: str = "metrics."
+    ) -> None:
+        """Record an observability metrics snapshot
+        (:func:`repro.obs.metrics_snapshot`) under ``workload``.
+
+        Nested histogram snapshots are flattened to dotted scalar keys
+        (``metrics.desugar.depth.count``, ``....buckets.le_8``, ...) so
+        the report stays scalar-only and :func:`validate` keeps passing.
+        """
+        flat: Dict[str, Any] = {}
+
+        def flatten(prefix_: str, value: Any) -> None:
+            if isinstance(value, dict):
+                for key, sub in value.items():
+                    flatten(f"{prefix_}.{key}", sub)
+            else:
+                flat[prefix_] = value
+
+        for name, value in snapshot.items():
+            flatten(prefix + name, value)
+        self.record(workload, **flat)
+
     @property
     def dirty(self) -> bool:
         return bool(self._workloads)

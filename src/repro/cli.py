@@ -118,6 +118,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a standalone HTML trace report to FILE",
     )
+    lift.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        default=None,
+        help="enable observability and write a JSONL span trace of the "
+        "lift (span id/parent/name/attrs/duration per line) to FILE",
+    )
+    lift.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable observability and print a JSON metrics snapshot "
+        "(lift.steps_total, match.attempts, resugar.cache_hits, ...) "
+        "after the lift",
+    )
 
     desugar = sub.add_parser("desugar", help="show a program's core form")
     common(desugar)
@@ -177,6 +191,28 @@ def _print_budget_notice(event: events.BudgetExhausted) -> None:
 
 def _cmd_lift(args) -> int:
     confection, backend = _build_confection(args)
+    obs_config = None
+    if args.trace or args.metrics:
+        from repro.obs import Observability
+
+        obs_config = Observability(trace_path=args.trace)
+        confection.obs = obs_config
+    try:
+        code = _run_lift(args, confection, backend)
+    finally:
+        if obs_config is not None:
+            obs_config.close()
+    if obs_config is not None:
+        if args.metrics:
+            import json
+
+            print(json.dumps(obs_config.snapshot(), indent=2, sort_keys=True))
+        if args.trace:
+            print(f"wrote {args.trace}", file=sys.stderr)
+    return code
+
+
+def _run_lift(args, confection, backend) -> int:
     program = backend.parse(_read_program(args.program))
     budget_kwargs = dict(max_seconds=args.max_seconds, on_budget=args.on_budget)
     if args.tree:

@@ -12,6 +12,7 @@ results can be rendered back to strings with :meth:`Confection.show`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterator, List, Optional, Union
 
 from repro.core.desugar import desugar as _desugar
@@ -28,6 +29,7 @@ from repro.core.terms import Pattern
 from repro.core.wellformed import DisjointnessMode
 from repro.lang.render import render
 from repro.lang.rule_parser import parse_pattern, parse_rulelist
+from repro.obs import Observability
 
 __all__ = ["Confection"]
 
@@ -41,6 +43,12 @@ class Confection:
     rule-DSL source text.  ``stepper`` is any object satisfying the
     :class:`~repro.core.lift.Stepper` protocol; it may be omitted for
     uses that only desugar/resugar.
+
+    ``obs`` is an optional :class:`repro.obs.Observability`
+    configuration: when given, every lift made through this Confection
+    runs with observability enabled under it (spans flow to its sinks,
+    counters to the metrics registry) and ``obs.snapshot()`` reads the
+    numbers afterwards.
     """
 
     def __init__(
@@ -48,6 +56,7 @@ class Confection:
         rules: Union[RuleList, List[Rule], str],
         stepper: Optional[Stepper] = None,
         disjointness: DisjointnessMode = DisjointnessMode.PRIORITIZED,
+        obs: Optional["Observability"] = None,
     ) -> None:
         if isinstance(rules, str):
             rules = parse_rulelist(rules, disjointness)
@@ -55,6 +64,12 @@ class Confection:
             rules = RuleList(rules, disjointness)
         self.rules: RuleList = rules
         self.stepper = stepper
+        self.obs = obs
+
+    def _obs_scope(self):
+        """The active observability context for one lift (no-op when
+        this Confection has no ``obs`` configuration)."""
+        return self.obs if self.obs is not None else nullcontext()
 
     # --- term plumbing -----------------------------------------------
 
@@ -104,17 +119,18 @@ class Confection:
         well-formed partial result (``truncated=True``) instead of
         raising."""
         self._require_stepper()
-        return lift_evaluation(
-            self.rules,
-            self.stepper,
-            self.term(surface_term),
-            max_steps=max_steps,
-            dedup=dedup,
-            check_emulation=check_emulation,
-            incremental=incremental,
-            max_seconds=max_seconds,
-            on_budget=on_budget,
-        )
+        with self._obs_scope():
+            return lift_evaluation(
+                self.rules,
+                self.stepper,
+                self.term(surface_term),
+                max_steps=max_steps,
+                dedup=dedup,
+                check_emulation=check_emulation,
+                incremental=incremental,
+                max_seconds=max_seconds,
+                on_budget=on_budget,
+            )
 
     def lift_stream(
         self,
@@ -133,7 +149,7 @@ class Confection:
         from repro.engine.stream import lift_stream
 
         self._require_stepper()
-        return lift_stream(
+        stream = lift_stream(
             self.rules,
             self.stepper,
             self.term(surface_term),
@@ -144,6 +160,7 @@ class Confection:
             check_emulation=check_emulation,
             incremental=incremental,
         )
+        return self._scoped_stream(stream)
 
     def surface_steps(self, surface_term: TermLike, **kwargs) -> List[Pattern]:
         """Just the surface evaluation sequence (the paper's
@@ -165,16 +182,17 @@ class Confection:
     ) -> SurfaceTree:
         """Lift a nondeterministic evaluation into a surface tree."""
         self._require_stepper()
-        return lift_evaluation_tree(
-            self.rules,
-            self.stepper,
-            self.term(surface_term),
-            max_nodes=max_nodes,
-            check_emulation=check_emulation,
-            incremental=incremental,
-            max_seconds=max_seconds,
-            on_budget=on_budget,
-        )
+        with self._obs_scope():
+            return lift_evaluation_tree(
+                self.rules,
+                self.stepper,
+                self.term(surface_term),
+                max_nodes=max_nodes,
+                check_emulation=check_emulation,
+                incremental=incremental,
+                max_seconds=max_seconds,
+                on_budget=on_budget,
+            )
 
     def lift_tree_stream(
         self,
@@ -191,7 +209,7 @@ class Confection:
         from repro.engine.stream import lift_tree_stream
 
         self._require_stepper()
-        return lift_tree_stream(
+        stream = lift_tree_stream(
             self.rules,
             self.stepper,
             self.term(surface_term),
@@ -201,6 +219,22 @@ class Confection:
             check_emulation=check_emulation,
             incremental=incremental,
         )
+        return self._scoped_stream(stream)
+
+    def _scoped_stream(
+        self, stream: Iterator["LiftEvent"]
+    ) -> Iterator["LiftEvent"]:
+        """Run ``stream`` under this Confection's observability scope
+        (pass-through when no ``obs`` is configured).  Activation happens
+        at consumption time, matching the generator's laziness."""
+        if self.obs is None:
+            return stream
+
+        def scoped():
+            with self.obs:
+                yield from stream
+
+        return scoped()
 
     def _require_stepper(self) -> None:
         if self.stepper is None:

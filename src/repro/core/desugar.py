@@ -37,6 +37,9 @@ from repro.core.errors import ExpansionError
 from repro.core.recursion import deep_recursion
 from repro.core.rules import RuleList
 from repro.core.tags import has_head_tags, has_opaque_body_tags
+from repro.obs import _state as _obs
+from repro.obs.metrics import DESUGAR_DEPTH
+from repro.obs.trace import span as _span
 from repro.core.terms import (
     Const,
     HeadTag,
@@ -110,6 +113,8 @@ def desugar(
                 return t
             return Node(t.label, tuple(walk(c, depth) for c in t.children))
         spend()
+        if _obs.enabled:
+            DESUGAR_DEPTH.observe(depth + 1)
         if depth >= max_expansion_depth:
             raise ExpansionError(
                 f"expansions nested more than {max_expansion_depth} deep; "
@@ -121,6 +126,9 @@ def desugar(
         return Tagged(head, walk(expansion.term, depth + 1))
 
     with deep_recursion():
+        if _obs.enabled:
+            with _span("desugar", order=order):
+                return walk(term, 0)
         return walk(term, 0)
 
 
@@ -174,6 +182,16 @@ def resugar(rules: RuleList, term: Pattern) -> Optional[Pattern]:
     strips the remaining transparent body tags so the result is a surface
     term.
     """
+    if _obs.enabled:
+        with _span("resugar") as s:
+            result = _resugar_checked(rules, term)
+            if s is not None:
+                s.attrs["ok"] = result is not None
+            return result
+    return _resugar_checked(rules, term)
+
+
+def _resugar_checked(rules: RuleList, term: Pattern) -> Optional[Pattern]:
     raw = resugar_raw(rules, term)
     if raw is None:
         return None

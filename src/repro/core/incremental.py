@@ -42,6 +42,14 @@ from repro.core.intern import (
 )
 from repro.core.recursion import deep_recursion
 from repro.core.rules import RuleList
+from repro.obs import _state as _obs
+from repro.obs.metrics import (
+    DESUGAR_CACHE_HITS,
+    DESUGAR_CACHE_MISSES,
+    DESUGAR_DEPTH,
+    RESUGAR_CACHE_HITS,
+    RESUGAR_CACHE_MISSES,
+)
 from repro.core.terms import (
     BodyTag,
     Const,
@@ -149,8 +157,12 @@ class ResugarCache:
         cached = memo.get(t, None)
         if cached is not None:
             self.stats.resugar_hits += 1
+            if _obs.enabled:
+                RESUGAR_CACHE_HITS.inc()
             return cached
         self.stats.resugar_visits += 1
+        if _obs.enabled:
+            RESUGAR_CACHE_MISSES.inc()
         result = self._raw_compute(t)
         memo[t] = result
         return result
@@ -271,8 +283,12 @@ class ResugarCache:
         cached = memo.get(t)
         if cached is not None:
             self.stats.desugar_hits += 1
+            if _obs.enabled:
+                DESUGAR_CACHE_HITS.inc()
             return cached
         self.stats.desugar_visits += 1
+        if _obs.enabled:
+            DESUGAR_CACHE_MISSES.inc()
         result = self._desugar_compute(t, depth)
         memo[t] = result
         return result
@@ -298,6 +314,8 @@ class ResugarCache:
                 return t
             return _intern_node(t.label, children)
         self.stats.expansions += 1
+        if _obs.enabled:
+            DESUGAR_DEPTH.observe(depth + 1)
         self._fuel -= 1
         if self._fuel < 0:
             raise ExpansionError(

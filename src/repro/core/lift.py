@@ -46,6 +46,8 @@ from typing import (
 from repro.core.errors import ReproError
 from repro.core.incremental import CacheStats
 from repro.core.terms import Pattern
+from repro.obs import _state as _obs
+from repro.obs.trace import span as _obs_span
 
 __all__ = [
     "Stepper",
@@ -191,19 +193,21 @@ def lift_evaluation(
     """
     from repro.engine.stream import fold_lift, lift_stream
 
-    return fold_lift(
-        lift_stream(
-            rules,
-            stepper,
-            surface_term,
-            max_steps=max_steps,
-            max_seconds=max_seconds,
-            on_budget=on_budget,
-            dedup=dedup,
-            check_emulation=check_emulation,
-            incremental=incremental,
-        )
+    events = lift_stream(
+        rules,
+        stepper,
+        surface_term,
+        max_steps=max_steps,
+        max_seconds=max_seconds,
+        on_budget=on_budget,
+        dedup=dedup,
+        check_emulation=check_emulation,
+        incremental=incremental,
     )
+    if _obs.enabled:
+        with _obs_span("lift.batch", mode="sequence"):
+            return fold_lift(events)
+    return fold_lift(events)
 
 
 @dataclass
@@ -317,15 +321,17 @@ def lift_evaluation_tree(
     """
     from repro.engine.stream import fold_tree, lift_tree_stream
 
-    return fold_tree(
-        lift_tree_stream(
-            rules,
-            stepper,
-            surface_term,
-            max_nodes=max_nodes,
-            max_seconds=max_seconds,
-            on_budget=on_budget,
-            check_emulation=check_emulation,
-            incremental=incremental,
-        )
+    events = lift_tree_stream(
+        rules,
+        stepper,
+        surface_term,
+        max_nodes=max_nodes,
+        max_seconds=max_seconds,
+        on_budget=on_budget,
+        check_emulation=check_emulation,
+        incremental=incremental,
     )
+    if _obs.enabled:
+        with _obs_span("lift.batch", mode="tree"):
+            return fold_tree(events)
+    return fold_tree(events)

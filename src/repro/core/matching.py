@@ -38,6 +38,8 @@ from __future__ import annotations
 from typing import Mapping, Optional
 
 from repro.core.bindings import Binding, Env, merge
+from repro.obs import _state as _obs
+from repro.obs.metrics import MATCH_ATTEMPTS, MATCH_SUCCESSES
 from repro.core.terms import (
     BodyTag,
     Const,
@@ -64,7 +66,12 @@ def match(
     re-checked on every call for speed, but variables in the term position
     will simply never match anything except a pattern variable.
     """
-    return _match(term, pattern, see_through_tags, lenient_pattern_tags)
+    result = _match(term, pattern, see_through_tags, lenient_pattern_tags)
+    if _obs.enabled:
+        MATCH_ATTEMPTS.inc()
+        if result is not None:
+            MATCH_SUCCESSES.inc()
+    return result
 
 
 def matches(
@@ -74,7 +81,12 @@ def matches(
     lenient_pattern_tags: bool = False,
 ) -> bool:
     """The paper's ``T >= P``: does ``term`` match ``pattern``?"""
-    return _match(term, pattern, see_through_tags, lenient_pattern_tags) is not None
+    result = _match(term, pattern, see_through_tags, lenient_pattern_tags)
+    if _obs.enabled:
+        MATCH_ATTEMPTS.inc()
+        if result is not None:
+            MATCH_SUCCESSES.inc()
+    return result is not None
 
 
 def _union(sigma1: Env, sigma2: Mapping[str, Binding]) -> Optional[Env]:

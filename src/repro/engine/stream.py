@@ -59,6 +59,15 @@ from repro.engine.events import (
     StepSkipped,
     SurfaceEmitted,
 )
+from repro.obs import _state as _obs
+from repro.obs.metrics import (
+    LIFT_RUNS,
+    LIFT_STEPS_DEDUPED,
+    LIFT_STEPS_EMITTED,
+    LIFT_STEPS_SKIPPED,
+    LIFT_STEPS_TOTAL,
+)
+from repro.obs.trace import span as _span
 
 __all__ = [
     "ON_BUDGET_POLICIES",
@@ -69,6 +78,13 @@ __all__ = [
 ]
 
 ON_BUDGET_POLICIES = ("raise", "truncate")
+
+# Classification outcome -> the counter it moves (observability only).
+_OUTCOME_COUNTERS = {
+    "emitted": LIFT_STEPS_EMITTED,
+    "deduped": LIFT_STEPS_DEDUPED,
+    "skipped": LIFT_STEPS_SKIPPED,
+}
 
 
 def _check_policy(on_budget: str) -> None:
@@ -109,6 +125,11 @@ def lift_stream(
     ``dedup``, ``check_emulation``, and ``incremental`` mean exactly
     what they mean on :func:`repro.core.lift.lift_evaluation` — that
     function *is* :func:`fold_lift` over this generator.
+
+    With observability on (:mod:`repro.obs`), the run is wrapped in a
+    ``lift`` span, every core step gets a ``lift.step`` child span
+    carrying its index and outcome, and the ``lift.steps_*`` counters
+    move per event; disabled, the loop pays one branch per step.
     """
     _check_policy(on_budget)
     core = desugar(rules, surface_term)
@@ -119,13 +140,41 @@ def lift_stream(
     last_emitted: Optional[Pattern] = None
     index = 0
 
-    with deep_recursion():
+    def classify(term: Pattern):
+        """Resugar one core term and decide its event + outcome."""
+        nonlocal last_emitted
+        surface = cache.resugar(term) if cache else resugar(rules, term)
+        if surface is None:
+            return StepSkipped(index, term), "skipped"
+        if check_emulation:
+            faithful = (
+                cache.emulates(surface, term)
+                if cache
+                else emulates(rules, surface, term)
+            )
+            if not faithful:
+                raise EmulationViolation(
+                    f"surface step {surface} does not desugar into "
+                    f"the core term it represents: {term}"
+                )
+        if dedup and surface == last_emitted:
+            return Deduped(index, term, surface), "deduped"
+        last_emitted = surface
+        return SurfaceEmitted(index, term, surface), "emitted"
+
+    if _obs.enabled:
+        LIFT_RUNS.inc()
+    with deep_recursion(), _span(
+        "lift", mode="sequence", incremental=incremental, dedup=dedup
+    ) as lift_span:
         while True:
             if index > max_steps:
                 if on_budget == "raise":
                     raise ReproError(
                         f"evaluation did not finish within {max_steps} steps"
                     )
+                if lift_span is not None:
+                    lift_span.attrs["truncated"] = "steps"
                 yield BudgetExhausted(index, stats, "steps", max_steps)
                 return
             if deadline is not None and monotonic() >= deadline:
@@ -134,34 +183,28 @@ def lift_stream(
                         f"evaluation exceeded the {max_seconds:g}s time "
                         f"budget after {index} core steps"
                     )
+                if lift_span is not None:
+                    lift_span.attrs["truncated"] = "seconds"
                 yield BudgetExhausted(index, stats, "seconds", max_seconds)
                 return
 
             term = stepper.term(state)
             yield CoreStepped(index, term)
-            surface = cache.resugar(term) if cache else resugar(rules, term)
-            if surface is None:
-                yield StepSkipped(index, term)
+            if _obs.enabled:
+                LIFT_STEPS_TOTAL.inc()
+                with _span("lift.step", index=index) as step_span:
+                    event, outcome = classify(term)
+                    if step_span is not None:
+                        step_span.attrs["outcome"] = outcome
+                _OUTCOME_COUNTERS[outcome].inc()
             else:
-                if check_emulation:
-                    faithful = (
-                        cache.emulates(surface, term)
-                        if cache
-                        else emulates(rules, surface, term)
-                    )
-                    if not faithful:
-                        raise EmulationViolation(
-                            f"surface step {surface} does not desugar into "
-                            f"the core term it represents: {term}"
-                        )
-                if dedup and surface == last_emitted:
-                    yield Deduped(index, term, surface)
-                else:
-                    last_emitted = surface
-                    yield SurfaceEmitted(index, term, surface)
+                event, _ = classify(term)
+            yield event
 
             successors = stepper.step(state)
             if not successors:
+                if lift_span is not None:
+                    lift_span.attrs["core_steps"] = index + 1
                 yield Halted(index + 1, stats)
                 return
             if len(successors) > 1:
@@ -203,13 +246,41 @@ def lift_tree_stream(
     next_id = 0
     explored = 0
 
-    with deep_recursion():
+    def classify(term, index, parent):
+        """Resugar one explored core state; returns the event to yield,
+        the outcome, and the surface node id successors attach under."""
+        surface = cache.resugar(term) if cache else resugar(rules, term)
+        if surface is None:
+            return StepSkipped(index, term), "skipped", parent
+        if check_emulation:
+            faithful = (
+                cache.emulates(surface, term)
+                if cache
+                else emulates(rules, surface, term)
+            )
+            if not faithful:
+                raise EmulationViolation(
+                    f"surface node {surface} does not desugar into "
+                    f"the core term it represents: {term}"
+                )
+        event = SurfaceEmitted(
+            index, term, surface, node_id=next_id, parent_id=parent
+        )
+        return event, "emitted", next_id
+
+    if _obs.enabled:
+        LIFT_RUNS.inc()
+    with deep_recursion(), _span(
+        "lift", mode="tree", incremental=incremental
+    ) as lift_span:
         while queue:
             if explored >= max_nodes:
                 if on_budget == "raise":
                     raise ReproError(
                         f"evaluation tree exceeded {max_nodes} core nodes"
                     )
+                if lift_span is not None:
+                    lift_span.attrs["truncated"] = "nodes"
                 yield BudgetExhausted(explored, stats, "nodes", max_nodes)
                 return
             if deadline is not None and monotonic() >= deadline:
@@ -218,6 +289,8 @@ def lift_tree_stream(
                         f"evaluation tree exceeded the {max_seconds:g}s time "
                         f"budget after {explored} core nodes"
                     )
+                if lift_span is not None:
+                    lift_span.attrs["truncated"] = "seconds"
                 yield BudgetExhausted(explored, stats, "seconds", max_seconds)
                 return
 
@@ -226,29 +299,23 @@ def lift_tree_stream(
             explored += 1
             term = stepper.term(state)
             yield CoreStepped(index, term)
-            surface = cache.resugar(term) if cache else resugar(rules, term)
-            if surface is None:
-                yield StepSkipped(index, term)
+            if _obs.enabled:
+                LIFT_STEPS_TOTAL.inc()
+                with _span("lift.step", index=index) as step_span:
+                    event, outcome, parent = classify(term, index, parent)
+                    if step_span is not None:
+                        step_span.attrs["outcome"] = outcome
+                _OUTCOME_COUNTERS[outcome].inc()
             else:
-                if check_emulation:
-                    faithful = (
-                        cache.emulates(surface, term)
-                        if cache
-                        else emulates(rules, surface, term)
-                    )
-                    if not faithful:
-                        raise EmulationViolation(
-                            f"surface node {surface} does not desugar into "
-                            f"the core term it represents: {term}"
-                        )
-                node_id = next_id
+                event, outcome, parent = classify(term, index, parent)
+            if outcome == "emitted":
                 next_id += 1
-                yield SurfaceEmitted(
-                    index, term, surface, node_id=node_id, parent_id=parent
-                )
-                parent = node_id
+            yield event
+
             for successor in stepper.step(state):
                 queue.append((successor, parent))
+        if lift_span is not None:
+            lift_span.attrs["core_nodes"] = explored
         yield Halted(explored, stats)
 
 

@@ -1,0 +1,161 @@
+"""Observability for the lift pipeline: tracing, metrics, export.
+
+The paper evaluates CONFECTION by *accounting* — how many core steps
+were shown, skipped, or hidden (§6).  This package makes that accounting
+a first-class, always-available measurement layer:
+
+* :mod:`repro.obs.trace` — nestable, timed spans with pluggable sinks;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms snapshot-able
+  as a dict (``lift.steps_total``, ``match.attempts``,
+  ``resugar.cache_hits``, ``desugar.depth``, ...);
+* :mod:`repro.obs.export` — a JSONL exporter plus the read side used by
+  the property-test harness.
+
+Everything is **off by default**: instrumentation sites in the hot paths
+(:mod:`repro.core.matching`, :mod:`repro.core.desugar`,
+:mod:`repro.core.incremental`, :mod:`repro.engine.stream`) guard on
+:mod:`repro.obs._state` and the disabled path costs one branch — held to
+<3% of a 500+-step lift by ``benchmarks/bench_obs_overhead.py``.
+
+Two ways to turn it on:
+
+* globally: ``obs.enable(sinks=[JsonlExporter("trace.jsonl")])`` /
+  ``obs.disable()``;
+* scoped: ``Confection(rules, stepper, obs=Observability(trace_path=
+  "trace.jsonl"))`` — every lift made through that Confection runs with
+  observability on, and ``obs.metrics_snapshot()`` reads the counters.
+
+The CLI exposes the same through ``repro lift --trace FILE.jsonl`` and
+``repro lift --metrics``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.obs import _state
+from repro.obs import metrics as metrics
+from repro.obs.export import JsonlExporter, build_tree, read_trace
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import (
+    Sink,
+    Span,
+    add_sink,
+    clear_sinks,
+    current_span,
+    remove_sink,
+    sinks,
+    span,
+)
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "current_span",
+    "Span",
+    "Sink",
+    "add_sink",
+    "remove_sink",
+    "clear_sinks",
+    "sinks",
+    "JsonlExporter",
+    "read_trace",
+    "build_tree",
+    "REGISTRY",
+    "MetricsRegistry",
+    "metrics_snapshot",
+    "reset_metrics",
+    "Observability",
+]
+
+
+def enable(sinks: Iterable[Sink] = ()) -> None:
+    """Turn instrumentation on process-wide and register ``sinks``."""
+    for sink in sinks:
+        add_sink(sink)
+    _state.enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off process-wide (sinks stay registered)."""
+    _state.enabled = False
+
+
+def enabled() -> bool:
+    """Is instrumentation currently on?"""
+    return _state.enabled
+
+
+def metrics_snapshot() -> Dict[str, object]:
+    """Snapshot the process-wide metrics registry as a plain dict."""
+    return REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    """Zero the process-wide metrics registry."""
+    REGISTRY.reset()
+
+
+class Observability:
+    """A scoped observability configuration.
+
+    Activating it (as a context manager) enables instrumentation,
+    registers this instance's sinks, and on exit restores the previous
+    enabled state and unregisters them.  Activation nests and is
+    reentrant.  :class:`~repro.confection.Confection` accepts one via
+    its ``obs=`` kwarg and activates it around every lift.
+
+    ``trace_path`` adds a :class:`JsonlExporter` writing there;
+    ``reset_metrics`` (default ``True``) zeroes the metrics registry on
+    first activation so :meth:`snapshot` reads this run's numbers.
+    """
+
+    def __init__(
+        self,
+        trace_path: Optional[Union[str, Path]] = None,
+        sinks: Iterable[Sink] = (),
+        reset_metrics: bool = True,
+    ) -> None:
+        self.exporter: Optional[JsonlExporter] = (
+            JsonlExporter(trace_path) if trace_path is not None else None
+        )
+        self._sinks = list(sinks)
+        if self.exporter is not None:
+            self._sinks.append(self.exporter)
+        self._reset_metrics = reset_metrics
+        self._was_reset = False
+        self._depth = 0
+        self._prev_enabled = False
+
+    def __enter__(self) -> "Observability":
+        if self._depth == 0:
+            if self._reset_metrics and not self._was_reset:
+                REGISTRY.reset()
+                self._was_reset = True
+            for sink in self._sinks:
+                add_sink(sink)
+            self._prev_enabled = _state.enabled
+            _state.enabled = True
+        self._depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            _state.enabled = self._prev_enabled
+            for sink in self._sinks:
+                remove_sink(sink)
+            if self.exporter is not None:
+                self.exporter.flush()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Snapshot the metrics registry (see :func:`metrics_snapshot`)."""
+        return REGISTRY.snapshot()
+
+    def close(self) -> None:
+        """Close the exporter's file, if this instance owns one."""
+        if self.exporter is not None:
+            self.exporter.close()

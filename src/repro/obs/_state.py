@@ -1,0 +1,16 @@
+"""The observability master switch, isolated so hot paths can test it
+with a single module-attribute load.
+
+Instrumented code imports this module once and guards every
+instrumentation site with ``if _state.enabled:`` — when observability is
+off (the default) the entire obs layer costs one predictable branch per
+site.  The benchmark suite (``benchmarks/bench_obs_overhead.py``) holds
+that cost to <3% of a 500+-step lift.
+
+Nothing else lives here on purpose: this module must import instantly
+and depend on nothing, because :mod:`repro.core.matching` and friends
+import it at module load.  Toggle through :func:`repro.obs.enable` /
+:func:`repro.obs.disable`, not by poking the attribute.
+"""
+
+enabled: bool = False

@@ -1,0 +1,159 @@
+"""JSONL span export and trace reconstruction.
+
+:class:`JsonlExporter` is the bundled :class:`~repro.obs.trace.Sink`: it
+serializes each finished span as one JSON object per line.  The record
+schema (``repro-obs-trace/1``)::
+
+    {"span_id": 7, "parent_id": 3, "name": "lift.step",
+     "attrs": {"index": 4, "outcome": "emitted"},
+     "start": 123.456789, "duration": 0.000321}
+
+``span_id`` is unique per process; ``parent_id`` is ``null`` for roots;
+``start`` is a ``time.perf_counter`` timestamp (meaningful only relative
+to other spans in the same process); ``duration`` is seconds.  Spans are
+written post-order (children before parents), so a truncated file loses
+only ancestors of the last open spans, never a child's parent-id
+referent... more precisely: a parent referenced by an already-written
+child may be missing at the *end* of a truncated file, which
+:func:`build_tree` reports as a dangling root.
+
+:func:`read_trace` and :func:`build_tree` are the read side, used by the
+property-test harness to check that an exported trace reconstructs the
+exact span tree that produced it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.trace import Span
+
+__all__ = ["JsonlExporter", "read_trace", "build_tree"]
+
+
+def _jsonable(value: object) -> object:
+    """Coerce an attr value to something JSON can carry (terms and other
+    rich objects degrade to their repr)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class JsonlExporter:
+    """Write finished spans to a file as JSON Lines.
+
+    ``destination`` may be a path (opened lazily, truncated) or any
+    object with a ``write`` method (left open on :meth:`close`).
+    Usable as a context manager.
+    """
+
+    def __init__(self, destination: Union[str, Path, io.TextIOBase]) -> None:
+        if hasattr(destination, "write"):
+            self._file = destination
+            self._owns_file = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(destination)
+            self._file = None
+            self._owns_file = True
+        self.emitted = 0
+
+    def emit(self, span: Span) -> None:
+        if self._file is None:
+            self._file = open(self.path, "w")
+        record = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
+            "start": span.start,
+            "duration": span.duration,
+        }
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.emitted += 1
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None and self._owns_file:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(
+    source: Union[str, Path, Iterable[str]],
+) -> List[Dict[str, object]]:
+    """Parse a JSONL trace into a list of record dicts.
+
+    ``source`` is a path or an iterable of lines.  Every non-blank line
+    must be a complete JSON object with the schema fields; a malformed
+    line raises ``ValueError`` naming the line number.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno} is not JSON: {exc}") from exc
+        for key in ("span_id", "name", "start", "duration"):
+            if key not in record:
+                raise ValueError(f"trace line {lineno} lacks {key!r}")
+        records.append(record)
+    return records
+
+
+def build_tree(
+    records: Iterable[Dict[str, object]],
+) -> Tuple[List[int], Dict[int, List[int]]]:
+    """Reconstruct the span forest from exported records.
+
+    Returns ``(roots, children)`` where ``roots`` lists span ids with no
+    (present) parent and ``children`` maps a span id to its children in
+    emission order.  Raises ``ValueError`` on duplicate span ids, on a
+    self-parenting span, or if the parent links contain a cycle —
+    impossible for traces produced by :mod:`repro.obs.trace`, which is
+    exactly why the property suite asserts it.
+    """
+    by_id: Dict[int, Dict[str, object]] = {}
+    for record in records:
+        span_id = record["span_id"]
+        if span_id in by_id:
+            raise ValueError(f"duplicate span id {span_id}")
+        by_id[span_id] = record
+    roots: List[int] = []
+    children: Dict[int, List[int]] = {span_id: [] for span_id in by_id}
+    for span_id, record in by_id.items():
+        parent_id = record.get("parent_id")
+        if parent_id == span_id:
+            raise ValueError(f"span {span_id} is its own parent")
+        if parent_id is None or parent_id not in by_id:
+            roots.append(span_id)
+        else:
+            children[parent_id].append(span_id)
+    # Cycle check: every span must be reachable from a root.
+    seen = 0
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        seen += 1
+        stack.extend(children[node])
+    if seen != len(by_id):
+        raise ValueError("span parent links contain a cycle")
+    return roots, children

@@ -1,0 +1,235 @@
+"""A process-wide metrics registry for the lift pipeline.
+
+Three instrument kinds, modelled on the Prometheus vocabulary but kept
+dependency-free:
+
+* :class:`Counter` — a monotonically increasing count (``inc``);
+* :class:`Gauge` — a value that can move both ways (``set``);
+* :class:`Histogram` — observations bucketed against *fixed* boundaries
+  chosen at registration time, plus a running count and sum.
+
+All instruments live in a :class:`MetricsRegistry`; the module-level
+:data:`REGISTRY` is the one the pipeline's instrumentation writes to.
+:func:`snapshot` freezes the registry into a plain dict (JSON-safe),
+:func:`reset` zeroes every instrument in place — instruments are
+interned by name, so references held by hot code stay valid across
+resets.
+
+The pipeline's metric names (see ``docs/observability.md``):
+
+==========================  =========  =====================================
+name                        kind       meaning
+==========================  =========  =====================================
+``lift.steps_total``        counter    core steps walked by lift streams
+``lift.steps_emitted``      counter    steps shown to the user
+``lift.steps_skipped``      counter    steps with no surface representation
+``lift.steps_deduped``      counter    steps hidden as duplicates
+``lift.runs``               counter    lift streams started
+``match.attempts``          counter    pattern-match calls
+``match.successes``         counter    pattern-match calls that bound
+``resugar.cache_hits``      counter    ResugarCache subtree walks saved
+``resugar.cache_misses``    counter    ResugarCache subtree walks done
+``desugar.cache_hits``      counter    desugar memo hits
+``desugar.cache_misses``    counter    desugar memo misses
+``desugar.depth``           histogram  expansion nesting depth per expansion
+==========================  =========  =====================================
+
+Counters only move when observability is enabled (the instrumentation
+sites are guarded); reading them is always safe.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "snapshot",
+    "reset",
+    "DEFAULT_DEPTH_BUCKETS",
+    "LIFT_STEPS_TOTAL",
+    "LIFT_STEPS_EMITTED",
+    "LIFT_STEPS_SKIPPED",
+    "LIFT_STEPS_DEDUPED",
+    "LIFT_RUNS",
+    "MATCH_ATTEMPTS",
+    "MATCH_SUCCESSES",
+    "RESUGAR_CACHE_HITS",
+    "RESUGAR_CACHE_MISSES",
+    "DESUGAR_CACHE_HITS",
+    "DESUGAR_CACHE_MISSES",
+    "DESUGAR_DEPTH",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def _snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A value that can move both ways (e.g. a backlog size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def _snapshot(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Observations bucketed against fixed upper boundaries.
+
+    ``boundaries`` are inclusive upper edges in strictly increasing
+    order; an implicit ``+inf`` bucket catches the rest.  Bucket counts
+    are *non-cumulative* (each observation lands in exactly one bucket).
+    """
+
+    __slots__ = ("name", "boundaries", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, boundaries: Sequence[Number]) -> None:
+        edges = tuple(boundaries)
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs at least one boundary")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError(
+                f"histogram {name!r} boundaries must be strictly increasing: "
+                f"{edges}"
+            )
+        self.name = name
+        self.boundaries: Tuple[Number, ...] = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum: Number = 0
+
+    def observe(self, value: Number) -> None:
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def _reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.sum = 0
+
+    def _snapshot(self) -> Dict[str, object]:
+        buckets = {
+            f"le_{edge:g}": n
+            for edge, n in zip(self.boundaries, self.bucket_counts)
+        }
+        buckets["le_inf"] = self.bucket_counts[-1]
+        return {"count": self.count, "sum": self.sum, "buckets": buckets}
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+DEFAULT_DEPTH_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class MetricsRegistry:
+    """Interns instruments by name and snapshots them as one dict."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, kind: type, **kwargs) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = kind(name, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[Number]] = None
+    ) -> Histogram:
+        if name in self._instruments:
+            return self._get(name, Histogram)
+        return self._get(
+            name,
+            Histogram,
+            boundaries=tuple(boundaries or DEFAULT_DEPTH_BUCKETS),
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Freeze every instrument into a plain, JSON-safe dict, keyed
+        by metric name (sorted for stable output)."""
+        return {
+            name: inst._snapshot()
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (references stay valid)."""
+        for inst in self._instruments.values():
+            inst._reset()
+
+
+REGISTRY = MetricsRegistry()
+
+
+def snapshot() -> Dict[str, object]:
+    """Snapshot the process-wide registry."""
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Zero the process-wide registry."""
+    REGISTRY.reset()
+
+
+# The pipeline's instruments, pre-bound so hot paths pay an attribute
+# load rather than a dict lookup per increment.
+LIFT_STEPS_TOTAL = REGISTRY.counter("lift.steps_total")
+LIFT_STEPS_EMITTED = REGISTRY.counter("lift.steps_emitted")
+LIFT_STEPS_SKIPPED = REGISTRY.counter("lift.steps_skipped")
+LIFT_STEPS_DEDUPED = REGISTRY.counter("lift.steps_deduped")
+LIFT_RUNS = REGISTRY.counter("lift.runs")
+MATCH_ATTEMPTS = REGISTRY.counter("match.attempts")
+MATCH_SUCCESSES = REGISTRY.counter("match.successes")
+RESUGAR_CACHE_HITS = REGISTRY.counter("resugar.cache_hits")
+RESUGAR_CACHE_MISSES = REGISTRY.counter("resugar.cache_misses")
+DESUGAR_CACHE_HITS = REGISTRY.counter("desugar.cache_hits")
+DESUGAR_CACHE_MISSES = REGISTRY.counter("desugar.cache_misses")
+DESUGAR_DEPTH = REGISTRY.histogram("desugar.depth", DEFAULT_DEPTH_BUCKETS)

@@ -1,0 +1,175 @@
+"""Lightweight span tracing for the lift pipeline.
+
+A *span* is a named, timed unit of work.  Spans nest: entering a span
+inside another makes the inner one a child of the outer, tracked through
+a thread-local context stack, so a whole lift produces a tree rooted at
+the ``lift`` span with per-step and per-phase children.
+
+Usage::
+
+    from repro.obs import enable, span
+    from repro.obs.export import JsonlExporter
+
+    enable(sinks=[JsonlExporter("trace.jsonl")])
+    with span("lift", backend="lambda"):
+        with span("lift.step", index=0):
+            ...
+
+Design constraints, in order:
+
+1. **The disabled path is a no-op.**  :func:`span` checks the
+   :mod:`repro.obs._state` flag first and yields ``None`` without
+   allocating, timing, or touching the context stack.
+2. **Exact nesting.**  Timing uses ``time.perf_counter`` and a child
+   span's interval is contained in its parent's, so a child's duration
+   never exceeds its parent's — the property-test suite pins this.
+3. **Pluggable output.**  Finished spans are handed to every registered
+   :class:`Sink` (see :class:`repro.obs.export.JsonlExporter`); spans
+   are emitted on *exit*, so children are emitted before their parents
+   (post-order) and a crashed process loses only open spans.
+
+Span ids are unique per process (a shared atomic counter), parent ids
+refer to the enclosing span at entry time, and the id graph is acyclic
+by construction: a parent's id is always allocated before its
+children's.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Protocol
+
+from repro.obs import _state
+
+__all__ = [
+    "Span",
+    "Sink",
+    "span",
+    "current_span",
+    "add_sink",
+    "remove_sink",
+    "clear_sinks",
+    "sinks",
+]
+
+
+class Span:
+    """One named, timed unit of work.
+
+    ``attrs`` is a plain dict and stays mutable while the span is open,
+    so instrumentation can attach facts discovered mid-flight (e.g. a
+    lift step's outcome); sinks see the final contents.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start", "end")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: Dict[str, object],
+        start: float,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from entry to exit (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span(id={self.span_id}, parent={self.parent_id}, "
+            f"name={self.name!r}, duration={self.duration:.6f})"
+        )
+
+
+class Sink(Protocol):
+    """Anything that consumes finished spans."""
+
+    def emit(self, span: Span) -> None: ...
+
+
+_ids = itertools.count(1)  # CPython: next() on count is atomic enough
+_sinks: List[Sink] = []
+_context = threading.local()
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_context, "stack", None)
+    if stack is None:
+        stack = _context.stack = []
+    return stack
+
+
+def add_sink(sink: Sink) -> Sink:
+    """Register ``sink`` to receive every finished span; returns it."""
+    _sinks.append(sink)
+    return sink
+
+
+def remove_sink(sink: Sink) -> None:
+    """Unregister ``sink`` (no error if it was never registered)."""
+    try:
+        _sinks.remove(sink)
+    except ValueError:
+        pass
+
+
+def clear_sinks() -> None:
+    """Unregister every sink (tests and teardown)."""
+    _sinks.clear()
+
+
+def sinks() -> List[Sink]:
+    """The currently registered sinks (a copy)."""
+    return list(_sinks)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, or ``None``."""
+    stack = getattr(_context, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[Optional[Span]]:
+    """Open a span named ``name``; yields the :class:`Span` (or ``None``
+    when observability is disabled).
+
+    The span's parent is whatever span is innermost on this thread at
+    entry.  On exit the span is closed, popped, and emitted to every
+    registered sink.  Exceptions propagate; the span still closes.
+    """
+    if not _state.enabled:
+        yield None
+        return
+    stack = _stack()
+    parent_id = stack[-1].span_id if stack else None
+    s = Span(next(_ids), parent_id, name, attrs, perf_counter())
+    stack.append(s)
+    try:
+        yield s
+    finally:
+        s.end = perf_counter()
+        # Remove by identity rather than popping blindly: two lift
+        # generators consumed in lockstep on one thread can interleave
+        # their exits, and popping the wrong frame would corrupt the
+        # context for everything after.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is s:
+                del stack[i]
+                break
+        for sink in list(_sinks):
+            sink.emit(s)

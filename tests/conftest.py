@@ -1,0 +1,35 @@
+"""Shared pytest configuration: deterministic Hypothesis profiles.
+
+The property suites (matching, lens laws, desugar/resugar inverses, the
+obs trace round-trip) run under a pinned-seed profile so tier-1 results
+are reproducible run to run; CI additionally derandomizes, making every
+workflow run bit-for-bit repeatable.  Select explicitly with
+``--hypothesis-profile=<name>`` (``dev`` restores Hypothesis defaults
+for local exploration).
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    # Hypothesis defaults: fresh random seeds, full shrinking.
+)
+settings.register_profile(
+    "deterministic",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.differing_executors],
+)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.differing_executors],
+    print_blob=True,
+)
+
+settings.load_profile(
+    os.environ.get(
+        "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "deterministic"
+    )
+)

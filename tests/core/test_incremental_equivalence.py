@@ -19,20 +19,26 @@ from repro.core.incremental import ResugarCache
 from repro.core.intern import intern
 from repro.lambdacore import make_stepper, parse_program
 from repro.sugars.scheme_sugars import make_scheme_rules
-from tests.test_golden_traces import GOLDEN_FILES, _configs, parse_golden
+from tests.test_golden_traces import (
+    GOLDEN_FILES,
+    _configs,
+    lift_kwargs,
+    parse_golden,
+)
 
 
 @pytest.mark.parametrize(
     "path", GOLDEN_FILES, ids=[p.stem for p in GOLDEN_FILES]
 )
 def test_incremental_lift_matches_naive_on_golden_corpus(path: Path):
-    sugar, program, _expected, _stats = parse_golden(path)
+    sugar, program, _expected, _stats, options = parse_golden(path)
     make_rules, make_stepper_, parse, _pretty = _configs()[sugar]
     confection = Confection(make_rules(), make_stepper_())
     term = parse(program)
+    kwargs = lift_kwargs(options)
 
-    naive = confection.lift(term, incremental=False)
-    inc = confection.lift(term, incremental=True)
+    naive = confection.lift(term, incremental=False, **kwargs)
+    inc = confection.lift(term, incremental=True, **kwargs)
 
     assert inc.surface_sequence == naive.surface_sequence
     assert len(inc.steps) == len(naive.steps)

@@ -21,7 +21,12 @@ from repro.engine.events import (
     SurfaceEmitted,
 )
 from repro.engine.stream import fold_tree
-from tests.test_golden_traces import GOLDEN_FILES, _configs, parse_golden
+from tests.test_golden_traces import (
+    GOLDEN_FILES,
+    _configs,
+    lift_kwargs,
+    parse_golden,
+)
 
 
 def _replay(events):
@@ -62,31 +67,39 @@ def _replay(events):
     "path", GOLDEN_FILES, ids=[p.stem for p in GOLDEN_FILES]
 )
 def test_stream_replay_reconstructs_batch(path, incremental):
-    sugar, program, expected_trace, stats = parse_golden(path)
+    sugar, program, expected_trace, stats, options = parse_golden(path)
     make_rules, make_stepper, parse, pretty = _configs()[sugar]
     confection = Confection(make_rules(), make_stepper())
     term = parse(program)
+    kwargs = lift_kwargs(options)
 
-    batch = confection.lift(term, incremental=incremental)
-    events = list(confection.lift_stream(term, incremental=incremental))
+    batch = confection.lift(term, incremental=incremental, **kwargs)
+    events = list(
+        confection.lift_stream(term, incremental=incremental, **kwargs)
+    )
     replayed = _replay(iter(events))
 
     # Exact reconstruction of the batch result...
     assert replayed.surface_sequence == batch.surface_sequence
     assert replayed.steps == batch.steps
-    assert replayed.truncated == batch.truncated is False
+    truncated = bool(stats.get("truncated", 0))
+    assert replayed.truncated == batch.truncated == truncated
     assert replayed.core_step_count == batch.core_step_count == stats["core"]
     assert replayed.skipped_count == batch.skipped_count == stats["skipped"]
     # ...and of the committed golden trace, byte for byte.
     assert [pretty(t) for t in replayed.surface_sequence] == expected_trace
 
-    _check_event_grammar(events, stats["core"])
+    _check_event_grammar(events, stats["core"], truncated)
 
 
-def _check_event_grammar(events, core_steps):
+def _check_event_grammar(events, core_steps, truncated=False):
     """Every CoreStepped is followed by exactly one classification event
-    for the same index; the stream ends with one terminal event."""
-    assert isinstance(events[-1], Halted)
+    for the same index; the stream ends with one terminal event
+    (:class:`Halted`, or :class:`BudgetExhausted` on a truncated lift)."""
+    if truncated:
+        assert isinstance(events[-1], BudgetExhausted)
+    else:
+        assert isinstance(events[-1], Halted)
     assert events[-1].core_step_count == core_steps
     body = events[:-1]
     assert len(body) == 2 * core_steps

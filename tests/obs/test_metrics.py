@@ -1,0 +1,71 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_DEPTH_BUCKETS,
+    MetricsRegistry,
+)
+
+
+def test_counter_and_gauge():
+    registry = MetricsRegistry()
+    counter = registry.counter("lift.steps_total")
+    counter.inc()
+    counter.inc(3)
+    gauge = registry.gauge("queue.depth")
+    gauge.set(7)
+    snap = registry.snapshot()
+    assert snap["lift.steps_total"] == 4
+    assert snap["queue.depth"] == 7
+
+
+def test_histogram_buckets_partition_observations():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("desugar.depth", boundaries=(1, 4, 16))
+    for value in (0, 1, 2, 5, 100):
+        histogram.observe(value)
+    snap = registry.snapshot()["desugar.depth"]
+    assert snap["count"] == 5
+    assert snap["sum"] == 108
+    # Buckets are per-interval (not cumulative); le_inf is the overflow.
+    assert snap["buckets"] == {"le_1": 2, "le_4": 1, "le_16": 1, "le_inf": 1}
+    assert sum(snap["buckets"].values()) == snap["count"]
+
+
+def test_histogram_rejects_bad_boundaries():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("bad", boundaries=(4, 4))
+
+
+def test_registry_interns_by_name_and_checks_kind():
+    registry = MetricsRegistry()
+    a = registry.counter("x")
+    assert registry.counter("x") is a
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_reset_zeroes_in_place():
+    registry = MetricsRegistry()
+    counter = registry.counter("n")
+    histogram = registry.histogram("h", boundaries=DEFAULT_DEPTH_BUCKETS)
+    counter.inc(5)
+    histogram.observe(3)
+    registry.reset()
+    # Pre-bound references keep working after a reset.
+    counter.inc()
+    snap = registry.snapshot()
+    assert snap["n"] == 1
+    assert snap["h"]["count"] == 0
+
+
+def test_snapshot_is_sorted_and_detached():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc()
+    snap = registry.snapshot()
+    assert list(snap) == ["a", "b"]
+    snap["a"] = 999
+    assert registry.snapshot()["a"] == 1

@@ -1,0 +1,179 @@
+"""Property tests: the JSONL trace round-trips exactly.
+
+Hypothesis generates random span trees (names, JSON-primitive attrs,
+arbitrary nesting); executing them through the real :func:`repro.obs.span`
+API with a :class:`JsonlExporter` sink and reading the file back through
+:func:`read_trace`/:func:`build_tree` must reconstruct the *exact* tree:
+
+* every emitted line is independently ``json.loads``-parseable and
+  carries the full schema;
+* parent ids are acyclic and reconstruction recovers names, attrs, and
+  child order;
+* timing nests: a child's duration never exceeds its parent's, and a
+  child starts no earlier than its parent.
+"""
+
+import io
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.export import JsonlExporter, build_tree, read_trace
+
+SPAN_NAMES = ["lift", "lift.step", "desugar", "resugar", "match"]
+
+_attr_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+    st.sampled_from(["sequence", "tree", "emitted", "skipped"]),
+)
+
+_attrs = st.dictionaries(
+    keys=st.sampled_from(["index", "mode", "outcome", "ok", "n"]),
+    values=_attr_values,
+    max_size=3,
+)
+
+
+def _tree(children):
+    return st.fixed_dictionaries(
+        {
+            "name": st.sampled_from(SPAN_NAMES),
+            "attrs": _attrs,
+            "children": st.lists(children, max_size=3),
+        }
+    )
+
+
+span_trees = st.recursive(
+    st.fixed_dictionaries(
+        {
+            "name": st.sampled_from(SPAN_NAMES),
+            "attrs": _attrs,
+            "children": st.just([]),
+        }
+    ),
+    _tree,
+    max_leaves=12,
+)
+
+span_forests = st.lists(span_trees, min_size=1, max_size=3)
+
+
+def _run(tree):
+    """Execute one generated span tree through the real API."""
+    with obs.span(tree["name"], **tree["attrs"]):
+        for child in tree["children"]:
+            _run(child)
+
+
+def _execute_forest(forest) -> str:
+    """Run a forest with a JSONL sink attached; return the raw JSONL."""
+    buffer = io.StringIO()
+    with obs.Observability(sinks=[JsonlExporter(buffer)]):
+        for tree in forest:
+            _run(tree)
+    assert not obs.enabled()
+    return buffer.getvalue()
+
+
+def _expected_shape(tree):
+    return (
+        tree["name"],
+        dict(tree["attrs"]),
+        [_expected_shape(child) for child in tree["children"]],
+    )
+
+
+def _reconstructed_shape(span_id, children, by_id):
+    record = by_id[span_id]
+    return (
+        record["name"],
+        record["attrs"],
+        [
+            _reconstructed_shape(child, children, by_id)
+            for child in children.get(span_id, [])
+        ],
+    )
+
+
+@given(span_forests)
+def test_jsonl_reconstructs_exact_tree(forest):
+    raw = _execute_forest(forest)
+
+    # Every line parses on its own and carries the full schema.
+    lines = raw.splitlines()
+    for line in lines:
+        record = json.loads(line)
+        assert set(record) == {
+            "span_id",
+            "parent_id",
+            "name",
+            "attrs",
+            "start",
+            "duration",
+        }
+
+    records = read_trace(io.StringIO(raw))
+    assert len(records) == len(lines)
+
+    # build_tree validates acyclicity (unique ids, no self-parenting, no
+    # cycles) and yields the forest structure.
+    roots, children = build_tree(records)
+    by_id = {record["span_id"]: record for record in records}
+    assert len(roots) == len(forest)
+
+    # Exact reconstruction: names, attrs, and child order all survive.
+    # Spans are emitted post-order, so siblings appear in execution order
+    # at every level and roots in execution order at the top.
+    reconstructed = [
+        _reconstructed_shape(root, children, by_id) for root in roots
+    ]
+    assert reconstructed == [_expected_shape(tree) for tree in forest]
+
+
+@given(span_forests)
+def test_child_timing_nests_inside_parent(forest):
+    records = read_trace(io.StringIO(_execute_forest(forest)))
+    by_id = {record["span_id"]: record for record in records}
+    for record in records:
+        assert record["duration"] >= 0.0
+        parent_id = record["parent_id"]
+        if parent_id is not None:
+            parent = by_id[parent_id]
+            assert record["duration"] <= parent["duration"]
+            assert record["start"] >= parent["start"]
+
+
+@given(span_trees)
+def test_span_ids_are_fresh_across_runs(tree):
+    first = read_trace(io.StringIO(_execute_forest([tree])))
+    second = read_trace(io.StringIO(_execute_forest([tree])))
+    assert not {r["span_id"] for r in first} & {r["span_id"] for r in second}
+
+
+def test_read_trace_rejects_garbage_lines():
+    import pytest
+
+    with pytest.raises(ValueError, match="line 2"):
+        read_trace(
+            io.StringIO(
+                '{"span_id": 1, "parent_id": null, "name": "a", '
+                '"attrs": {}, "start": 0.0, "duration": 0.1}\n'
+                "not json\n"
+            )
+        )
+
+
+def test_build_tree_rejects_cycles():
+    import pytest
+
+    base = {"attrs": {}, "start": 0.0, "duration": 0.0}
+    records = [
+        {"span_id": 1, "parent_id": 2, "name": "a", **base},
+        {"span_id": 2, "parent_id": 1, "name": "b", **base},
+    ]
+    with pytest.raises(ValueError):
+        build_tree(records)

@@ -7,6 +7,7 @@ the lens laws, and the desugar/resugar inverse theorems.
 
 from __future__ import annotations
 
+from hypothesis import assume
 from hypothesis import strategies as st
 
 from repro.core.rules import Rule, RuleList
@@ -111,7 +112,6 @@ def matching_pairs(draw):
 
     # Ellipses with variables at mismatched sibling depths can make the
     # instantiation ill-defined; retry via hypothesis' assume mechanism.
-    from hypothesis import assume
     from repro.core.errors import SubstitutionError
 
     try:
@@ -177,7 +177,5 @@ def disjoint_rulelists(draw) -> RuleList:
             continue
         seen.add(rule.label)
         rules.append(rule)
-    from hypothesis import assume
-
     assume(rules)
     return RuleList(rules, DisjointnessMode.STRICT)

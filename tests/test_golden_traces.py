@@ -8,12 +8,18 @@ perturbs a trace fails here with a readable diff.
 File format::
 
     # sugar: <config name>
+    # options: max_steps=<n> on_budget=truncate      (optional line)
     # program:
     <program source>
     # trace:
     <surface step>
     ...
-    # stats: core=<n> skipped=<m>
+    # stats: core=<n> skipped=<m> [truncated=1]
+
+The ``# options:`` line carries keyword arguments for the lift
+(``max_steps``, ``max_seconds``, ``on_budget``) so the corpus can pin
+budget-truncated traces; ``truncated=1`` in the stats line asserts the
+result was cut off by its budget.
 """
 
 from pathlib import Path
@@ -67,9 +73,17 @@ def parse_golden(path: Path):
     lines = path.read_text().splitlines()
     assert lines[0].startswith("# sugar: ")
     sugar = lines[0][len("# sugar: "):]
-    assert lines[1] == "# program:"
+    at = 1
+    options = {}
+    if lines[at].startswith("# options: "):
+        options = dict(
+            part.split("=", 1)
+            for part in lines[at][len("# options: "):].split()
+        )
+        at += 1
+    assert lines[at] == "# program:"
     trace_at = lines.index("# trace:")
-    program = "\n".join(lines[2:trace_at])
+    program = "\n".join(lines[at + 1 : trace_at])
     stats_at = next(
         i for i, l in enumerate(lines) if l.startswith("# stats:")
     )
@@ -77,24 +91,38 @@ def parse_golden(path: Path):
     stats = dict(
         part.split("=") for part in lines[stats_at][len("# stats: "):].split()
     )
-    return sugar, program, trace, {k: int(v) for k, v in stats.items()}
+    return sugar, program, trace, {k: int(v) for k, v in stats.items()}, options
+
+
+def lift_kwargs(options):
+    """Turn a trace file's ``# options:`` dict into ``Confection.lift``
+    keyword arguments."""
+    kwargs = {}
+    if "max_steps" in options:
+        kwargs["max_steps"] = int(options["max_steps"])
+    if "max_seconds" in options:
+        kwargs["max_seconds"] = float(options["max_seconds"])
+    if "on_budget" in options:
+        kwargs["on_budget"] = options["on_budget"]
+    return kwargs
 
 
 GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.trace"))
 
 
 def test_corpus_is_present():
-    assert len(GOLDEN_FILES) >= 25
+    assert len(GOLDEN_FILES) >= 31
 
 
 @pytest.mark.parametrize(
     "path", GOLDEN_FILES, ids=[p.stem for p in GOLDEN_FILES]
 )
 def test_golden_trace(path):
-    sugar, program, expected_trace, stats = parse_golden(path)
+    sugar, program, expected_trace, stats, options = parse_golden(path)
     make_rules, make_stepper, parse, pretty = _configs()[sugar]
     confection = Confection(make_rules(), make_stepper())
-    result = confection.lift(parse(program))
+    result = confection.lift(parse(program), **lift_kwargs(options))
     assert [pretty(t) for t in result.surface_sequence] == expected_trace
     assert result.core_step_count == stats["core"]
     assert result.skipped_count == stats["skipped"]
+    assert result.truncated == bool(stats.get("truncated", 0))
