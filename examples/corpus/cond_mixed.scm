@@ -1,0 +1,1 @@
+(cond ((not #t) 1) ((and #t #f) 2) (#t (+ 1 2)))

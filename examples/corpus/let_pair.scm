@@ -1,0 +1,1 @@
+(let ((x 1) (y 2)) (+ x y))

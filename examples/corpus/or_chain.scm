@@ -1,0 +1,1 @@
+(or (not #t) (not #t) (not #t) (not #f))

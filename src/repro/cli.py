@@ -17,6 +17,7 @@ Examples::
     python -m repro lift --lang pyret  '1 + (2 + 3)' --op object
     python -m repro lift --lang lambda --sugar automaton --tree '(amb 1 2)'
     python -m repro lift --lang lambda --max-seconds 1 --on-budget truncate @prog.scm
+    python -m repro lift-batch --lang lambda --jobs 4 examples/corpus/*.scm
     python -m repro desugar --lang pyret 'not true'
     python -m repro trace --lang lambda '(+ 1 (* 2 3))'
     python -m repro check my_rules.confection
@@ -131,6 +132,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable observability and print a JSON metrics snapshot "
         "(lift.steps_total, match.attempts, resugar.cache_hits, ...) "
         "after the lift",
+    )
+
+    batch = sub.add_parser(
+        "lift-batch",
+        help="lift a corpus of programs across worker processes",
+    )
+    common(batch, with_program=False)
+    batch.add_argument(
+        "inputs",
+        nargs="+",
+        help="program files; by default each file is one program "
+        "(--per-line reads one program per non-empty line instead)",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count; 1 = in-process)",
+    )
+    batch.add_argument(
+        "--per-line",
+        action="store_true",
+        help="treat every non-empty, non-comment line of each input "
+        "file as its own program",
+    )
+    batch.add_argument(
+        "--max-steps", type=int, default=100_000, help="per-job step budget"
+    )
+    batch.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget",
+    )
+    batch.add_argument(
+        "--on-budget",
+        choices=ON_BUDGET_POLICIES,
+        default="raise",
+        help="per-job budget policy (raise surfaces as a job error; "
+        "the batch always continues)",
+    )
+    batch.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-worker metrics and print the aggregated "
+        "JSON snapshot after the batch",
     )
 
     desugar = sub.add_parser("desugar", help="show a program's core form")
@@ -298,6 +345,80 @@ def _cmd_lift_tree(args, confection, backend, program, budget_kwargs) -> int:
     return 0
 
 
+def _collect_batch_jobs(args, backend):
+    """Read the input files into named LiftJobs (parse errors are
+    usage errors and fail fast — fault isolation is for runtime
+    faults, not malformed invocations)."""
+    from repro.parallel import LiftJob
+
+    budgets = dict(
+        max_steps=args.max_steps,
+        max_seconds=args.max_seconds,
+        on_budget=args.on_budget,
+    )
+    jobs = []
+    for path in args.inputs:
+        with open(path) as handle:
+            text = handle.read()
+        if args.per_line:
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                line = line.strip()
+                if not line or line.startswith(";") or line.startswith("#"):
+                    continue
+                jobs.append(
+                    LiftJob(
+                        backend.parse(line),
+                        name=f"{path}:{lineno}",
+                        **budgets,
+                    )
+                )
+        else:
+            jobs.append(LiftJob(backend.parse(text), name=path, **budgets))
+    if not jobs:
+        raise SystemExit("no programs found in the given inputs")
+    return jobs
+
+
+def _cmd_lift_batch(args) -> int:
+    from repro.parallel import aggregate_metrics, lift_corpus_stream
+
+    confection, backend = _build_confection(args)
+    jobs = _collect_batch_jobs(args, backend)
+    outcomes = []
+    failed = 0
+    for outcome in lift_corpus_stream(
+        (confection.rules, confection.stepper),
+        jobs,
+        jobs=args.jobs,
+        payload="rendered",
+        pretty=backend.pretty,
+        collect_metrics=args.metrics,
+    ):
+        outcomes.append(outcome)
+        name = jobs[outcome.job_index].name
+        if isinstance(outcome, events.JobError):
+            failed += 1
+            print(f"== job {outcome.job_index}: {name} FAILED ==", flush=True)
+            print(
+                f"{outcome.error_type}: {outcome.error_message}",
+                file=sys.stderr,
+            )
+            continue
+        print(f"== job {outcome.job_index}: {name} ==", flush=True)
+        for line in outcome.rendered:
+            print(line, flush=True)
+    print(
+        f"[{len(outcomes)} jobs, {failed} failed, "
+        f"jobs={args.jobs if args.jobs is not None else 'auto'}]",
+        file=sys.stderr,
+    )
+    if args.metrics:
+        import json
+
+        print(json.dumps(aggregate_metrics(outcomes), indent=2, sort_keys=True))
+    return 1 if failed else 0
+
+
 def _cmd_desugar(args) -> int:
     confection, backend = _build_confection(args)
     core = confection.desugar(backend.parse(_read_program(args.program)))
@@ -354,6 +475,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "lift": _cmd_lift,
+        "lift-batch": _cmd_lift_batch,
         "desugar": _cmd_desugar,
         "trace": _cmd_trace,
         "check": _cmd_check,

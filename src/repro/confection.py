@@ -221,6 +221,76 @@ class Confection:
         )
         return self._scoped_stream(stream)
 
+    # --- batch lifting -------------------------------------------------
+
+    def lift_corpus(
+        self,
+        corpus,
+        *,
+        jobs: Optional[int] = None,
+        payload: str = "result",
+        pretty=None,
+        collect_metrics: bool = False,
+        mp_context: Optional[str] = None,
+        window: Optional[int] = None,
+    ):
+        """Lift a whole corpus of programs, sharded across ``jobs``
+        worker processes (default: one per CPU; ``jobs=1`` runs
+        in-process).
+
+        ``corpus`` entries are :class:`~repro.parallel.jobs.LiftJob`
+        records, terms, or DSL source strings.  Returns one
+        :class:`~repro.engine.events.BatchLifted` or
+        :class:`~repro.engine.events.JobError` per job, in submission
+        order — a failing job is contained, never aborting the batch.
+        Workers are warmed once with this Confection's rules and
+        stepper; its ``obs`` configuration does **not** cross the
+        process boundary — pass ``collect_metrics=True`` to get per-job
+        metrics snapshots and aggregate them with
+        :func:`repro.parallel.aggregate_metrics`.
+        """
+        from repro.parallel import lift_corpus
+
+        self._require_stepper()
+        return lift_corpus(
+            (self.rules, self.stepper),
+            corpus,
+            jobs=jobs,
+            payload=payload,
+            pretty=pretty,
+            collect_metrics=collect_metrics,
+            mp_context=mp_context,
+            window=window,
+        )
+
+    def lift_corpus_stream(
+        self,
+        corpus,
+        *,
+        jobs: Optional[int] = None,
+        payload: str = "result",
+        pretty=None,
+        collect_metrics: bool = False,
+        mp_context: Optional[str] = None,
+        window: Optional[int] = None,
+    ):
+        """Lift a corpus lazily, yielding per-job outcome events in
+        submission order as workers finish (the streaming face of
+        :meth:`lift_corpus`; same options)."""
+        from repro.parallel import lift_corpus_stream
+
+        self._require_stepper()
+        return lift_corpus_stream(
+            (self.rules, self.stepper),
+            corpus,
+            jobs=jobs,
+            payload=payload,
+            pretty=pretty,
+            collect_metrics=collect_metrics,
+            mp_context=mp_context,
+            window=window,
+        )
+
     def _scoped_stream(
         self, stream: Iterator["LiftEvent"]
     ) -> Iterator["LiftEvent"]:

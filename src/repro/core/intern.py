@@ -45,6 +45,38 @@ __all__ = [
     "intern_generation",
 ]
 
+# ---------------------------------------------------------------------------
+# Pickle reconstructors.
+#
+# Terms cross process boundaries (repro.parallel ships programs to pool
+# workers and results back), but a default-unpickled term would be a
+# *private* object: structurally equal to, yet not pointer-identical
+# with, the receiving process's canonical representative — silently
+# breaking every identity-keyed cache downstream.  The term classes'
+# ``__reduce__`` therefore routes through these reconstructors, which
+# rebuild the term and immediately re-intern it against the *local*
+# table.  Children unpickle (and re-intern) before their parent, so each
+# reconstruction is a single table probe, not a walk.  Non-ground
+# patterns pass through :func:`intern` unchanged, exactly as live ones
+# do.
+# ---------------------------------------------------------------------------
+
+
+def _unpickle_const(value):
+    return _intern(Const(value))
+
+
+def _unpickle_node(label, children):
+    return _intern(Node(label, children))
+
+
+def _unpickle_plist(items, ellipsis):
+    return _intern(PList(items, ellipsis))
+
+
+def _unpickle_tagged(tag, term):
+    return _intern(Tagged(tag, term))
+
 _TABLE: Dict[tuple, Pattern] = {}
 _GENERATION: int = 1  # generation stamps are always truthy ints
 _HITS: int = 0

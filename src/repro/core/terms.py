@@ -162,6 +162,11 @@ class Const(Pattern):
     def __repr__(self) -> str:
         return f"Const({self.value!r})"
 
+    def __reduce__(self):
+        from repro.core.intern import _unpickle_const
+
+        return (_unpickle_const, (self.value,))
+
 
 class Node(Pattern):
     """A labeled node ``l(P1, ..., Pn)`` with fixed arity."""
@@ -199,6 +204,11 @@ class Node(Pattern):
     def __repr__(self) -> str:
         inner = ", ".join(repr(c) for c in self.children)
         return f"Node({self.label!r}, ({inner}))"
+
+    def __reduce__(self):
+        from repro.core.intern import _unpickle_node
+
+        return (_unpickle_node, (self.label, self.children))
 
 
 class PList(Pattern):
@@ -246,6 +256,11 @@ class PList(Pattern):
         if self.ellipsis is None:
             return f"PList(({inner}))"
         return f"PList(({inner}), ellipsis={self.ellipsis!r})"
+
+    def __reduce__(self):
+        from repro.core.intern import _unpickle_plist
+
+        return (_unpickle_plist, (self.items, self.ellipsis))
 
 
 class Tag:
@@ -322,6 +337,11 @@ class Tagged(Pattern):
 
     def __repr__(self) -> str:
         return f"Tagged({self.tag!r}, {self.term!r})"
+
+    def __reduce__(self):
+        from repro.core.intern import _unpickle_tagged
+
+        return (_unpickle_tagged, (self.tag, self.term))
 
 
 def is_atomic(p: Pattern) -> bool:

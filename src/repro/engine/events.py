@@ -26,17 +26,31 @@ core state, and :class:`SurfaceEmitted` additionally carries ``node_id``
 and ``parent_id`` so the surface tree can be reconstructed from the
 events alone.
 
+Batch lifts (:mod:`repro.parallel`) lift a whole *corpus* of programs
+and speak a coarser vocabulary: one :class:`BatchLifted` per finished
+job, or one :class:`JobError` when that job's lift raised or exhausted
+its budget under the ``"raise"`` policy.  A batch stream yields exactly
+one of the two per job, in submission order, regardless of which worker
+finished first — the determinism guarantee the parallel engine is
+tested against.
+
 Events are frozen dataclasses: safe to store, hash, and ship across
-threads or serialization boundaries.
+threads or serialization boundaries.  (:class:`BatchLifted` and
+:class:`JobError` carry aggregate payloads — a result, a metrics
+snapshot — so they are the exception: picklable and immutable, but not
+hashable.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Tuple, Union
 
 from repro.core.incremental import CacheStats
 from repro.core.terms import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.lift import LiftResult
 
 __all__ = [
     "LiftEvent",
@@ -46,6 +60,8 @@ __all__ = [
     "Deduped",
     "Halted",
     "BudgetExhausted",
+    "BatchLifted",
+    "JobError",
 ]
 
 
@@ -136,4 +152,51 @@ class BudgetExhausted(LiftEvent):
         return (
             f"{self.budget} budget exhausted after {self.core_step_count} "
             f"core steps (limit: {self.limit:g} {unit})"
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class BatchLifted(LiftEvent):
+    """Job ``job_index`` of a batch lift finished successfully.
+
+    ``result`` is the job's :class:`~repro.core.lift.LiftResult`
+    (``None`` when the batch ran with ``payload="rendered"``, which
+    ships only the pretty-printed surface sequence to keep the
+    cross-process payload small).  ``rendered`` is that pretty-printed
+    sequence when a renderer was supplied.  ``worker`` is the pid of the
+    process that ran the job, and ``metrics`` its per-job
+    :func:`repro.obs.metrics_snapshot` when the batch collected metrics
+    (merge them with :meth:`repro.obs.metrics.MetricsRegistry.merge`).
+    """
+
+    job_index: int
+    result: Optional["LiftResult"] = None
+    rendered: Optional[Tuple[str, ...]] = None
+    worker: Optional[int] = None
+    metrics: Optional[Mapping[str, object]] = None
+
+
+@dataclass(frozen=True, eq=False)
+class JobError(LiftEvent):
+    """Job ``job_index`` of a batch lift failed; its siblings did not.
+
+    The failure is *contained*: the stepper raising mid-evaluation, an
+    :class:`~repro.core.lift.EmulationViolation`, or an exhausted budget
+    under ``on_budget="raise"`` all surface here as a structured record
+    — ``error_type`` is the original exception class name,
+    ``error_message`` its text, ``traceback`` the worker-side formatted
+    traceback — and the batch carries on with the remaining jobs.
+    """
+
+    job_index: int
+    error_type: str
+    error_message: str
+    traceback: str = ""
+    worker: Optional[int] = None
+
+    def describe(self) -> str:
+        """A human-readable one-liner for CLIs and logs."""
+        return (
+            f"job {self.job_index} failed: "
+            f"{self.error_type}: {self.error_message}"
         )

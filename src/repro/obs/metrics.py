@@ -15,6 +15,16 @@ All instruments live in a :class:`MetricsRegistry`; the module-level
 interned by name, so references held by hot code stay valid across
 resets.
 
+Snapshots also *merge*: :meth:`MetricsRegistry.merge` adds a
+snapshot-shaped dict into a registry (counters and histogram buckets
+add, gauges accumulate), and :func:`merge_snapshots` folds many
+snapshots into one.  This is how :mod:`repro.parallel` aggregates
+per-worker measurements into a single registry — each pool worker is
+its own process with its own :data:`REGISTRY`, so cross-process metrics
+travel as snapshots and are summed on arrival.  Merging is exact for
+the pipeline's instruments: every one is a counter or a fixed-boundary
+histogram, both of which sum losslessly.
+
 The pipeline's metric names (see ``docs/observability.md``):
 
 ==========================  =========  =====================================
@@ -51,6 +61,7 @@ __all__ = [
     "REGISTRY",
     "snapshot",
     "reset",
+    "merge_snapshots",
     "DEFAULT_DEPTH_BUCKETS",
     "LIFT_STEPS_TOTAL",
     "LIFT_STEPS_EMITTED",
@@ -150,6 +161,21 @@ class Histogram:
         buckets["le_inf"] = self.bucket_counts[-1]
         return {"count": self.count, "sum": self.sum, "buckets": buckets}
 
+    def _merge(self, snap: Dict[str, object]) -> None:
+        """Add a histogram snapshot into this histogram (boundaries must
+        match — bucketed observations cannot be re-binned)."""
+        buckets = snap["buckets"]
+        expected = [f"le_{edge:g}" for edge in self.boundaries] + ["le_inf"]
+        if list(buckets) != expected:
+            raise ValueError(
+                f"histogram {self.name!r} snapshot has boundaries "
+                f"{list(buckets)}, expected {expected}"
+            )
+        for i, key in enumerate(expected):
+            self.bucket_counts[i] += buckets[key]
+        self.count += snap["count"]
+        self.sum += snap["sum"]
+
 
 Instrument = Union[Counter, Gauge, Histogram]
 
@@ -205,6 +231,33 @@ class MetricsRegistry:
         for inst in self._instruments.values():
             inst._reset()
 
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Add a :meth:`snapshot`-shaped dict into this registry.
+
+        Histogram entries (dicts) merge bucket-by-bucket into a
+        histogram with the same boundaries (reconstructed from the
+        bucket keys when the instrument does not exist yet).  Numeric
+        entries add into the instrument registered under that name — a
+        counter (created on demand) or an existing gauge.  Merging the
+        per-worker snapshots of a :mod:`repro.parallel` batch therefore
+        reproduces exactly the registry a single-process run of the
+        same corpus would have produced.
+        """
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                edges = tuple(
+                    float(key[3:])
+                    for key in value["buckets"]
+                    if key != "le_inf"
+                )
+                self.histogram(name, boundaries=edges)._merge(value)
+            else:
+                existing = self._instruments.get(name)
+                if isinstance(existing, Gauge):
+                    existing.set(existing.value + value)
+                else:
+                    self.counter(name).inc(value)
+
 
 REGISTRY = MetricsRegistry()
 
@@ -217,6 +270,15 @@ def snapshot() -> Dict[str, object]:
 def reset() -> None:
     """Zero the process-wide registry."""
     REGISTRY.reset()
+
+
+def merge_snapshots(snapshots) -> Dict[str, object]:
+    """Fold snapshot dicts into one aggregated snapshot (a fresh
+    registry is used, so the process-wide one is untouched)."""
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.merge(snap)
+    return registry.snapshot()
 
 
 # The pipeline's instruments, pre-bound so hot paths pay an attribute

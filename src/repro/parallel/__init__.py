@@ -1,0 +1,45 @@
+"""Parallel batch lifting: shard a corpus of programs across workers.
+
+The paper evaluates CONFECTION over a corpus of programs (§8); at
+service scale that corpus is large and every lift is independent — an
+embarrassingly parallel workload held back only by the engine's
+process-local caches.  This package is the batch face of the engine:
+
+* :func:`lift_corpus` / :func:`lift_corpus_stream` — shard
+  ``(program, options)`` jobs across N worker processes, warm each
+  worker once with the rule tables, and stream per-job outcomes back in
+  deterministic submission order;
+* :class:`~repro.parallel.jobs.LiftJob` — one picklable job record;
+* :class:`~repro.engine.events.BatchLifted` /
+  :class:`~repro.engine.events.JobError` — the per-job outcome events
+  (a failing job is contained, never aborts the batch);
+* :func:`~repro.parallel.pool.aggregate_metrics` — merge per-worker
+  observability snapshots into one.
+
+The guarantees (determinism against the sequential engine, fault
+isolation, metrics equivalence) are pinned by ``tests/parallel``;
+``docs/parallelism.md`` documents the worker model and failure
+semantics.  The CLI front end is ``python -m repro lift-batch``.
+"""
+
+from repro.engine.events import BatchLifted, JobError
+from repro.parallel.jobs import LiftJob, as_job
+from repro.parallel.pool import (
+    PAYLOADS,
+    aggregate_metrics,
+    default_worker_count,
+    lift_corpus,
+    lift_corpus_stream,
+)
+
+__all__ = [
+    "LiftJob",
+    "as_job",
+    "BatchLifted",
+    "JobError",
+    "lift_corpus",
+    "lift_corpus_stream",
+    "aggregate_metrics",
+    "default_worker_count",
+    "PAYLOADS",
+]

@@ -1,0 +1,73 @@
+"""Job descriptions for batch lifting.
+
+A :class:`LiftJob` is one program plus the lift options it should run
+under — the same options :meth:`repro.confection.Confection.lift`
+takes, frozen into a picklable record so the job can cross a process
+boundary.  :func:`as_job` coerces the convenient forms a caller hands
+:func:`repro.parallel.lift_corpus` (a bare term, DSL source text, or an
+already-built job) into one.
+
+The outcome vocabulary lives with the other lift events in
+:mod:`repro.engine.events`: a finished job is a
+:class:`~repro.engine.events.BatchLifted`, a failed one a
+:class:`~repro.engine.events.JobError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.terms import Pattern
+
+__all__ = ["LiftJob", "as_job"]
+
+
+@dataclass(frozen=True)
+class LiftJob:
+    """One (program, options) unit of a batch lift.
+
+    ``program`` is a surface term (or rule-DSL source text, parsed by
+    the engine exactly as :meth:`~repro.confection.Confection.lift`
+    would).  ``name`` is a caller-chosen label carried through to CLI
+    output and error reports; it never affects the lift.  The remaining
+    fields mirror :meth:`Confection.lift
+    <repro.confection.Confection.lift>` keyword for keyword.
+    """
+
+    program: Union[Pattern, str]
+    name: Optional[str] = None
+    max_steps: int = 100_000
+    max_seconds: Optional[float] = None
+    on_budget: str = "raise"
+    dedup: bool = True
+    check_emulation: bool = True
+    incremental: bool = True
+
+    def lift_kwargs(self) -> Dict[str, object]:
+        """The keyword arguments this job passes to ``Confection.lift``."""
+        return {
+            "max_steps": self.max_steps,
+            "max_seconds": self.max_seconds,
+            "on_budget": self.on_budget,
+            "dedup": self.dedup,
+            "check_emulation": self.check_emulation,
+            "incremental": self.incremental,
+        }
+
+
+def as_job(obj: Union[LiftJob, Pattern, str], **defaults) -> LiftJob:
+    """Coerce ``obj`` into a :class:`LiftJob`.
+
+    Jobs pass through unchanged (``defaults`` are ignored for them —
+    an explicit job is already fully specified); terms and DSL source
+    strings are wrapped with ``defaults`` as their options.
+    """
+    if isinstance(obj, LiftJob):
+        return obj
+    if isinstance(obj, (Pattern, str)):
+        return LiftJob(obj, **defaults)
+    raise TypeError(
+        f"corpus entries must be LiftJob, Pattern, or str, "
+        f"got {type(obj).__name__}"
+    )

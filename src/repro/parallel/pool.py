@@ -1,0 +1,319 @@
+"""The process-pool batch-lift engine.
+
+:func:`lift_corpus_stream` shards a list of :class:`~repro.parallel.jobs.LiftJob`
+across ``jobs`` worker processes and yields one
+:class:`~repro.engine.events.BatchLifted` or
+:class:`~repro.engine.events.JobError` per job, **in submission order**,
+regardless of which worker finishes first.  :func:`lift_corpus` is the
+eager list of the same.
+
+Worker protocol
+---------------
+
+Each worker is warmed exactly once (pool initializer): the engine spec —
+a :class:`~repro.confection.Confection`, a ``(rules, stepper)`` pair, or
+a zero-argument factory returning either — is resolved into a private
+Confection whose rule tables live for the worker's whole life.  Jobs
+then cross the boundary as small pickled :class:`LiftJob` records, and
+each job runs the ordinary :meth:`Confection.lift
+<repro.confection.Confection.lift>` (that is, the streaming engine's
+:func:`~repro.engine.stream.lift_stream` with the job's budgets).  The
+per-run :class:`~repro.core.incremental.ResugarCache` is created fresh
+per job, exactly as the sequential path does, so per-job results —
+surface sequences, step bookkeeping, and cache statistics — are
+bit-for-bit what a sequential loop computes; the worker's *intern table*
+stays warm across its jobs, which is pure sharing and never observable
+in results.  Terms re-intern as they are unpickled
+(:mod:`repro.core.intern`), so programs arriving in a worker and results
+arriving back in the parent keep identity-fast equality.
+
+Determinism
+-----------
+
+Job outcomes are buffered per-future and yielded strictly in submission
+order, and each job's lift is a deterministic function of (rules,
+program, options).  The ``tests/parallel`` determinism suite pins this:
+batch output at ``jobs=1,2,4`` is byte-identical to the sequential
+:func:`repro.core.lift.lift_evaluation` loop, including per-step event
+ordering.
+
+Fault isolation
+---------------
+
+A job whose stepper raises, whose emulation check fails, or whose
+budget runs out under ``on_budget="raise"`` yields a structured
+:class:`JobError` carrying the original exception type, message, and
+worker-side traceback — the batch continues.  A *worker process* dying
+outright (hard crash) surfaces as a ``JobError`` for every job that was
+in flight on the broken pool rather than an exception in the consumer.
+
+Metrics
+-------
+
+With ``collect_metrics=True`` each job runs under a fresh
+:class:`repro.obs.Observability` scope and its event carries a per-job
+metrics snapshot; :func:`aggregate_metrics` merges them into one
+snapshot equal to what a single-process run of the corpus would have
+recorded (see :meth:`repro.obs.metrics.MetricsRegistry.merge`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback as _traceback
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+from repro.engine.events import BatchLifted, JobError
+from repro.parallel.jobs import LiftJob, as_job
+
+__all__ = [
+    "PAYLOADS",
+    "lift_corpus",
+    "lift_corpus_stream",
+    "aggregate_metrics",
+    "default_worker_count",
+]
+
+PAYLOADS = ("result", "rendered", "both")
+
+BatchOutcome = Union[BatchLifted, JobError]
+
+# Per-worker engine state, populated once by the pool initializer.
+_WORKER_ENGINE = None
+_WORKER_PRETTY: Optional[Callable] = None
+_WORKER_PAYLOAD = "result"
+_WORKER_METRICS = False
+
+
+def default_worker_count() -> int:
+    """The worker count used when ``jobs`` is not given: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (cheap warmup: workers inherit already-
+    built rule tables and the warm intern table), ``spawn`` elsewhere."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def _resolve_engine(engine):
+    """Resolve an engine spec into a private Confection for one process.
+
+    Accepted specs: a ``Confection`` (its rules and stepper are reused,
+    but not its observability configuration — workers manage their own),
+    a ``(rules, stepper)`` pair, or a zero-argument factory returning
+    either.  The result is always a fresh Confection so no parent-side
+    state rides along.
+    """
+    from repro.confection import Confection
+
+    if isinstance(engine, Confection):
+        return Confection(engine.rules, engine.stepper)
+    if isinstance(engine, tuple) and len(engine) == 2:
+        rules, stepper = engine
+        return Confection(rules, stepper)
+    if callable(engine):
+        return _resolve_engine(engine())
+    raise TypeError(
+        "engine must be a Confection, a (rules, stepper) pair, or a "
+        f"zero-argument factory returning one; got {type(engine).__name__}"
+    )
+
+
+def _execute_job(
+    engine,
+    index: int,
+    job: LiftJob,
+    payload: str,
+    pretty: Optional[Callable],
+    collect_metrics: bool,
+) -> BatchOutcome:
+    """Run one job to an outcome event.  Never raises for job-level
+    failures — that is the fault-isolation contract (only interpreter
+    teardown exceptions like ``KeyboardInterrupt`` propagate)."""
+    worker = os.getpid()
+    try:
+        if collect_metrics:
+            from repro.obs import Observability
+
+            obs = Observability(reset_metrics=True)
+            with obs:
+                result = engine.lift(job.program, **job.lift_kwargs())
+            metrics = obs.snapshot()
+        else:
+            result = engine.lift(job.program, **job.lift_kwargs())
+            metrics = None
+        rendered = None
+        if payload in ("rendered", "both"):
+            rendered = tuple(pretty(t) for t in result.surface_sequence)
+        return BatchLifted(
+            job_index=index,
+            result=None if payload == "rendered" else result,
+            rendered=rendered,
+            worker=worker,
+            metrics=metrics,
+        )
+    except Exception as exc:
+        return JobError(
+            job_index=index,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            traceback=_traceback.format_exc(),
+            worker=worker,
+        )
+
+
+def _warm_worker(engine, payload, pretty, collect_metrics) -> None:
+    """Pool initializer: build this worker's engine once (rule tables,
+    stepper) and stash the batch configuration in module globals."""
+    global _WORKER_ENGINE, _WORKER_PRETTY, _WORKER_PAYLOAD, _WORKER_METRICS
+    _WORKER_ENGINE = _resolve_engine(engine)
+    _WORKER_PRETTY = pretty
+    _WORKER_PAYLOAD = payload
+    _WORKER_METRICS = collect_metrics
+
+
+def _pool_run(index: int, job: LiftJob) -> BatchOutcome:
+    """Worker-side job entry: delegate to the shared executor against
+    the warmed engine."""
+    return _execute_job(
+        _WORKER_ENGINE, index, job, _WORKER_PAYLOAD, _WORKER_PRETTY,
+        _WORKER_METRICS,
+    )
+
+
+def _check_options(payload: str, pretty: Optional[Callable]) -> None:
+    if payload not in PAYLOADS:
+        raise ValueError(f"payload must be one of {PAYLOADS}, got {payload!r}")
+    if payload != "result" and pretty is None:
+        raise ValueError(f"payload={payload!r} requires a pretty function")
+
+
+def lift_corpus_stream(
+    engine,
+    corpus: Sequence,
+    *,
+    jobs: Optional[int] = None,
+    payload: str = "result",
+    pretty: Optional[Callable] = None,
+    collect_metrics: bool = False,
+    mp_context: Optional[str] = None,
+    window: Optional[int] = None,
+) -> Iterator[BatchOutcome]:
+    """Lift every program in ``corpus``, streaming outcomes back in
+    submission order.
+
+    ``engine`` is an engine spec (see :func:`_resolve_engine`'s
+    docstring: a Confection, a ``(rules, stepper)`` pair, or a factory).
+    ``corpus`` entries are :class:`LiftJob`, terms, or DSL source
+    strings.  ``jobs`` is the worker-process count (default: CPU
+    count); ``jobs=1`` runs in-process with no pool, bit-identical
+    semantics.  ``payload`` selects what a :class:`BatchLifted` carries:
+    the full ``result`` (default), just the ``rendered`` surface lines
+    (smallest cross-process payload; requires ``pretty``), or ``both``.
+    ``window`` bounds how many jobs are in flight at once (default
+    ``4 * jobs``), so a long corpus never piles up in the call queue.
+    """
+    _check_options(payload, pretty)
+    jobs_list: List[LiftJob] = [as_job(entry) for entry in corpus]
+    n_workers = default_worker_count() if jobs is None else jobs
+    if n_workers < 1:
+        raise ValueError(f"jobs must be >= 1, got {n_workers!r}")
+
+    if n_workers == 1:
+        local = _resolve_engine(engine)
+        for index, job in enumerate(jobs_list):
+            yield _execute_job(
+                local, index, job, payload, pretty, collect_metrics
+            )
+        return
+
+    context = multiprocessing.get_context(
+        mp_context or _default_start_method()
+    )
+    if window is None:
+        window = 4 * n_workers
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window!r}")
+
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=context,
+        initializer=_warm_worker,
+        initargs=(engine, payload, pretty, collect_metrics),
+    ) as pool:
+        pending: deque = deque()
+        upcoming = iter(enumerate(jobs_list))
+
+        def submit_next() -> bool:
+            try:
+                index, job = next(upcoming)
+            except StopIteration:
+                return False
+            pending.append((index, pool.submit(_pool_run, index, job)))
+            return True
+
+        for _ in range(window):
+            if not submit_next():
+                break
+        while pending:
+            index, future = pending.popleft()
+            submit_next()
+            try:
+                outcome = future.result()
+            except Exception as exc:
+                # The job function never raises; reaching here means the
+                # pool itself broke (a worker died, or a payload failed
+                # to pickle).  Contain it as this job's failure.
+                outcome = JobError(
+                    job_index=index,
+                    error_type=type(exc).__name__,
+                    error_message=str(exc),
+                    traceback=_traceback.format_exc(),
+                    worker=None,
+                )
+            yield outcome
+
+
+def lift_corpus(
+    engine,
+    corpus: Sequence,
+    *,
+    jobs: Optional[int] = None,
+    payload: str = "result",
+    pretty: Optional[Callable] = None,
+    collect_metrics: bool = False,
+    mp_context: Optional[str] = None,
+    window: Optional[int] = None,
+) -> List[BatchOutcome]:
+    """Eagerly lift ``corpus`` and return outcomes in submission order
+    (the list form of :func:`lift_corpus_stream`; same options)."""
+    return list(
+        lift_corpus_stream(
+            engine,
+            corpus,
+            jobs=jobs,
+            payload=payload,
+            pretty=pretty,
+            collect_metrics=collect_metrics,
+            mp_context=mp_context,
+            window=window,
+        )
+    )
+
+
+def aggregate_metrics(outcomes) -> dict:
+    """Merge the per-job metrics snapshots of a batch into one snapshot
+    (equal to a single-process run's registry for the same corpus)."""
+    from repro.obs.metrics import merge_snapshots
+
+    return merge_snapshots(
+        outcome.metrics
+        for outcome in outcomes
+        if isinstance(outcome, BatchLifted) and outcome.metrics is not None
+    )

@@ -5,6 +5,7 @@ import pytest
 from repro.obs.metrics import (
     DEFAULT_DEPTH_BUCKETS,
     MetricsRegistry,
+    merge_snapshots,
 )
 
 
@@ -69,3 +70,44 @@ def test_snapshot_is_sorted_and_detached():
     assert list(snap) == ["a", "b"]
     snap["a"] = 999
     assert registry.snapshot()["a"] == 1
+
+
+def _sample_registry(scale: int) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("lift.steps_total").inc(10 * scale)
+    registry.gauge("queue.depth").set(scale)
+    histogram = registry.histogram("depth", boundaries=(1, 4))
+    for value in (1, 3, 9):
+        histogram.observe(value * scale)
+    return registry
+
+
+def test_merge_adds_counters_gauges_and_histograms():
+    target = _sample_registry(1)
+    target.merge(_sample_registry(2).snapshot())
+    snap = target.snapshot()
+    assert snap["lift.steps_total"] == 30
+    assert snap["queue.depth"] == 3  # gauges accumulate on merge
+    assert snap["depth"]["count"] == 6
+    assert snap["depth"]["sum"] == (1 + 3 + 9) * 3
+    # scale=1 observed (1, 3, 9); scale=2 observed (2, 6, 18).
+    assert snap["depth"]["buckets"] == {"le_1": 1, "le_4": 2, "le_inf": 3}
+
+
+def test_merge_into_empty_registry_reconstructs_instruments():
+    source = _sample_registry(1).snapshot()
+    merged = merge_snapshots([source, source])
+    assert merged["lift.steps_total"] == 20
+    assert merged["depth"]["count"] == 6
+    assert merged["depth"]["buckets"]["le_inf"] == 2
+
+
+def test_merge_rejects_mismatched_histogram_boundaries():
+    target = MetricsRegistry()
+    target.histogram("depth", boundaries=(1, 2))
+    with pytest.raises(ValueError):
+        target.merge(_sample_registry(1).snapshot())
+
+
+def test_merge_snapshots_of_nothing_is_empty():
+    assert merge_snapshots([]) == {}

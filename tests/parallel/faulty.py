@@ -1,0 +1,87 @@
+"""Fault-injection fixture backend for the parallel test harness.
+
+A deliberately trivial object language — programs are ``Const(n)``, the
+rule list is empty (every term is its own surface form) — paired with
+steppers that misbehave in controlled ways:
+
+* :class:`CountdownStepper` — the well-behaved control: ``n`` steps to
+  ``n-1`` until ``0``, then halts;
+* :class:`ExplodingStepper` — identical, except stepping *through* the
+  poisoned value raises :class:`InjectedFault` (a stepper crashing
+  mid-evaluation);
+* :class:`LoopingStepper` — counts up forever, never halting (a job
+  that can only end by exhausting its budget).
+
+Everything here is module-level so the fixtures pickle by qualified
+name and work under any multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+from repro.confection import Confection
+from repro.core.rules import RuleList
+from repro.core.terms import Const
+from repro.core.wellformed import DisjointnessMode
+
+POISON_VALUE = 2
+
+
+class InjectedFault(RuntimeError):
+    """The deliberately injected stepper failure."""
+
+
+class CountdownStepper:
+    """Steps ``Const(n)`` to ``Const(n - 1)``; halts at zero."""
+
+    def load(self, core_term):
+        return core_term.value
+
+    def step(self, state):
+        return [] if state <= 0 else [state - 1]
+
+    def term(self, state):
+        return Const(state)
+
+
+class ExplodingStepper(CountdownStepper):
+    """A countdown that raises when asked to step the poisoned value.
+
+    Programs starting at ``n < POISON_VALUE`` never reach it and run
+    normally, so poisoned and healthy jobs can share one stepper.
+    """
+
+    def step(self, state):
+        if state == POISON_VALUE:
+            raise InjectedFault(
+                f"injected stepper fault at state {state}"
+            )
+        return super().step(state)
+
+
+class LoopingStepper:
+    """Counts up from ``n`` forever — evaluation never finishes."""
+
+    def load(self, core_term):
+        return core_term.value
+
+    def step(self, state):
+        return [state + 1]
+
+    def term(self, state):
+        return Const(state)
+
+
+def empty_rules() -> RuleList:
+    return RuleList([], DisjointnessMode.STRICT)
+
+
+def make_countdown_confection() -> Confection:
+    return Confection(empty_rules(), CountdownStepper())
+
+
+def make_exploding_confection() -> Confection:
+    return Confection(empty_rules(), ExplodingStepper())
+
+
+def make_looping_confection() -> Confection:
+    return Confection(empty_rules(), LoopingStepper())

@@ -1,0 +1,92 @@
+"""Hypothesis equivalence properties: batch lifting is a loop.
+
+For any corpus, ``lift_corpus`` must be observationally equal to the
+obvious ``for`` loop over :func:`~repro.core.lift.lift_evaluation` —
+same surface sequences, same per-step records, same order — and
+sprinkling poisoned jobs anywhere in the corpus must replace exactly
+those entries with :class:`~repro.engine.events.JobError` while leaving
+every healthy entry untouched.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.terms import Const
+from repro.engine.events import BatchLifted, JobError
+from repro.engine.registry import get_backend
+from repro.parallel import lift_corpus
+
+from tests.parallel.faulty import POISON_VALUE, make_exploding_confection
+
+_backend = get_backend("lambda")
+_scheme = _backend.make_confection()
+
+
+def programs():
+    """Small boolean surface programs over the scheme sugar set."""
+    leaves = st.sampled_from(["#t", "#f", "(not #t)", "(not #f)"])
+    return st.recursive(
+        leaves,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda ab: f"(or {ab[0]} {ab[1]})"),
+            st.tuples(inner, inner).map(lambda ab: f"(and {ab[0]} {ab[1]})"),
+            inner.map(lambda a: f"(not {a})"),
+        ),
+        max_leaves=6,
+    ).map(_backend.parse)
+
+
+@given(st.lists(programs(), min_size=1, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_batch_equals_loop(corpus):
+    expected = [_scheme.lift(program) for program in corpus]
+    outcomes = lift_corpus(
+        (_scheme.rules, _scheme.stepper), corpus, jobs=1
+    )
+    assert [o.job_index for o in outcomes] == list(range(len(corpus)))
+    for outcome, result in zip(outcomes, expected):
+        assert isinstance(outcome, BatchLifted)
+        assert outcome.result.surface_sequence == result.surface_sequence
+        assert outcome.result.steps == result.steps
+        assert outcome.result.truncated == result.truncated
+
+
+@given(st.lists(programs(), min_size=1, max_size=4))
+@settings(max_examples=5, deadline=None)
+def test_pooled_batch_equals_loop(corpus):
+    expected = [_scheme.lift(program) for program in corpus]
+    outcomes = lift_corpus(
+        (_scheme.rules, _scheme.stepper), corpus, jobs=2
+    )
+    for outcome, result in zip(outcomes, expected):
+        assert isinstance(outcome, BatchLifted)
+        assert outcome.result.surface_sequence == result.surface_sequence
+        assert outcome.result.steps == result.steps
+
+
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=8).filter(any)
+)
+@settings(max_examples=25, deadline=None)
+def test_poison_placement_is_exact(poison_mask):
+    """Wherever the poisoned jobs sit, exactly those indices fail."""
+    engine = make_exploding_confection()
+    corpus = [
+        Const(POISON_VALUE + 1 if poisoned else POISON_VALUE - 1)
+        for poisoned in poison_mask
+    ]
+    healthy = engine.lift(Const(POISON_VALUE - 1))
+
+    outcomes = lift_corpus(engine, corpus, jobs=1)
+
+    for outcome, poisoned in zip(outcomes, poison_mask):
+        if poisoned:
+            assert isinstance(outcome, JobError)
+            assert outcome.error_type == "InjectedFault"
+        else:
+            assert isinstance(outcome, BatchLifted)
+            assert (
+                outcome.result.surface_sequence == healthy.surface_sequence
+            )

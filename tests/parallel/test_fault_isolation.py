@@ -1,0 +1,98 @@
+"""Fault isolation: one poisoned job never aborts the batch.
+
+The fixtures in :mod:`tests.parallel.faulty` provide a stepper that
+raises mid-evaluation and one that loops past any step budget.  The
+batch engine must contain both failure modes as structured
+:class:`~repro.engine.events.JobError` results — original exception
+type and message preserved — while sibling jobs' outputs are exactly
+what a solo sequential lift produces.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.terms import Const
+from repro.engine.events import BatchLifted, JobError
+from repro.parallel import LiftJob, lift_corpus
+
+from tests.parallel.faulty import (
+    POISON_VALUE,
+    make_exploding_confection,
+    make_looping_confection,
+)
+
+JOBS_COUNTS = [1, 2]
+
+
+def _corpus():
+    """Healthy, poisoned, healthy: the poisoned job starts above the
+    poison value and must step through it; its siblings start below."""
+    return [Const(POISON_VALUE - 1), Const(POISON_VALUE + 3), Const(1)]
+
+
+@pytest.mark.parametrize("n_jobs", JOBS_COUNTS)
+def test_raising_stepper_is_contained(n_jobs):
+    engine = make_exploding_confection()
+    solo = [engine.lift(Const(POISON_VALUE - 1)), None, engine.lift(Const(1))]
+
+    outcomes = lift_corpus(engine, _corpus(), jobs=n_jobs)
+
+    assert [type(o) for o in outcomes] == [BatchLifted, JobError, BatchLifted]
+    error = outcomes[1]
+    assert error.job_index == 1
+    assert error.error_type == "InjectedFault"
+    assert (
+        f"injected stepper fault at state {POISON_VALUE}"
+        in error.error_message
+    )
+    assert "InjectedFault" in error.traceback
+    for index in (0, 2):
+        assert outcomes[index].job_index == index
+        assert (
+            outcomes[index].result.surface_sequence
+            == solo[index].surface_sequence
+        )
+        assert outcomes[index].result.steps == solo[index].steps
+
+
+@pytest.mark.parametrize("n_jobs", JOBS_COUNTS)
+def test_budget_exhaustion_is_contained(n_jobs):
+    engine = make_looping_confection()
+    corpus = [
+        LiftJob(Const(0), max_steps=25, on_budget="raise"),
+        LiftJob(Const(0), max_steps=25, on_budget="truncate"),
+    ]
+
+    outcomes = lift_corpus(engine, corpus, jobs=n_jobs)
+
+    error, truncated = outcomes
+    assert isinstance(error, JobError)
+    assert error.error_type == "ReproError"
+    assert "did not finish within 25 steps" in error.error_message
+    assert isinstance(truncated, BatchLifted)
+    assert truncated.result.truncated
+    assert truncated.result.core_step_count == 26
+
+
+def test_pool_jobs_run_in_child_processes():
+    engine = make_exploding_confection()
+    outcomes = lift_corpus(engine, _corpus(), jobs=2)
+    assert all(o.worker is not None and o.worker != os.getpid() for o in outcomes)
+
+
+def test_serial_jobs_run_in_this_process():
+    engine = make_exploding_confection()
+    outcomes = lift_corpus(engine, _corpus(), jobs=1)
+    assert all(o.worker == os.getpid() for o in outcomes)
+
+
+def test_every_job_poisoned_still_completes():
+    engine = make_exploding_confection()
+    corpus = [Const(POISON_VALUE + i) for i in range(5)]
+    outcomes = lift_corpus(engine, corpus, jobs=2)
+    assert [o.job_index for o in outcomes] == list(range(5))
+    assert all(isinstance(o, JobError) for o in outcomes)
+    assert {o.error_type for o in outcomes} == {"InjectedFault"}

@@ -1,0 +1,111 @@
+"""Cross-worker metrics aggregation equals single-process metrics.
+
+Each pool worker owns a process-local metrics registry, so batch lifts
+ship per-job snapshots back with their results.  Merging those
+snapshots (:func:`repro.parallel.aggregate_metrics`, built on
+:meth:`repro.obs.metrics.MetricsRegistry.merge`) must reproduce exactly
+the registry a single-process run of the same corpus produces — every
+counter and every histogram bucket — and the ``lift.steps_total``
+census must match the summed per-job ``CoreStepped`` counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.events import CoreStepped
+from repro.engine.registry import get_backend
+from repro.obs import Observability
+from repro.parallel import aggregate_metrics, lift_corpus
+
+PROGRAMS = [
+    "(or (not #t) (not #f))",
+    "(and #t #t #f)",
+    "(let ((x 1) (y 2)) (+ x y))",
+    "(cond ((not #t) 1) (#t (+ 1 2)))",
+    "(or #f #t)",
+]
+
+
+@pytest.fixture()
+def scheme():
+    backend = get_backend("lambda")
+    confection = backend.make_confection()
+    programs = [backend.parse(source) for source in PROGRAMS]
+    return backend, confection, programs
+
+
+def _single_process_snapshot(confection, programs):
+    obs = Observability(reset_metrics=True)
+    with obs:
+        results = [confection.lift(p) for p in programs]
+    return obs.snapshot(), results
+
+
+@pytest.mark.parametrize("n_jobs", [1, 2])
+def test_aggregated_metrics_equal_single_process(scheme, n_jobs):
+    _backend, confection, programs = scheme
+    expected, _results = _single_process_snapshot(confection, programs)
+
+    outcomes = lift_corpus(
+        (confection.rules, confection.stepper),
+        programs,
+        jobs=n_jobs,
+        collect_metrics=True,
+    )
+
+    assert aggregate_metrics(outcomes) == expected
+
+
+def test_steps_total_census_matches_core_stepped_counts(scheme):
+    _backend, confection, programs = scheme
+    outcomes = lift_corpus(
+        (confection.rules, confection.stepper),
+        programs,
+        jobs=2,
+        collect_metrics=True,
+    )
+    aggregated = aggregate_metrics(outcomes)
+
+    # Census one way: each job's per-step record.
+    assert aggregated["lift.steps_total"] == sum(
+        outcome.result.core_step_count for outcome in outcomes
+    )
+    # Census the other way: the raw CoreStepped events of the
+    # sequential streams.
+    core_stepped = sum(
+        sum(
+            1
+            for event in confection.lift_stream(program)
+            if isinstance(event, CoreStepped)
+        )
+        for program in programs
+    )
+    assert aggregated["lift.steps_total"] == core_stepped
+    assert aggregated["lift.runs"] == len(programs)
+
+
+def test_every_job_carries_its_own_snapshot(scheme):
+    _backend, confection, programs = scheme
+    outcomes = lift_corpus(
+        (confection.rules, confection.stepper),
+        programs,
+        jobs=2,
+        collect_metrics=True,
+    )
+    for outcome in outcomes:
+        assert outcome.metrics is not None
+        assert outcome.metrics["lift.runs"] == 1
+        assert (
+            outcome.metrics["lift.steps_total"]
+            == outcome.result.core_step_count
+        )
+
+
+def test_metrics_off_by_default(scheme):
+    _backend, confection, programs = scheme
+    outcomes = lift_corpus(
+        (confection.rules, confection.stepper), programs[:2], jobs=2
+    )
+    assert all(outcome.metrics is None for outcome in outcomes)
+    assert aggregate_metrics(outcomes) == {}

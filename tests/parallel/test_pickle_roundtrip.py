@@ -1,0 +1,108 @@
+"""Pickle round-trips re-intern: the bugfix that makes cross-process
+results safe.
+
+Before this harness existed, terms could be *dumped* but not *loaded*
+(the immutable classes rejected pickle's ``setattr``-based state
+restore) — and a naive fix would have produced private, un-interned
+copies that silently defeat every identity-keyed cache.  The contract
+pinned here: ``pickle.loads(pickle.dumps(t))`` lands on the canonical
+representative of the receiving process's intern table (identity-equal
+to ``intern(t)`` under the same table), and preserves tags, hashes, and
+rendering.  Non-ground patterns round-trip structurally, uninterned, as
+live ones behave.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intern import clear_intern_caches, intern, is_interned
+from repro.core.terms import (
+    BodyTag,
+    Const,
+    HeadTag,
+    PList,
+    PVar,
+    Tagged,
+)
+from repro.lang.render import render
+
+from tests.strategies import linear_patterns, terms
+
+
+def tagged_terms():
+    """Ground terms wrapped in head/body tags (stand-in environments
+    included), the shapes desugaring actually produces."""
+    tags = st.one_of(
+        st.builds(BodyTag, st.booleans()),
+        st.builds(
+            HeadTag,
+            st.integers(min_value=0, max_value=7),
+            st.lists(
+                st.tuples(st.sampled_from(["a", "b", "c"]), terms(6)),
+                max_size=2,
+                unique_by=lambda kv: kv[0],
+            ).map(tuple),
+        ),
+    )
+    return st.builds(Tagged, tags, terms(8))
+
+
+@given(st.one_of(terms(), tagged_terms()))
+def test_roundtrip_is_identity_under_same_intern_table(t):
+    canonical = intern(t)
+    restored = pickle.loads(pickle.dumps(canonical))
+    assert restored is canonical
+
+
+@given(st.one_of(terms(), tagged_terms()))
+def test_roundtrip_of_uninterned_term_lands_on_canonical(t):
+    restored = pickle.loads(pickle.dumps(t))
+    assert restored == t
+    assert restored is intern(t)
+    assert is_interned(restored)
+
+
+@given(st.one_of(terms(), tagged_terms()))
+def test_roundtrip_preserves_hash_and_rendering(t):
+    restored = pickle.loads(pickle.dumps(t))
+    assert hash(restored) == hash(t)
+    assert render(restored, show_tags=True) == render(t, show_tags=True)
+
+
+@given(terms())
+def test_roundtrip_into_a_fresh_intern_table(t):
+    """Simulate the cross-process arrival: the bytes were produced
+    against one intern table and loaded under another (a bumped
+    generation), exactly what a pool worker's results see."""
+    blob = pickle.dumps(intern(t))
+    clear_intern_caches()
+    restored = pickle.loads(blob)
+    assert restored == t
+    assert is_interned(restored)
+    assert restored is intern(t)
+
+
+@given(linear_patterns())
+def test_patterns_roundtrip_structurally(p):
+    restored = pickle.loads(pickle.dumps(p))
+    assert restored == p
+    assert render(restored, show_tags=True) == render(p, show_tags=True)
+
+
+def test_shared_subterms_stay_shared():
+    leaf = intern(Const(42))
+    pair = intern(PList((leaf, leaf)))
+    restored = pickle.loads(pickle.dumps(pair))
+    assert restored is pair
+    assert restored.items[0] is restored.items[1]
+
+
+def test_pvar_is_never_interned_by_a_roundtrip():
+    p = PVar("x")
+    restored = pickle.loads(pickle.dumps(p))
+    assert restored == p
+    assert not is_interned(restored)
