@@ -89,6 +89,15 @@ def _guard_sites_fired(snapshot) -> int:
         + snapshot["desugar.depth"]["count"]
         + 2 * snapshot["lift.steps_total"]  # stream guard + classify branch
         + snapshot["lift.runs"]
+        # Provenance guards (each site increments its counter when
+        # enabled, and costs exactly one branch when disabled):
+        + snapshot["resugar.calls"]  # resugar() entry guards
+        + snapshot["resugar.unexpand_attempts"]  # head-tag unexpansion
+        + snapshot["resugar.fail_propagations"]  # incremental fail paths
+        + snapshot["resugar.tag_blocked"]  # Abstraction-check blocks
+        # The stream wrapper's run scope: the begin_run ternary plus
+        # the two `run is not None` finally checks, per lift run.
+        + 3 * snapshot["lift.runs"]
     )
 
 

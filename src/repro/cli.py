@@ -18,6 +18,9 @@ Examples::
     python -m repro lift --lang lambda --sugar automaton --tree '(amb 1 2)'
     python -m repro lift --lang lambda --max-seconds 1 --on-budget truncate @prog.scm
     python -m repro lift-batch --lang lambda --jobs 4 examples/corpus/*.scm
+    python -m repro lift-batch --jobs 4 --trace t.jsonl examples/corpus/*.scm
+    python -m repro obs report t.jsonl
+    python -m repro obs skips t.jsonl
     python -m repro desugar --lang pyret 'not true'
     python -m repro trace --lang lambda '(+ 1 (* 2 3))'
     python -m repro check my_rules.confection
@@ -179,6 +182,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect per-worker metrics and print the aggregated "
         "JSON snapshot after the batch",
     )
+    batch.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        default=None,
+        help="collect per-job span trees (with job/worker attribution "
+        "and resugar provenance) and write the merged cross-process "
+        "trace to FILE; analyze it with 'repro obs'",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="analyze a JSONL span trace written by lift/lift-batch",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    for name, help_text in (
+        ("report", "span totals, per-step outcomes, critical-path timing"),
+        ("hot-rules", "per-rule expansion/unexpansion/failure table"),
+        ("skips", "explain every skipped core step from its provenance"),
+    ):
+        obs_cmd = obs_sub.add_parser(name, help=help_text)
+        obs_cmd.add_argument("trace_file", help="a JSONL trace file")
+        obs_cmd.add_argument(
+            "--strict",
+            action="store_true",
+            help="fail on a truncated final line instead of dropping it",
+        )
 
     desugar = sub.add_parser("desugar", help="show a program's core form")
     common(desugar)
@@ -393,6 +422,7 @@ def _cmd_lift_batch(args) -> int:
         payload="rendered",
         pretty=backend.pretty,
         collect_metrics=args.metrics,
+        collect_spans=args.trace is not None,
     ):
         outcomes.append(outcome)
         name = jobs[outcome.job_index].name
@@ -416,7 +446,35 @@ def _cmd_lift_batch(args) -> int:
         import json
 
         print(json.dumps(aggregate_metrics(outcomes), indent=2, sort_keys=True))
+    if args.trace is not None:
+        from repro.obs import write_trace
+        from repro.parallel import aggregate_trace
+
+        count = write_trace(aggregate_trace(outcomes), args.trace)
+        print(f"wrote {args.trace} ({count} spans)", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs import analyze, read_trace
+
+    try:
+        records = read_trace(
+            args.trace_file, tolerate_truncation=not args.strict
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.obs_command == "report":
+        print(analyze.format_report(analyze.summarize(records)))
+    elif args.obs_command == "hot-rules":
+        print(analyze.format_hot_rules(analyze.hot_rules(records)))
+    else:  # skips
+        core_steps = sum(1 for r in records if r["name"] == "lift.step")
+        print(
+            analyze.format_skips(analyze.skip_report(records), core_steps)
+        )
+    return 0
 
 
 def _cmd_desugar(args) -> int:
@@ -476,6 +534,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     handlers = {
         "lift": _cmd_lift,
         "lift-batch": _cmd_lift_batch,
+        "obs": _cmd_obs,
         "desugar": _cmd_desugar,
         "trace": _cmd_trace,
         "check": _cmd_check,

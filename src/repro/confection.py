@@ -231,6 +231,7 @@ class Confection:
         payload: str = "result",
         pretty=None,
         collect_metrics: bool = False,
+        collect_spans: bool = False,
         mp_context: Optional[str] = None,
         window: Optional[int] = None,
     ):
@@ -246,8 +247,11 @@ class Confection:
         Workers are warmed once with this Confection's rules and
         stepper; its ``obs`` configuration does **not** cross the
         process boundary — pass ``collect_metrics=True`` to get per-job
-        metrics snapshots and aggregate them with
-        :func:`repro.parallel.aggregate_metrics`.
+        metrics snapshots (aggregate with
+        :func:`repro.parallel.aggregate_metrics`) and
+        ``collect_spans=True`` to get per-job span trees with job
+        attribution (merge into one cross-process trace with
+        :func:`repro.parallel.aggregate_trace`).
         """
         from repro.parallel import lift_corpus
 
@@ -259,6 +263,7 @@ class Confection:
             payload=payload,
             pretty=pretty,
             collect_metrics=collect_metrics,
+            collect_spans=collect_spans,
             mp_context=mp_context,
             window=window,
         )
@@ -271,6 +276,7 @@ class Confection:
         payload: str = "result",
         pretty=None,
         collect_metrics: bool = False,
+        collect_spans: bool = False,
         mp_context: Optional[str] = None,
         window: Optional[int] = None,
     ):
@@ -287,6 +293,7 @@ class Confection:
             payload=payload,
             pretty=pretty,
             collect_metrics=collect_metrics,
+            collect_spans=collect_spans,
             mp_context=mp_context,
             window=window,
         )

@@ -38,7 +38,8 @@ from repro.core.recursion import deep_recursion
 from repro.core.rules import RuleList
 from repro.core.tags import has_head_tags, has_opaque_body_tags
 from repro.obs import _state as _obs
-from repro.obs.metrics import DESUGAR_DEPTH
+from repro.obs import provenance as _prov
+from repro.obs.metrics import DESUGAR_DEPTH, RESUGAR_CALLS
 from repro.obs.trace import span as _span
 from repro.core.terms import (
     Const,
@@ -115,6 +116,7 @@ def desugar(
         spend()
         if _obs.enabled:
             DESUGAR_DEPTH.observe(depth + 1)
+            _prov.on_expand(rules, expansion.index)
         if depth >= max_expansion_depth:
             raise ExpansionError(
                 f"expansions nested more than {max_expansion_depth} deep; "
@@ -144,7 +146,12 @@ def resugar_raw(rules: RuleList, term: Pattern) -> Optional[Pattern]:
             if inner is None:
                 return None
             if isinstance(t.tag, HeadTag):
-                return rules.unexpand(t.tag.index, inner, t.tag.stand_in)
+                back = rules.unexpand(t.tag.index, inner, t.tag.stand_in)
+                if _obs.enabled:
+                    _prov.on_unexpand(
+                        rules, t.tag.index, inner, back is not None
+                    )
+                return back
             return Tagged(t.tag, inner)
         if isinstance(t, Node):
             children = []
@@ -183,6 +190,7 @@ def resugar(rules: RuleList, term: Pattern) -> Optional[Pattern]:
     term.
     """
     if _obs.enabled:
+        RESUGAR_CALLS.inc()
         with _span("resugar") as s:
             result = _resugar_checked(rules, term)
             if s is not None:
@@ -196,5 +204,9 @@ def _resugar_checked(rules: RuleList, term: Pattern) -> Optional[Pattern]:
     if raw is None:
         return None
     if has_opaque_body_tags(raw) or has_head_tags(raw):
+        if _obs.enabled:
+            _prov.on_tag_blocked(
+                "opaque_body_tag" if has_opaque_body_tags(raw) else "head_tag"
+            )
         return None
     return strip_body_tags(raw, transparent_only=True)

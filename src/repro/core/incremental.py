@@ -42,13 +42,17 @@ from repro.core.intern import (
 )
 from repro.core.recursion import deep_recursion
 from repro.core.rules import RuleList
+from repro.core.tags import has_opaque_body_tags
 from repro.obs import _state as _obs
+from repro.obs import provenance as _prov
 from repro.obs.metrics import (
     DESUGAR_CACHE_HITS,
     DESUGAR_CACHE_MISSES,
     DESUGAR_DEPTH,
     RESUGAR_CACHE_HITS,
     RESUGAR_CACHE_MISSES,
+    RESUGAR_CALLS,
+    RESUGAR_FAIL_PROPAGATIONS,
 )
 from repro.core.terms import (
     BodyTag,
@@ -124,6 +128,11 @@ class ResugarCache:
         self._fuel = DEFAULT_MAX_EXPANSIONS
         # core subterm -> raw resugaring (interned) or _FAIL
         self._raw: Dict[Pattern, object] = {}
+        # _FAIL-memoized subterm -> provenance event of the original
+        # failure (see repro.obs.provenance), kept so cached skips can
+        # still name the rule and mismatch that caused them; populated
+        # only while observability is enabled.
+        self._fail_info: Dict[Pattern, Optional[dict]] = {}
         # raw subterm -> has surviving opaque-body or head tags?
         self._bad: Dict[Pattern, bool] = {}
         # raw subterm -> transparent-tags-stripped (interned)
@@ -146,9 +155,19 @@ class ResugarCache:
         """Equivalent to :func:`repro.core.desugar.resugar`, incremental."""
         self._check_generation()
         self.stats.resugar_calls += 1
+        if _obs.enabled:
+            RESUGAR_CALLS.inc()
         with deep_recursion():
             raw = self._raw_walk(_intern(core_term))
-            if raw is _FAIL or self._bad_walk(raw):
+            if raw is _FAIL:
+                return None
+            if self._bad_walk(raw):
+                if _obs.enabled:
+                    _prov.on_tag_blocked(
+                        "opaque_body_tag"
+                        if has_opaque_body_tags(raw)
+                        else "head_tag"
+                    )
                 return None
             return self._strip_walk(raw)
 
@@ -159,6 +178,8 @@ class ResugarCache:
             self.stats.resugar_hits += 1
             if _obs.enabled:
                 RESUGAR_CACHE_HITS.inc()
+                if cached is _FAIL:
+                    _prov.on_cached_fail(self._fail_info.get(t))
             return cached
         self.stats.resugar_visits += 1
         if _obs.enabled:
@@ -167,16 +188,31 @@ class ResugarCache:
         memo[t] = result
         return result
 
+    def _propagate_fail(self, t: Pattern, child: Pattern) -> None:
+        """A subterm failure just made ``t`` fail too: carry the
+        original failure's provenance up so a later memo hit on ``t``
+        can still explain itself (enabled paths only)."""
+        RESUGAR_FAIL_PROPAGATIONS.inc()
+        self._fail_info[t] = self._fail_info.get(child)
+
     def _raw_compute(self, t: Pattern):
         if isinstance(t, Const):
             return t
         if isinstance(t, Tagged):
             inner = self._raw_walk(t.term)
             if inner is _FAIL:
+                if _obs.enabled:
+                    self._propagate_fail(t, t.term)
                 return _FAIL
             if isinstance(t.tag, HeadTag):
                 self.stats.unexpansions += 1
                 back = self.rules.unexpand(t.tag.index, inner, t.tag.stand_in)
+                if _obs.enabled:
+                    event = _prov.on_unexpand(
+                        self.rules, t.tag.index, inner, back is not None
+                    )
+                    if back is None:
+                        self._fail_info[t] = event
                 return _FAIL if back is None else _intern(back)
             if inner is t.term:
                 return t
@@ -187,6 +223,8 @@ class ResugarCache:
             for c in t.children:
                 rc = self._raw_walk(c)
                 if rc is _FAIL:
+                    if _obs.enabled:
+                        self._propagate_fail(t, c)
                     return _FAIL
                 if rc is not c:
                     changed = True
@@ -202,6 +240,8 @@ class ResugarCache:
             for c in t.items:
                 rc = self._raw_walk(c)
                 if rc is _FAIL:
+                    if _obs.enabled:
+                        self._propagate_fail(t, c)
                     return _FAIL
                 if rc is not c:
                     changed = True
@@ -316,6 +356,7 @@ class ResugarCache:
         self.stats.expansions += 1
         if _obs.enabled:
             DESUGAR_DEPTH.observe(depth + 1)
+            _prov.on_expand(self.rules, expansion.index)
         self._fuel -= 1
         if self._fuel < 0:
             raise ExpansionError(

@@ -35,7 +35,7 @@ origin information.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Tuple
 
 from repro.core.bindings import Binding, Env, merge
 from repro.obs import _state as _obs
@@ -51,7 +51,7 @@ from repro.core.terms import (
     pattern_variables,
 )
 
-__all__ = ["match", "matches"]
+__all__ = ["match", "matches", "match_explain"]
 
 
 def match(
@@ -87,6 +87,146 @@ def matches(
         if result is not None:
             MATCH_SUCCESSES.inc()
     return result is not None
+
+
+def match_explain(
+    term: Pattern,
+    pattern: Pattern,
+    see_through_tags: bool = False,
+    lenient_pattern_tags: bool = False,
+) -> "Tuple[Optional[Env], Optional[str], Optional[str]]":
+    """Like :func:`match`, but diagnose failures: returns
+    ``(env, fail_path, fail_reason)``.
+
+    On success ``env`` is the bindings and the other two are ``None``;
+    on failure ``env`` is ``None``, ``fail_path`` is a ``/``-separated
+    path into the *pattern* locating the innermost mismatch (e.g.
+    ``"If.0/Tag"``, empty string for a root mismatch) and
+    ``fail_reason`` says what went wrong there.  This is the slow,
+    allocation-happy sibling of :func:`match`, used only by the
+    provenance layer (:mod:`repro.obs.provenance`) to explain *why* an
+    unexpansion failed — never on the hot path, and it moves no
+    counters.
+    """
+    path: list = []
+    reason: list = []
+
+    def fail(at: "Tuple[str, ...]", why: str) -> None:
+        # Keep the *deepest* diagnosis: an inner mismatch is the cause,
+        # the outer failures are its consequences.
+        if len(at) >= len(path) or not reason:
+            path[:] = at
+            reason[:] = [why]
+
+    def walk(t: Pattern, p: Pattern, at: "Tuple[str, ...]", see: bool,
+             lenient: bool) -> Optional[Env]:
+        if isinstance(p, PVar):
+            return {p.name: t}
+        if isinstance(p, Tagged):
+            if isinstance(t, Tagged) and t.tag == p.tag:
+                return walk(t.term, p.term, at + ("Tag",), see, lenient)
+            if lenient and isinstance(p.tag, BodyTag):
+                return walk(t, p.term, at, see, lenient)
+            fail(at, (
+                f"pattern expects tag {p.tag!r} but term is {_describe(t)}"
+            ))
+            return None
+        if isinstance(t, Tagged):
+            if see:
+                return walk(t.term, p, at, see, lenient)
+            fail(at, (
+                f"term carries tag {t.tag!r} the pattern does not mention"
+            ))
+            return None
+        if isinstance(p, Const):
+            if isinstance(t, Const) and t == p:
+                return {}
+            fail(at, f"expected constant {p!r}, term is {_describe(t)}")
+            return None
+        if isinstance(p, Node):
+            if not isinstance(t, Node):
+                fail(at, f"expected node {p.label!r}, term is {_describe(t)}")
+                return None
+            if t.label != p.label:
+                fail(at, f"expected node {p.label!r}, term is node {t.label!r}")
+                return None
+            if len(t.children) != len(p.children):
+                fail(at, (
+                    f"node {p.label!r} arity mismatch: pattern has "
+                    f"{len(p.children)} children, term has {len(t.children)}"
+                ))
+                return None
+            out: Env = {}
+            for i, (tc, pc) in enumerate(zip(t.children, p.children)):
+                sub = walk(tc, pc, at + (f"{p.label}.{i}",), see, lenient)
+                if sub is None:
+                    return None
+                if _union(out, sub) is None:
+                    fail(at + (f"{p.label}.{i}",),
+                         "conflicting duplicate variable bindings")
+                    return None
+            return out
+        if isinstance(p, PList):
+            if not isinstance(t, PList) or t.ellipsis is not None:
+                fail(at, f"expected list, term is {_describe(t)}")
+                return None
+            n = len(p.items)
+            if p.ellipsis is None and len(t.items) != n:
+                fail(at, (
+                    f"list length mismatch: pattern has {n} items, "
+                    f"term has {len(t.items)}"
+                ))
+                return None
+            if p.ellipsis is not None and len(t.items) < n:
+                fail(at, (
+                    f"list too short: pattern needs at least {n} items, "
+                    f"term has {len(t.items)}"
+                ))
+                return None
+            out = {}
+            for i, (ti, pi) in enumerate(zip(t.items[:n], p.items)):
+                sub = walk(ti, pi, at + (f"[{i}]",), see, lenient)
+                if sub is None:
+                    return None
+                if _union(out, sub) is None:
+                    fail(at + (f"[{i}]",),
+                         "conflicting duplicate variable bindings")
+                    return None
+            if p.ellipsis is not None:
+                rep_envs = []
+                for i, ti in enumerate(t.items[n:], start=n):
+                    sub = walk(ti, p.ellipsis, at + (f"[{i}]",), see, lenient)
+                    if sub is None:
+                        return None
+                    rep_envs.append(sub)
+                ell_vars = dict.fromkeys(pattern_variables(p.ellipsis))
+                merged = merge(rep_envs, ell_vars)
+                if _union(out, merged) is None:
+                    fail(at, "conflicting ellipsis variable bindings")
+                    return None
+            return out
+        fail(at, f"unmatchable pattern {_describe(p)}")
+        return None
+
+    env = walk(term, pattern, (), see_through_tags, lenient_pattern_tags)
+    if env is not None:
+        return env, None, None
+    return None, "/".join(path), reason[0] if reason else "mismatch"
+
+
+def _describe(t: Pattern) -> str:
+    """A one-phrase description of a term's outermost shape."""
+    if isinstance(t, Const):
+        return f"constant {t!r}"
+    if isinstance(t, Node):
+        return f"node {t.label!r}"
+    if isinstance(t, PList):
+        return f"list of {len(t.items)}"
+    if isinstance(t, Tagged):
+        return f"tagged term ({t.tag!r})"
+    if isinstance(t, PVar):
+        return f"variable {t.name!r}"
+    return repr(t)
 
 
 def _union(sigma1: Env, sigma2: Mapping[str, Binding]) -> Optional[Env]:

@@ -167,6 +167,11 @@ class BatchLifted(LiftEvent):
     process that ran the job, and ``metrics`` its per-job
     :func:`repro.obs.metrics_snapshot` when the batch collected metrics
     (merge them with :meth:`repro.obs.metrics.MetricsRegistry.merge`).
+    ``spans`` is the job's span tree when the batch collected traces
+    (``collect_spans=True``): a tuple of the JSONL-schema record dicts
+    the job's :class:`repro.obs.SpanCollector` gathered, each stamped
+    with the batch's trace id and this job's attribution; merge the
+    per-job tuples with :func:`repro.parallel.aggregate_trace`.
     """
 
     job_index: int
@@ -174,6 +179,7 @@ class BatchLifted(LiftEvent):
     rendered: Optional[Tuple[str, ...]] = None
     worker: Optional[int] = None
     metrics: Optional[Mapping[str, object]] = None
+    spans: Optional[Tuple[Mapping[str, object], ...]] = None
 
 
 @dataclass(frozen=True, eq=False)
@@ -185,7 +191,10 @@ class JobError(LiftEvent):
     under ``on_budget="raise"`` all surface here as a structured record
     — ``error_type`` is the original exception class name,
     ``error_message`` its text, ``traceback`` the worker-side formatted
-    traceback — and the batch carries on with the remaining jobs.
+    traceback — and the batch carries on with the remaining jobs.  When
+    the batch collected traces, ``spans`` carries the spans the job
+    finished before failing (its open spans are lost), so a failed job
+    still contributes a partial trace.
     """
 
     job_index: int
@@ -193,6 +202,7 @@ class JobError(LiftEvent):
     error_message: str
     traceback: str = ""
     worker: Optional[int] = None
+    spans: Optional[Tuple[Mapping[str, object], ...]] = None
 
     def describe(self) -> str:
         """A human-readable one-liner for CLIs and logs."""

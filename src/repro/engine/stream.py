@@ -60,12 +60,15 @@ from repro.engine.events import (
     SurfaceEmitted,
 )
 from repro.obs import _state as _obs
+from repro.obs import provenance as _prov
 from repro.obs.metrics import (
     LIFT_RUNS,
     LIFT_STEPS_DEDUPED,
     LIFT_STEPS_EMITTED,
     LIFT_STEPS_SKIPPED,
     LIFT_STEPS_TOTAL,
+    MATCH_ATTEMPTS,
+    MATCH_ATTEMPTS_PER_STEP,
 )
 from repro.obs.trace import span as _span
 
@@ -132,6 +135,34 @@ def lift_stream(
     move per event; disabled, the loop pays one branch per step.
     """
     _check_policy(on_budget)
+    # The provenance run scope opens before desugaring so the initial
+    # expansions are attributed to this run too.  The run's per-rule
+    # totals are attached while the lift span is still open (attrs must
+    # land before the span is emitted); the outer finally also covers a
+    # desugar-time failure or an abandoned generator.
+    run = _prov.begin_run(rules) if _obs.enabled else None
+    try:
+        with deep_recursion(), _span(
+            "lift", mode="sequence", incremental=incremental, dedup=dedup
+        ) as lift_span:
+            try:
+                yield from _lift_stream_body(
+                    rules, stepper, surface_term, max_steps, max_seconds,
+                    on_budget, dedup, check_emulation, incremental,
+                    lift_span,
+                )
+            finally:
+                if run is not None and lift_span is not None:
+                    lift_span.attrs["rule_stats"] = run.rule_stats()
+    finally:
+        if run is not None:
+            _prov.end_run(run)
+
+
+def _lift_stream_body(
+    rules, stepper, surface_term, max_steps, max_seconds,
+    on_budget, dedup, check_emulation, incremental, lift_span,
+):
     core = desugar(rules, surface_term)
     state = stepper.load(core)
     cache = ResugarCache(rules) if incremental else None
@@ -164,56 +195,60 @@ def lift_stream(
 
     if _obs.enabled:
         LIFT_RUNS.inc()
-    with deep_recursion(), _span(
-        "lift", mode="sequence", incremental=incremental, dedup=dedup
-    ) as lift_span:
-        while True:
-            if index > max_steps:
-                if on_budget == "raise":
-                    raise ReproError(
-                        f"evaluation did not finish within {max_steps} steps"
-                    )
-                if lift_span is not None:
-                    lift_span.attrs["truncated"] = "steps"
-                yield BudgetExhausted(index, stats, "steps", max_steps)
-                return
-            if deadline is not None and monotonic() >= deadline:
-                if on_budget == "raise":
-                    raise ReproError(
-                        f"evaluation exceeded the {max_seconds:g}s time "
-                        f"budget after {index} core steps"
-                    )
-                if lift_span is not None:
-                    lift_span.attrs["truncated"] = "seconds"
-                yield BudgetExhausted(index, stats, "seconds", max_seconds)
-                return
-
-            term = stepper.term(state)
-            yield CoreStepped(index, term)
-            if _obs.enabled:
-                LIFT_STEPS_TOTAL.inc()
-                with _span("lift.step", index=index) as step_span:
-                    event, outcome = classify(term)
-                    if step_span is not None:
-                        step_span.attrs["outcome"] = outcome
-                _OUTCOME_COUNTERS[outcome].inc()
-            else:
-                event, _ = classify(term)
-            yield event
-
-            successors = stepper.step(state)
-            if not successors:
-                if lift_span is not None:
-                    lift_span.attrs["core_steps"] = index + 1
-                yield Halted(index + 1, stats)
-                return
-            if len(successors) > 1:
+    while True:
+        if index > max_steps:
+            if on_budget == "raise":
                 raise ReproError(
-                    "nondeterministic step during sequence lifting; use "
-                    "lift_evaluation_tree for languages with amb"
+                    f"evaluation did not finish within {max_steps} steps"
                 )
-            state = successors[0]
-            index += 1
+            if lift_span is not None:
+                lift_span.attrs["truncated"] = "steps"
+            yield BudgetExhausted(index, stats, "steps", max_steps)
+            return
+        if deadline is not None and monotonic() >= deadline:
+            if on_budget == "raise":
+                raise ReproError(
+                    f"evaluation exceeded the {max_seconds:g}s time "
+                    f"budget after {index} core steps"
+                )
+            if lift_span is not None:
+                lift_span.attrs["truncated"] = "seconds"
+            yield BudgetExhausted(index, stats, "seconds", max_seconds)
+            return
+
+        term = stepper.term(state)
+        yield CoreStepped(index, term)
+        if _obs.enabled:
+            LIFT_STEPS_TOTAL.inc()
+            attempts_before = MATCH_ATTEMPTS.value
+            with _span("lift.step", index=index) as step_span:
+                with _prov.step_scope(step_span):
+                    event, outcome = classify(term)
+                    if outcome == "deduped":
+                        _prov.on_dedup()
+                if step_span is not None:
+                    step_span.attrs["outcome"] = outcome
+            MATCH_ATTEMPTS_PER_STEP.observe(
+                MATCH_ATTEMPTS.value - attempts_before
+            )
+            _OUTCOME_COUNTERS[outcome].inc()
+        else:
+            event, _ = classify(term)
+        yield event
+
+        successors = stepper.step(state)
+        if not successors:
+            if lift_span is not None:
+                lift_span.attrs["core_steps"] = index + 1
+            yield Halted(index + 1, stats)
+            return
+        if len(successors) > 1:
+            raise ReproError(
+                "nondeterministic step during sequence lifting; use "
+                "lift_evaluation_tree for languages with amb"
+            )
+        state = successors[0]
+        index += 1
 
 
 def lift_tree_stream(
@@ -237,6 +272,30 @@ def lift_tree_stream(
     ``"nodes"``) plus the optional wall clock.
     """
     _check_policy(on_budget)
+    # Same scoping as lift_stream: run provenance opens before
+    # desugaring, rule_stats attach while the lift span is open.
+    run = _prov.begin_run(rules) if _obs.enabled else None
+    try:
+        with deep_recursion(), _span(
+            "lift", mode="tree", incremental=incremental
+        ) as lift_span:
+            try:
+                yield from _lift_tree_stream_body(
+                    rules, stepper, surface_term, max_nodes, max_seconds,
+                    on_budget, check_emulation, incremental, lift_span,
+                )
+            finally:
+                if run is not None and lift_span is not None:
+                    lift_span.attrs["rule_stats"] = run.rule_stats()
+    finally:
+        if run is not None:
+            _prov.end_run(run)
+
+
+def _lift_tree_stream_body(
+    rules, stepper, surface_term, max_nodes, max_seconds,
+    on_budget, check_emulation, incremental, lift_span,
+):
     core = desugar(rules, surface_term)
     cache = ResugarCache(rules) if incremental else None
     stats = cache.stats if cache else None
@@ -270,53 +329,55 @@ def lift_tree_stream(
 
     if _obs.enabled:
         LIFT_RUNS.inc()
-    with deep_recursion(), _span(
-        "lift", mode="tree", incremental=incremental
-    ) as lift_span:
-        while queue:
-            if explored >= max_nodes:
-                if on_budget == "raise":
-                    raise ReproError(
-                        f"evaluation tree exceeded {max_nodes} core nodes"
-                    )
-                if lift_span is not None:
-                    lift_span.attrs["truncated"] = "nodes"
-                yield BudgetExhausted(explored, stats, "nodes", max_nodes)
-                return
-            if deadline is not None and monotonic() >= deadline:
-                if on_budget == "raise":
-                    raise ReproError(
-                        f"evaluation tree exceeded the {max_seconds:g}s time "
-                        f"budget after {explored} core nodes"
-                    )
-                if lift_span is not None:
-                    lift_span.attrs["truncated"] = "seconds"
-                yield BudgetExhausted(explored, stats, "seconds", max_seconds)
-                return
+    while queue:
+        if explored >= max_nodes:
+            if on_budget == "raise":
+                raise ReproError(
+                    f"evaluation tree exceeded {max_nodes} core nodes"
+                )
+            if lift_span is not None:
+                lift_span.attrs["truncated"] = "nodes"
+            yield BudgetExhausted(explored, stats, "nodes", max_nodes)
+            return
+        if deadline is not None and monotonic() >= deadline:
+            if on_budget == "raise":
+                raise ReproError(
+                    f"evaluation tree exceeded the {max_seconds:g}s time "
+                    f"budget after {explored} core nodes"
+                )
+            if lift_span is not None:
+                lift_span.attrs["truncated"] = "seconds"
+            yield BudgetExhausted(explored, stats, "seconds", max_seconds)
+            return
 
-            state, parent = queue.popleft()
-            index = explored
-            explored += 1
-            term = stepper.term(state)
-            yield CoreStepped(index, term)
-            if _obs.enabled:
-                LIFT_STEPS_TOTAL.inc()
-                with _span("lift.step", index=index) as step_span:
+        state, parent = queue.popleft()
+        index = explored
+        explored += 1
+        term = stepper.term(state)
+        yield CoreStepped(index, term)
+        if _obs.enabled:
+            LIFT_STEPS_TOTAL.inc()
+            attempts_before = MATCH_ATTEMPTS.value
+            with _span("lift.step", index=index) as step_span:
+                with _prov.step_scope(step_span):
                     event, outcome, parent = classify(term, index, parent)
-                    if step_span is not None:
-                        step_span.attrs["outcome"] = outcome
-                _OUTCOME_COUNTERS[outcome].inc()
-            else:
-                event, outcome, parent = classify(term, index, parent)
-            if outcome == "emitted":
-                next_id += 1
-            yield event
+                if step_span is not None:
+                    step_span.attrs["outcome"] = outcome
+            MATCH_ATTEMPTS_PER_STEP.observe(
+                MATCH_ATTEMPTS.value - attempts_before
+            )
+            _OUTCOME_COUNTERS[outcome].inc()
+        else:
+            event, outcome, parent = classify(term, index, parent)
+        if outcome == "emitted":
+            next_id += 1
+        yield event
 
-            for successor in stepper.step(state):
-                queue.append((successor, parent))
-        if lift_span is not None:
-            lift_span.attrs["core_nodes"] = explored
-        yield Halted(explored, stats)
+        for successor in stepper.step(state):
+            queue.append((successor, parent))
+    if lift_span is not None:
+        lift_span.attrs["core_nodes"] = explored
+    yield Halted(explored, stats)
 
 
 def fold_lift(events: Iterable[LiftEvent]) -> LiftResult:

@@ -8,8 +8,12 @@ a first-class, always-available measurement layer:
 * :mod:`repro.obs.metrics` — counters/gauges/histograms snapshot-able
   as a dict (``lift.steps_total``, ``match.attempts``,
   ``resugar.cache_hits``, ``desugar.depth``, ...);
-* :mod:`repro.obs.export` — a JSONL exporter plus the read side used by
-  the property-test harness.
+* :mod:`repro.obs.export` — a JSONL exporter plus the read side (trace
+  parsing, tree reconstruction, cross-process merging);
+* :mod:`repro.obs.provenance` — per-step resugar-decision events (which
+  rule failed to unexpand, where, and why) and per-rule counters;
+* :mod:`repro.obs.analyze` — trace analysis (summary, critical path,
+  hot rules, skip explanations) behind the ``repro obs`` CLI.
 
 Everything is **off by default**: instrumentation sites in the hot paths
 (:mod:`repro.core.matching`, :mod:`repro.core.desugar`,
@@ -25,26 +29,39 @@ Two ways to turn it on:
   "trace.jsonl"))`` — every lift made through that Confection runs with
   observability on, and ``obs.metrics_snapshot()`` reads the counters.
 
-The CLI exposes the same through ``repro lift --trace FILE.jsonl`` and
-``repro lift --metrics``.
+The CLI exposes the same through ``repro lift --trace FILE.jsonl``,
+``repro lift --metrics``, ``repro lift-batch --trace FILE.jsonl``
+(merged cross-process traces), and the ``repro obs`` analysis family.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Union
 
 from repro.obs import _state
 from repro.obs import metrics as metrics
-from repro.obs.export import JsonlExporter, build_tree, read_trace
+from repro.obs.export import (
+    JsonlExporter,
+    SpanCollector,
+    build_tree,
+    merge_traces,
+    read_trace,
+    span_record,
+    write_trace,
+)
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.trace import (
     Sink,
     Span,
+    TraceContext,
     add_sink,
     clear_sinks,
     current_span,
+    current_trace_context,
     remove_sink,
+    set_trace_context,
     sinks,
     span,
 )
@@ -57,13 +74,20 @@ __all__ = [
     "current_span",
     "Span",
     "Sink",
+    "TraceContext",
+    "set_trace_context",
+    "current_trace_context",
     "add_sink",
     "remove_sink",
     "clear_sinks",
     "sinks",
     "JsonlExporter",
+    "SpanCollector",
+    "span_record",
     "read_trace",
+    "write_trace",
     "build_tree",
+    "merge_traces",
     "REGISTRY",
     "MetricsRegistry",
     "metrics_snapshot",
@@ -73,15 +97,17 @@ __all__ = [
 
 
 def enable(sinks: Iterable[Sink] = ()) -> None:
-    """Turn instrumentation on process-wide and register ``sinks``."""
+    """Turn instrumentation on process-wide (a *pin*, in the
+    :mod:`repro.obs._state` contract) and register ``sinks``."""
     for sink in sinks:
         add_sink(sink)
-    _state.enabled = True
+    _state.pin(True)
 
 
 def disable() -> None:
-    """Turn instrumentation off process-wide (sinks stay registered)."""
-    _state.enabled = False
+    """Drop the process-wide pin (sinks stay registered).  Instrumentation
+    stays on while any :class:`Observability` scope is still active."""
+    _state.pin(False)
 
 
 def enabled() -> bool:
@@ -103,10 +129,13 @@ class Observability:
     """A scoped observability configuration.
 
     Activating it (as a context manager) enables instrumentation,
-    registers this instance's sinks, and on exit restores the previous
-    enabled state and unregisters them.  Activation nests and is
-    reentrant.  :class:`~repro.confection.Confection` accepts one via
-    its ``obs=`` kwarg and activates it around every lift.
+    registers this instance's sinks, and on exit drops this scope and
+    unregisters them.  Activation nests, is reentrant, and is safe to
+    overlap with other scopes on other threads: scopes count against
+    :mod:`repro.obs._state`'s shared refcount, so the flag drops only
+    when the last scope exits (and no process-wide pin is set).
+    :class:`~repro.confection.Confection` accepts one via its ``obs=``
+    kwarg and activates it around every lift.
 
     ``trace_path`` adds a :class:`JsonlExporter` writing there;
     ``reset_metrics`` (default ``True``) zeroes the metrics registry on
@@ -128,28 +157,29 @@ class Observability:
         self._reset_metrics = reset_metrics
         self._was_reset = False
         self._depth = 0
-        self._prev_enabled = False
+        self._lock = threading.Lock()
 
     def __enter__(self) -> "Observability":
-        if self._depth == 0:
-            if self._reset_metrics and not self._was_reset:
-                REGISTRY.reset()
-                self._was_reset = True
-            for sink in self._sinks:
-                add_sink(sink)
-            self._prev_enabled = _state.enabled
-            _state.enabled = True
-        self._depth += 1
+        with self._lock:
+            if self._depth == 0:
+                if self._reset_metrics and not self._was_reset:
+                    REGISTRY.reset()
+                    self._was_reset = True
+                for sink in self._sinks:
+                    add_sink(sink)
+                _state.acquire()
+            self._depth += 1
         return self
 
     def __exit__(self, *exc) -> None:
-        self._depth -= 1
-        if self._depth == 0:
-            _state.enabled = self._prev_enabled
-            for sink in self._sinks:
-                remove_sink(sink)
-            if self.exporter is not None:
-                self.exporter.flush()
+        with self._lock:
+            self._depth -= 1
+            if self._depth == 0:
+                _state.release()
+                for sink in self._sinks:
+                    remove_sink(sink)
+                if self.exporter is not None:
+                    self.exporter.flush()
 
     def snapshot(self) -> Dict[str, object]:
         """Snapshot the metrics registry (see :func:`metrics_snapshot`)."""

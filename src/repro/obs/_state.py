@@ -7,10 +7,62 @@ off (the default) the entire obs layer costs one predictable branch per
 site.  The benchmark suite (``benchmarks/bench_obs_overhead.py``) holds
 that cost to <3% of a 500+-step lift.
 
+Thread-safety contract
+----------------------
+
+Reading :data:`enabled` is always safe and lock-free (a single module
+attribute load of a bool — atomic in CPython).  *Transitions* must go
+through the three functions below, which serialize on a module lock and
+compute the flag from two pieces of state:
+
+* a **scope count** (:func:`acquire` / :func:`release`) — one per active
+  :class:`repro.obs.Observability` activation, so concurrent scopes on
+  different threads compose: the flag stays up until the *last* scope
+  exits, instead of each scope stomping whatever the previous one saved
+  (the pre-lock bug this contract replaces);
+* a **pin** (:func:`pin`) — the process-wide ``obs.enable()`` /
+  ``obs.disable()`` toggle.
+
+``enabled`` is true iff the pin is set or at least one scope is active.
+A ``disable()`` while scopes are active therefore drops only the pin;
+the flag stays up until those scopes exit.  Never poke ``enabled``
+directly.
+
 Nothing else lives here on purpose: this module must import instantly
-and depend on nothing, because :mod:`repro.core.matching` and friends
-import it at module load.  Toggle through :func:`repro.obs.enable` /
-:func:`repro.obs.disable`, not by poking the attribute.
+and depend on nothing beyond :mod:`threading`, because
+:mod:`repro.core.matching` and friends import it at module load.
 """
 
+import threading
+
 enabled: bool = False
+
+_lock = threading.Lock()
+_scopes: int = 0
+_pinned: bool = False
+
+
+def acquire() -> None:
+    """Enter one enabled scope (thread-safe, reentrant across scopes)."""
+    global _scopes, enabled
+    with _lock:
+        _scopes += 1
+        enabled = True
+
+
+def release() -> None:
+    """Exit one enabled scope; the flag drops only when no scope remains
+    active and the process-wide pin is off."""
+    global _scopes, enabled
+    with _lock:
+        if _scopes > 0:
+            _scopes -= 1
+        enabled = _pinned or _scopes > 0
+
+
+def pin(on: bool) -> None:
+    """Set or clear the process-wide enable (``obs.enable``/``disable``)."""
+    global _pinned, enabled
+    with _lock:
+        _pinned = on
+        enabled = _pinned or _scopes > 0

@@ -1,0 +1,340 @@
+"""Trace analysis: answer questions about a recorded lift.
+
+The write side of the observability subsystem produces JSONL span
+traces (:mod:`repro.obs.export`); this module is the read side's
+analysis layer, shared by the ``python -m repro obs`` CLI family and
+the test suite.  Everything here operates on plain record dicts — what
+:func:`~repro.obs.export.read_trace` parses and
+:func:`~repro.obs.export.merge_traces` merges — so single-process and
+merged multi-process traces are analyzed identically.
+
+Three questions, three entry points:
+
+* :func:`summarize` — what happened?  Span counts and wall-clock by
+  span name, job/worker attribution, per-step outcome totals, and the
+  critical path (the longest root-to-leaf chain of spans).
+* :func:`hot_rules` — which sugar rules did the work?  Merges the
+  ``rule_stats`` tables the lift spans carry (expansion/unexpansion/
+  failure counts per rule) across every job in the trace.
+* :func:`skip_report` — why was each core step skipped?  Reads the
+  provenance events (:mod:`repro.obs.provenance`) attached to
+  ``lift.step`` spans and renders the recorded diagnosis: which rule's
+  unexpansion failed where and why, or which tag check blocked the
+  resugared term.
+
+Each has a ``format_*`` companion producing the aligned-text rendering
+the CLI prints; the analysis functions themselves return plain data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.export import _record_key, build_tree
+
+__all__ = [
+    "summarize",
+    "critical_path",
+    "hot_rules",
+    "skip_report",
+    "format_report",
+    "format_hot_rules",
+    "format_skips",
+]
+
+
+def _attrs(record: Dict[str, object]) -> Dict[str, object]:
+    attrs = record.get("attrs")
+    return attrs if isinstance(attrs, dict) else {}
+
+
+def _attribution(record: Dict[str, object]) -> Dict[str, object]:
+    """The job/worker/trace-id fields a record carries (empty for
+    single-process traces)."""
+    return {
+        key: record[key]
+        for key in ("trace_id", "job", "worker")
+        if key in record
+    }
+
+
+def summarize(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate a trace into one report dict.
+
+    Keys: ``spans`` (total records), ``trace_ids``, ``jobs`` (sorted
+    job ids, empty for in-process traces), ``workers`` (distinct
+    worker pids), ``by_name`` (per span name: ``count`` and ``total``
+    seconds), ``outcomes`` (per ``lift.step`` outcome totals),
+    ``core_steps``, and ``critical_path`` (see :func:`critical_path`).
+    """
+    by_name: Dict[str, Dict[str, float]] = {}
+    outcomes: Dict[str, int] = {}
+    trace_ids = set()
+    jobs = set()
+    workers = set()
+    for record in records:
+        name = str(record["name"])
+        entry = by_name.setdefault(name, {"count": 0, "total": 0.0})
+        entry["count"] += 1
+        entry["total"] += float(record.get("duration") or 0.0)
+        if "trace_id" in record:
+            trace_ids.add(record["trace_id"])
+        if "job" in record:
+            jobs.add(record["job"])
+        if "worker" in record:
+            workers.add(record["worker"])
+        if name == "lift.step":
+            outcome = _attrs(record).get("outcome")
+            if outcome is not None:
+                outcomes[str(outcome)] = outcomes.get(str(outcome), 0) + 1
+    return {
+        "spans": len(records),
+        "trace_ids": sorted(trace_ids),
+        "jobs": sorted(jobs),
+        "workers": len(workers),
+        "by_name": by_name,
+        "outcomes": outcomes,
+        "core_steps": by_name.get("lift.step", {}).get("count", 0),
+        "critical_path": critical_path(records),
+    }
+
+
+def critical_path(
+    records: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """The longest root-to-leaf span chain, by duration.
+
+    Starts at the longest-running root (each job's spans form their own
+    trees in a merged trace) and at every level descends into the
+    longest-running child.  Each row carries the span ``name``, its
+    ``duration``, its ``self`` time (duration minus its children — the
+    time spent in the span's own code), and its job attribution, so
+    the report answers "where did the wall-clock go" at a glance.
+    """
+    records = list(records)
+    roots, children = build_tree(records)
+    by_key = {_record_key(record): record for record in records}
+
+    def duration(key) -> float:
+        return float(by_key[key].get("duration") or 0.0)
+
+    path: List[Dict[str, object]] = []
+    current = max(roots, key=duration, default=None)
+    while current is not None:
+        record = by_key[current]
+        kids = children[current]
+        self_time = duration(current) - sum(duration(k) for k in kids)
+        row = {
+            "name": record["name"],
+            "duration": duration(current),
+            "self": max(self_time, 0.0),
+            "attrs": _attrs(record),
+        }
+        row.update(_attribution(record))
+        path.append(row)
+        current = max(kids, key=duration, default=None)
+    return path
+
+
+def hot_rules(
+    records: Sequence[Dict[str, object]],
+) -> List[Tuple[str, Dict[str, int]]]:
+    """Per-rule activity, merged across every lift span in the trace.
+
+    Lift spans carry a ``rule_stats`` attr (attached by
+    :mod:`repro.obs.provenance`): per rule, how many times it expanded,
+    unexpanded, and failed to unexpand.  This merges those tables by
+    rule key (``"{index}:{name}"``) across jobs and returns the rows
+    sorted by total activity, hottest first.
+    """
+    merged: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        stats = _attrs(record).get("rule_stats")
+        if not isinstance(stats, dict):
+            continue
+        for rule, row in stats.items():
+            if not isinstance(row, dict):
+                continue
+            target = merged.setdefault(rule, {})
+            for field, value in row.items():
+                target[field] = target.get(field, 0) + int(value)
+    return sorted(
+        merged.items(),
+        key=lambda item: (-sum(item[1].values()), item[0]),
+    )
+
+
+def skip_report(
+    records: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Explain every skipped core step in the trace.
+
+    Returns one row per ``lift.step`` span whose outcome is
+    ``skipped``, in (job, step-index) order: the step ``index``, its
+    job attribution, the raw provenance ``events`` recorded for the
+    step, and a one-line human ``explanation`` naming the rule and the
+    failure reason (or the tag check that blocked the term).
+    """
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        if record["name"] != "lift.step":
+            continue
+        attrs = _attrs(record)
+        if attrs.get("outcome") != "skipped":
+            continue
+        events = attrs.get("provenance")
+        events = events if isinstance(events, list) else []
+        row = {
+            "index": attrs.get("index"),
+            "events": events,
+            "explanation": _explain_skip(events),
+        }
+        row.update(_attribution(record))
+        rows.append(row)
+    rows.sort(key=lambda row: (row.get("job") or 0, row["index"] or 0))
+    return rows
+
+
+def _explain_skip(events: List[Dict[str, object]]) -> str:
+    """One line of English for a skipped step's provenance events."""
+    for event in reversed(events):
+        kind = event.get("event")
+        if kind == "unexpand_failed":
+            rule = event.get("rule")
+            if rule is None:
+                return "resugar failed (cached; diagnosis not recorded)"
+            reason = event.get("reason") or "no match"
+            where = event.get("path")
+            cached = " [cached]" if event.get("cached") else ""
+            at = f" at {where}" if where else ""
+            return f"rule {rule}: unexpansion failed{at}: {reason}{cached}"
+        if kind == "tag_blocked":
+            if event.get("kind") == "opaque_body_tag":
+                return (
+                    "tag check blocked: an opaque body tag survived "
+                    "resugaring (partially-evaluated sugar internals)"
+                )
+            return "tag check blocked: an unresolved head tag survived"
+    return "no provenance recorded (was the trace written with provenance?)"
+
+
+# --- text rendering (the `repro obs` CLI output) ----------------------
+
+
+def _table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> List[str]:
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return lines
+
+
+def _ms(seconds: object) -> str:
+    return f"{float(seconds) * 1000:.3f}ms"
+
+
+def format_report(summary: Dict[str, object]) -> str:
+    """Render :func:`summarize` output for the terminal."""
+    lines = [
+        f"spans: {summary['spans']}"
+        + (
+            f"   jobs: {len(summary['jobs'])}"
+            f"   workers: {summary['workers']}"
+            if summary["jobs"]
+            else ""
+        )
+    ]
+    if summary["trace_ids"]:
+        lines.append("trace ids: " + ", ".join(summary["trace_ids"]))
+    if summary["outcomes"]:
+        outcomes = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(summary["outcomes"].items())
+        )
+        lines.append(f"core steps: {summary['core_steps']} ({outcomes})")
+    lines.append("")
+    lines.extend(
+        _table(
+            ("span", "count", "total"),
+            [
+                (name, entry["count"], _ms(entry["total"]))
+                for name, entry in sorted(
+                    summary["by_name"].items(),
+                    key=lambda item: -item[1]["total"],
+                )
+            ],
+        )
+    )
+    path = summary["critical_path"]
+    if path:
+        lines.append("")
+        lines.append("critical path (longest root, longest child at "
+                     "each level):")
+        for depth, row in enumerate(path):
+            job = f" [job {row['job']}]" if "job" in row else ""
+            detail = ""
+            index = row["attrs"].get("index")
+            if index is not None:
+                detail = f" #{index}"
+            outcome = row["attrs"].get("outcome")
+            if outcome is not None:
+                detail += f" ({outcome})"
+            lines.append(
+                f"  {'  ' * depth}{row['name']}{detail}{job}  "
+                f"total {_ms(row['duration'])}, self {_ms(row['self'])}"
+            )
+    return "\n".join(lines)
+
+
+def format_hot_rules(rows: List[Tuple[str, Dict[str, int]]]) -> str:
+    """Render :func:`hot_rules` output for the terminal."""
+    if not rows:
+        return (
+            "no rule activity recorded (trace written without "
+            "provenance, or nothing expanded)"
+        )
+    return "\n".join(
+        _table(
+            ("rule", "expansions", "unexpansions", "unexpand_failures"),
+            [
+                (
+                    rule,
+                    stats.get("expansions", 0),
+                    stats.get("unexpansions", 0),
+                    stats.get("unexpand_failures", 0),
+                )
+                for rule, stats in rows
+            ],
+        )
+    )
+
+
+def format_skips(
+    rows: List[Dict[str, object]], core_steps: Optional[int] = None
+) -> str:
+    """Render :func:`skip_report` output for the terminal."""
+    if not rows:
+        return "no skipped steps: every core step resugared"
+    lines = []
+    if core_steps:
+        lines.append(
+            f"{len(rows)} of {core_steps} core steps skipped:"
+        )
+    for row in rows:
+        job = f"job {row['job']} " if "job" in row else ""
+        lines.append(
+            f"  {job}step {row['index']}: {row['explanation']}"
+        )
+    return "\n".join(lines)

@@ -1,16 +1,20 @@
-"""JSONL span export and trace reconstruction.
+"""JSONL span export, trace reconstruction, and cross-process merging.
 
 :class:`JsonlExporter` is the bundled :class:`~repro.obs.trace.Sink`: it
 serializes each finished span as one JSON object per line.  The record
-schema (``repro-obs-trace/1``)::
+schema (``repro-obs-trace/2``)::
 
     {"span_id": 7, "parent_id": 3, "name": "lift.step",
      "attrs": {"index": 4, "outcome": "emitted"},
-     "start": 123.456789, "duration": 0.000321}
+     "start": 123.456789, "duration": 0.000321,
+     "trace_id": "a1b2...", "job": 3, "worker": 4711}
 
 ``span_id`` is unique per process; ``parent_id`` is ``null`` for roots;
 ``start`` is a ``time.perf_counter`` timestamp (meaningful only relative
-to other spans in the same process); ``duration`` is seconds.  Spans are
+to other spans in the same process); ``duration`` is seconds.  The last
+three fields are the span's :class:`~repro.obs.trace.TraceContext` and
+appear only when one was set (batch lifts set it per job); traces
+written without a context keep the v1 schema exactly.  Spans are
 written post-order (children before parents), so a truncated file loses
 only ancestors of the last open spans, never a child's parent-id
 referent... more precisely: a parent referenced by an already-written
@@ -18,8 +22,18 @@ child may be missing at the *end* of a truncated file, which
 :func:`build_tree` reports as a dangling root.
 
 :func:`read_trace` and :func:`build_tree` are the read side, used by the
-property-test harness to check that an exported trace reconstructs the
-exact span tree that produced it.
+property-test harness and the ``repro obs`` analysis CLI.
+:func:`read_trace` tolerates a truncated *final* line (the partial
+write of a killed process) by dropping it and moving the
+``trace.truncated_lines`` counter; malformed lines anywhere else still
+raise.  :func:`build_tree` handles multi-root, multi-process traces:
+when records carry job/worker attribution, span ids are scoped to
+``(job, worker, span_id)`` so per-process id collisions cannot alias.
+
+:class:`SpanCollector` is the in-memory sink the parallel engine
+attaches per job: it collects plain record dicts (picklable), which
+travel back to the parent on the job's outcome event and are merged
+into one coherent trace by :func:`merge_traces`.
 """
 
 from __future__ import annotations
@@ -27,19 +41,56 @@ from __future__ import annotations
 import io
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.metrics import TRACE_TRUNCATED_LINES
 from repro.obs.trace import Span
 
-__all__ = ["JsonlExporter", "read_trace", "build_tree"]
+__all__ = [
+    "JsonlExporter",
+    "SpanCollector",
+    "span_record",
+    "read_trace",
+    "write_trace",
+    "build_tree",
+    "merge_traces",
+]
+
+_SCHEMA_KEYS = ("span_id", "name", "start", "duration")
 
 
 def _jsonable(value: object) -> object:
-    """Coerce an attr value to something JSON can carry (terms and other
-    rich objects degrade to their repr)."""
+    """Coerce an attr value to something JSON can carry.  Primitives
+    pass through, containers recurse (provenance events are lists of
+    dicts), and other rich objects (terms) degrade to their repr."""
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
     return repr(value)
+
+
+def span_record(span: Span) -> Dict[str, object]:
+    """Serialize one finished span to its (JSON-safe, picklable) record
+    dict — the shared write path of every bundled sink."""
+    record: Dict[str, object] = {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
+        "start": span.start,
+        "duration": span.duration,
+    }
+    context = span.context
+    if context is not None:
+        record["trace_id"] = context.trace_id
+        if context.job is not None:
+            record["job"] = context.job
+        if context.worker is not None:
+            record["worker"] = context.worker
+    return record
 
 
 class JsonlExporter:
@@ -64,15 +115,9 @@ class JsonlExporter:
     def emit(self, span: Span) -> None:
         if self._file is None:
             self._file = open(self.path, "w")
-        record = {
-            "span_id": span.span_id,
-            "parent_id": span.parent_id,
-            "name": span.name,
-            "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
-            "start": span.start,
-            "duration": span.duration,
-        }
-        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.write(
+            json.dumps(span_record(span), separators=(",", ":")) + "\n"
+        )
         self.emitted += 1
 
     def flush(self) -> None:
@@ -91,19 +136,56 @@ class JsonlExporter:
         self.close()
 
 
+class SpanCollector:
+    """Collect finished spans as record dicts, in memory.
+
+    The records are exactly what :class:`JsonlExporter` would have
+    written, but held as plain picklable dicts — the form in which a
+    batch job's span tree crosses the process boundary back to the
+    parent (``BatchLifted.spans`` / ``JobError.spans``).
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def emit(self, span: Span) -> None:
+        self.records.append(span_record(span))
+
+
 def read_trace(
     source: Union[str, Path, Iterable[str]],
+    tolerate_truncation: bool = True,
 ) -> List[Dict[str, object]]:
     """Parse a JSONL trace into a list of record dicts.
 
     ``source`` is a path or an iterable of lines.  Every non-blank line
     must be a complete JSON object with the schema fields; a malformed
-    line raises ``ValueError`` naming the line number.
+    line raises ``ValueError`` naming the line number — except the
+    *final* non-blank line, which (by default) is dropped instead: a
+    worker killed mid-write leaves exactly one partial trailing line,
+    and losing its one span beats losing the whole trace.  Each dropped
+    line moves the ``trace.truncated_lines`` warning counter (always,
+    observability flag or not — trace reading is analysis, not a hot
+    path).  Pass ``tolerate_truncation=False`` to restore strict mode.
     """
     if isinstance(source, (str, Path)):
-        lines: Iterable[str] = Path(source).read_text().splitlines()
+        lines: List[str] = Path(source).read_text().splitlines()
     else:
-        lines = source
+        lines = list(source)
+    last_content = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()),
+        default=0,
+    )
+
+    def malformed(lineno: int, problem: str, cause=None):
+        if tolerate_truncation and lineno == last_content:
+            TRACE_TRUNCATED_LINES.inc()
+            return True
+        error = ValueError(f"trace line {lineno} {problem}")
+        if cause is not None:
+            raise error from cause
+        raise error
+
     records = []
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():
@@ -111,42 +193,94 @@ def read_trace(
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"trace line {lineno} is not JSON: {exc}") from exc
-        for key in ("span_id", "name", "start", "duration"):
-            if key not in record:
-                raise ValueError(f"trace line {lineno} lacks {key!r}")
+            malformed(lineno, f"is not JSON: {exc}", exc)
+            continue
+        if not isinstance(record, dict) or any(
+            key not in record for key in _SCHEMA_KEYS
+        ):
+            missing = (
+                [k for k in _SCHEMA_KEYS if k not in record]
+                if isinstance(record, dict)
+                else list(_SCHEMA_KEYS)
+            )
+            malformed(lineno, f"lacks {missing}")
+            continue
         records.append(record)
     return records
 
 
+def write_trace(
+    records: Iterable[Dict[str, object]],
+    destination: Union[str, Path, io.TextIOBase],
+) -> int:
+    """Write record dicts as a JSONL trace file (the inverse of
+    :func:`read_trace`); returns the number of records written."""
+    count = 0
+    if hasattr(destination, "write"):
+        for record in records:
+            destination.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+        return count
+    with open(destination, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def _record_key(record: Dict[str, object]):
+    """The globally unique id of a record: the bare ``span_id`` for
+    single-process traces, scoped by ``(job, worker)`` when the record
+    carries cross-process attribution (ids are only unique per
+    process)."""
+    job = record.get("job")
+    worker = record.get("worker")
+    if job is None and worker is None:
+        return record["span_id"]
+    return (job, worker, record["span_id"])
+
+
 def build_tree(
     records: Iterable[Dict[str, object]],
-) -> Tuple[List[int], Dict[int, List[int]]]:
+) -> Tuple[List[object], Dict[object, List[object]]]:
     """Reconstruct the span forest from exported records.
 
-    Returns ``(roots, children)`` where ``roots`` lists span ids with no
-    (present) parent and ``children`` maps a span id to its children in
-    emission order.  Raises ``ValueError`` on duplicate span ids, on a
+    Returns ``(roots, children)`` where ``roots`` lists span keys with
+    no (present) parent and ``children`` maps a span key to its children
+    in emission order.  For single-process traces the keys are the plain
+    integer span ids; records carrying job/worker attribution are keyed
+    ``(job, worker, span_id)`` so a multi-process trace — several
+    workers, each with its own id counter — reconstructs without
+    aliasing, and parent links resolve within the producing process
+    only.  Raises ``ValueError`` on duplicate span keys, on a
     self-parenting span, or if the parent links contain a cycle —
     impossible for traces produced by :mod:`repro.obs.trace`, which is
     exactly why the property suite asserts it.
     """
-    by_id: Dict[int, Dict[str, object]] = {}
+    by_key: Dict[object, Dict[str, object]] = {}
     for record in records:
-        span_id = record["span_id"]
-        if span_id in by_id:
-            raise ValueError(f"duplicate span id {span_id}")
-        by_id[span_id] = record
-    roots: List[int] = []
-    children: Dict[int, List[int]] = {span_id: [] for span_id in by_id}
-    for span_id, record in by_id.items():
+        key = _record_key(record)
+        if key in by_key:
+            raise ValueError(f"duplicate span id {key}")
+        by_key[key] = record
+    roots: List[object] = []
+    children: Dict[object, List[object]] = {key: [] for key in by_key}
+    for key, record in by_key.items():
         parent_id = record.get("parent_id")
-        if parent_id == span_id:
-            raise ValueError(f"span {span_id} is its own parent")
-        if parent_id is None or parent_id not in by_id:
-            roots.append(span_id)
+        if parent_id is None:
+            roots.append(key)
+            continue
+        parent_key = (
+            parent_id
+            if isinstance(key, int)
+            else (key[0], key[1], parent_id)
+        )
+        if parent_key == key:
+            raise ValueError(f"span {key} is its own parent")
+        if parent_key not in by_key:
+            roots.append(key)
         else:
-            children[parent_id].append(span_id)
+            children[parent_key].append(key)
     # Cycle check: every span must be reachable from a root.
     seen = 0
     stack = list(roots)
@@ -154,6 +288,40 @@ def build_tree(
         node = stack.pop()
         seen += 1
         stack.extend(children[node])
-    if seen != len(by_id):
+    if seen != len(by_key):
         raise ValueError("span parent links contain a cycle")
     return roots, children
+
+
+def merge_traces(
+    traces: Iterable[Sequence[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Merge per-job span record lists into one coherent trace.
+
+    Each element of ``traces`` is one job's records (in that job's
+    emission order — what :class:`SpanCollector` collected, or
+    :func:`read_trace` read).  Span ids are remapped to a fresh global
+    sequence (per-process ids collide across workers), parent links are
+    rewritten through the same map, and job/worker/trace-id attribution
+    is preserved verbatim, so the result is directly analyzable with
+    :func:`build_tree` and byte-comparable across worker counts modulo
+    ids, timings, and attribution.  A parent missing from its job's
+    records (truncated trace) leaves the child a dangling root, exactly
+    as :func:`build_tree` treats it.
+    """
+    merged: List[Dict[str, object]] = []
+    next_id = 1
+    for records in traces:
+        id_map: Dict[object, int] = {}
+        for record in records:
+            id_map[record["span_id"]] = next_id
+            next_id += 1
+        for record in records:
+            remapped = dict(record)
+            remapped["span_id"] = id_map[record["span_id"]]
+            parent_id = record.get("parent_id")
+            remapped["parent_id"] = (
+                id_map.get(parent_id) if parent_id is not None else None
+            )
+            merged.append(remapped)
+    return merged

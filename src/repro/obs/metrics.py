@@ -27,29 +27,44 @@ histogram, both of which sum losslessly.
 
 The pipeline's metric names (see ``docs/observability.md``):
 
-==========================  =========  =====================================
-name                        kind       meaning
-==========================  =========  =====================================
-``lift.steps_total``        counter    core steps walked by lift streams
-``lift.steps_emitted``      counter    steps shown to the user
-``lift.steps_skipped``      counter    steps with no surface representation
-``lift.steps_deduped``      counter    steps hidden as duplicates
-``lift.runs``               counter    lift streams started
-``match.attempts``          counter    pattern-match calls
-``match.successes``         counter    pattern-match calls that bound
-``resugar.cache_hits``      counter    ResugarCache subtree walks saved
-``resugar.cache_misses``    counter    ResugarCache subtree walks done
-``desugar.cache_hits``      counter    desugar memo hits
-``desugar.cache_misses``    counter    desugar memo misses
-``desugar.depth``           histogram  expansion nesting depth per expansion
-==========================  =========  =====================================
+============================  =========  =====================================
+name                          kind       meaning
+============================  =========  =====================================
+``lift.steps_total``          counter    core steps walked by lift streams
+``lift.steps_emitted``        counter    steps shown to the user
+``lift.steps_skipped``        counter    steps with no surface representation
+``lift.steps_deduped``        counter    steps hidden as duplicates
+``lift.runs``                 counter    lift streams started
+``match.attempts``            counter    pattern-match calls
+``match.successes``           counter    pattern-match calls that bound
+``match.attempts_per_step``   histogram  match attempts spent per core step
+``resugar.calls``             counter    resugar entry points taken
+``resugar.unexpand_attempts`` counter    rule unexpansions tried at HeadTags
+``resugar.fail_propagations`` counter    subtree failures propagated upward
+``resugar.tag_blocked``       counter    resugarings blocked by opaque tags
+``resugar.cache_hits``        counter    ResugarCache subtree walks saved
+``resugar.cache_misses``      counter    ResugarCache subtree walks done
+``desugar.cache_hits``        counter    desugar memo hits
+``desugar.cache_misses``      counter    desugar memo misses
+``desugar.depth``             histogram  expansion nesting depth per expansion
+``trace.truncated_lines``     counter    partial JSONL trace lines dropped
+============================  =========  =====================================
 
 Counters only move when observability is enabled (the instrumentation
-sites are guarded); reading them is always safe.
+sites are guarded); reading them is always safe.  The one exception is
+``trace.truncated_lines``, which :func:`repro.obs.export.read_trace`
+moves unconditionally — trace reading is analysis, not a hot path, and
+a silently dropped line should never go unrecorded.
+
+Per-rule attribution (``rule.expansions.<i>:<name>`` and friends) is
+pre-bound lazily by :func:`per_rule_counters`, one counter triple per
+rule of a :class:`~repro.core.desugar.RuleList`, cached per rule list so
+hot loops index a tuple instead of formatting metric names.
 """
 
 from __future__ import annotations
 
+import weakref
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -75,6 +90,14 @@ __all__ = [
     "DESUGAR_CACHE_HITS",
     "DESUGAR_CACHE_MISSES",
     "DESUGAR_DEPTH",
+    "RESUGAR_CALLS",
+    "UNEXPAND_ATTEMPTS",
+    "RESUGAR_FAIL_PROPAGATIONS",
+    "RESUGAR_TAG_BLOCKED",
+    "TRACE_TRUNCATED_LINES",
+    "MATCH_ATTEMPTS_PER_STEP",
+    "per_rule_counters",
+    "RuleCounters",
 ]
 
 Number = Union[int, float]
@@ -295,3 +318,54 @@ RESUGAR_CACHE_MISSES = REGISTRY.counter("resugar.cache_misses")
 DESUGAR_CACHE_HITS = REGISTRY.counter("desugar.cache_hits")
 DESUGAR_CACHE_MISSES = REGISTRY.counter("desugar.cache_misses")
 DESUGAR_DEPTH = REGISTRY.histogram("desugar.depth", DEFAULT_DEPTH_BUCKETS)
+RESUGAR_CALLS = REGISTRY.counter("resugar.calls")
+UNEXPAND_ATTEMPTS = REGISTRY.counter("resugar.unexpand_attempts")
+RESUGAR_FAIL_PROPAGATIONS = REGISTRY.counter("resugar.fail_propagations")
+RESUGAR_TAG_BLOCKED = REGISTRY.counter("resugar.tag_blocked")
+TRACE_TRUNCATED_LINES = REGISTRY.counter("trace.truncated_lines")
+MATCH_ATTEMPTS_PER_STEP = REGISTRY.histogram(
+    "match.attempts_per_step", DEFAULT_DEPTH_BUCKETS
+)
+
+
+class RuleCounters:
+    """The pre-bound per-rule instruments of one rule list.
+
+    ``expansions[i]`` / ``unexpansions[i]`` / ``unexpand_failures[i]``
+    are the counters of rule ``i``, named
+    ``rule.<event>.<i>:<rule name>`` in :data:`REGISTRY` so snapshots
+    (and cross-process merges, which key by name) attribute work to the
+    sugar that caused it.
+    """
+
+    __slots__ = ("expansions", "unexpansions", "unexpand_failures")
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.expansions: Tuple[Counter, ...] = tuple(
+            REGISTRY.counter(f"rule.expansions.{i}:{name}")
+            for i, name in enumerate(names)
+        )
+        self.unexpansions: Tuple[Counter, ...] = tuple(
+            REGISTRY.counter(f"rule.unexpansions.{i}:{name}")
+            for i, name in enumerate(names)
+        )
+        self.unexpand_failures: Tuple[Counter, ...] = tuple(
+            REGISTRY.counter(f"rule.unexpand_failures.{i}:{name}")
+            for i, name in enumerate(names)
+        )
+
+
+_rule_counters: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def per_rule_counters(rules) -> RuleCounters:
+    """The :class:`RuleCounters` for ``rules`` (a
+    :class:`~repro.core.desugar.RuleList`), built once per rule list and
+    cached on a weak key so dead rule lists do not pin instruments
+    alive in the cache (the instruments themselves stay interned in
+    :data:`REGISTRY`, as all instruments do)."""
+    counters = _rule_counters.get(rules)
+    if counters is None:
+        counters = RuleCounters([rule.name for rule in rules.rules])
+        _rule_counters[rules] = counters
+    return counters

@@ -1,0 +1,249 @@
+"""Resugar-decision provenance: *why* each core step looked the way it did.
+
+The paper's Abstraction and Coverage properties are judged by looking at
+which core steps resugar and which are skipped (§6) — but counters alone
+cannot say *why* a step was skipped.  This module records, per core
+step, the per-rule outcome of every resugar decision as structured
+events attached to the step's ``lift.step`` span:
+
+=====================  ==============================================
+``event``              meaning
+=====================  ==============================================
+``expanded``           a rule's LHS matched during desugaring
+``unexpanded``         a head tag's rule matched back successfully
+``unexpand_failed``    unification against the rule's RHS failed;
+                       ``path``/``reason`` locate and explain the
+                       innermost mismatch (via
+                       :func:`repro.core.matching.match_explain`)
+``unexpand_failed`` +  the failure was answered from the
+``cached: true``       :class:`~repro.core.incremental.ResugarCache`
+                       memo — the recorded path/reason are those of
+                       the original failure
+``tag_blocked``        resugaring succeeded structurally but an opaque
+                       body tag or a head tag survived (``kind`` says
+                       which); Abstraction forbids showing the term
+``deduped``            the step resugared but equalled the previous
+                       emitted surface term
+=====================  ==============================================
+
+Alongside the events, per-rule counters
+(:func:`repro.obs.metrics.per_rule_counters`) and a per-run accumulation
+(:class:`RunProvenance`, attached to the ``lift`` span as
+``rule_stats``) make the same attribution available in metric snapshots
+— which merge across worker processes by name, so batch lifts aggregate
+per-rule totals for free.
+
+Everything here is called **only from inside ``if _obs.enabled:``
+branches** of the instrumented modules (:mod:`repro.core.desugar`,
+:mod:`repro.core.incremental`, :mod:`repro.engine.stream`): the
+disabled path pays nothing for provenance beyond the branches that
+already existed, which is how the <3% overhead bound survives
+(``benchmarks/bench_obs_overhead.py``).  Scopes are thread-local, so
+concurrent lifts on different threads attribute independently.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.matching import match_explain
+from repro.obs.metrics import (
+    RESUGAR_TAG_BLOCKED,
+    UNEXPAND_ATTEMPTS,
+    per_rule_counters,
+)
+from repro.obs.trace import Span
+
+__all__ = [
+    "RunProvenance",
+    "begin_run",
+    "end_run",
+    "step_scope",
+    "note",
+    "current_events",
+    "on_expand",
+    "on_unexpand",
+    "on_cached_fail",
+    "on_tag_blocked",
+    "on_dedup",
+]
+
+_tls = threading.local()
+
+
+def _runs() -> List["RunProvenance"]:
+    runs = getattr(_tls, "runs", None)
+    if runs is None:
+        runs = _tls.runs = []
+    return runs
+
+
+def _steps() -> List[List[dict]]:
+    steps = getattr(_tls, "steps", None)
+    if steps is None:
+        steps = _tls.steps = []
+    return steps
+
+
+class RunProvenance:
+    """Per-rule outcome totals over one lift run.
+
+    Indexed by rule position in the run's rule list; rendered by
+    :meth:`rule_stats` as a name-keyed dict with all-zero rows elided —
+    the ``rule_stats`` attr of the run's ``lift`` span.
+    """
+
+    __slots__ = ("rules", "expansions", "unexpansions", "unexpand_failures")
+
+    def __init__(self, rules) -> None:
+        n = len(rules)
+        self.rules = rules
+        self.expansions = [0] * n
+        self.unexpansions = [0] * n
+        self.unexpand_failures = [0] * n
+
+    def rule_stats(self) -> Dict[str, Dict[str, int]]:
+        stats: Dict[str, Dict[str, int]] = {}
+        for i, rule in enumerate(self.rules.rules):
+            row = {
+                "expansions": self.expansions[i],
+                "unexpansions": self.unexpansions[i],
+                "unexpand_failures": self.unexpand_failures[i],
+            }
+            if any(row.values()):
+                stats[f"{i}:{rule.name}"] = row
+        return stats
+
+
+def begin_run(rules) -> RunProvenance:
+    """Open a run scope accumulating per-rule totals for ``rules``."""
+    run = RunProvenance(rules)
+    _runs().append(run)
+    return run
+
+
+def end_run(run: RunProvenance, lift_span: Optional[Span] = None) -> None:
+    """Close ``run`` (removing it by identity — two lift generators
+    consumed in lockstep interleave their scopes) and attach its
+    ``rule_stats`` to the run's ``lift`` span, if there is one."""
+    runs = _runs()
+    for i in range(len(runs) - 1, -1, -1):
+        if runs[i] is run:
+            del runs[i]
+            break
+    if lift_span is not None:
+        lift_span.attrs["rule_stats"] = run.rule_stats()
+
+
+def _run_for(rules) -> Optional[RunProvenance]:
+    for run in reversed(_runs()):
+        if run.rules is rules:
+            return run
+    return None
+
+
+@contextmanager
+def step_scope(step_span: Optional[Span]) -> Iterator[List[dict]]:
+    """Collect the provenance events of one core step.
+
+    Yields the (initially empty) event list; on exit it is attached to
+    the step's ``lift.step`` span as the ``provenance`` attr (when any
+    event was recorded).
+    """
+    events: List[dict] = []
+    steps = _steps()
+    steps.append(events)
+    try:
+        yield events
+    finally:
+        for i in range(len(steps) - 1, -1, -1):
+            if steps[i] is events:
+                del steps[i]
+                break
+        if events and step_span is not None:
+            step_span.attrs["provenance"] = events
+
+
+def note(event: dict) -> None:
+    """Record ``event`` against the innermost open step scope (dropped
+    silently outside one — e.g. a bare ``resugar()`` call)."""
+    steps = getattr(_tls, "steps", None)
+    if steps:
+        steps[-1].append(event)
+
+
+def current_events() -> Optional[List[dict]]:
+    """The innermost open step scope's event list, or ``None``."""
+    steps = getattr(_tls, "steps", None)
+    return steps[-1] if steps else None
+
+
+def on_expand(rules, index: int) -> None:
+    """One rule expansion happened during desugaring."""
+    per_rule_counters(rules).expansions[index].inc()
+    run = _run_for(rules)
+    if run is not None:
+        run.expansions[index] += 1
+
+
+def on_unexpand(rules, index: int, term, ok: bool) -> dict:
+    """One head-tag unexpansion was attempted; diagnose failures.
+
+    ``term`` is the (already recursively resugared) body the rule's RHS
+    was matched against.  Returns the recorded event dict so the
+    incremental cache can keep it for cached-failure reporting.
+    """
+    UNEXPAND_ATTEMPTS.inc()
+    counters = per_rule_counters(rules)
+    run = _run_for(rules)
+    rule = rules.rules[index]
+    if ok:
+        counters.unexpansions[index].inc()
+        if run is not None:
+            run.unexpansions[index] += 1
+        event = {"event": "unexpanded", "rule": rule.name, "rule_index": index}
+    else:
+        counters.unexpand_failures[index].inc()
+        if run is not None:
+            run.unexpand_failures[index] += 1
+        _, path, reason = match_explain(
+            term, rule.tagged_rhs, lenient_pattern_tags=True
+        )
+        event = {
+            "event": "unexpand_failed",
+            "rule": rule.name,
+            "rule_index": index,
+            "path": path,
+            "reason": reason,
+        }
+    note(event)
+    return event
+
+
+def on_cached_fail(info: Optional[dict]) -> None:
+    """A memoized resugar failure was hit: re-report the original
+    failure's event (``info``, as returned by :func:`on_unexpand`)
+    against the current step, marked ``cached``."""
+    if info is None:
+        # A failure with no stored diagnosis (e.g. an ill-formed term);
+        # still record that the skip came from the cache.
+        note({"event": "unexpand_failed", "cached": True})
+        return
+    event = dict(info)
+    event["cached"] = True
+    note(event)
+
+
+def on_tag_blocked(kind: str) -> None:
+    """Resugaring produced a term but an opaque tag survived the
+    Abstraction check; ``kind`` is ``"opaque_body_tag"`` or
+    ``"head_tag"``."""
+    RESUGAR_TAG_BLOCKED.inc()
+    note({"event": "tag_blocked", "kind": kind})
+
+
+def on_dedup() -> None:
+    """The step resugared but duplicated the previous surface term."""
+    note({"event": "deduped"})

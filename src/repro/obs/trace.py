@@ -32,6 +32,13 @@ Span ids are unique per process (a shared atomic counter), parent ids
 refer to the enclosing span at entry time, and the id graph is acyclic
 by construction: a parent's id is always allocated before its
 children's.
+
+Because span ids are only unique *per process*, spans additionally
+carry an optional :class:`TraceContext` — a trace id plus job/worker
+attribution — stamped at creation time from the process-level current
+context (:func:`set_trace_context`).  The parallel batch engine sets it
+per job so per-worker span trees can be merged into one coherent
+cross-process trace (:func:`repro.obs.export.merge_traces`).
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from __future__ import annotations
 import itertools
 import threading
 from contextlib import contextmanager
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Protocol
 
@@ -47,13 +55,34 @@ from repro.obs import _state
 __all__ = [
     "Span",
     "Sink",
+    "TraceContext",
     "span",
     "current_span",
     "add_sink",
     "remove_sink",
     "clear_sinks",
     "sinks",
+    "set_trace_context",
+    "current_trace_context",
 ]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Cross-process attribution for the spans of one unit of work.
+
+    ``trace_id`` names the whole distributed trace (all jobs of one
+    batch share it); ``job`` is the submission index of the batch job
+    the span belongs to (``None`` outside batch lifts); ``worker`` is
+    the pid of the producing process.  Span ids remain per-process, so
+    ``(job, worker, span_id)`` is the globally unique span key —
+    exactly how :func:`repro.obs.export.build_tree` scopes ids when
+    these fields are present.
+    """
+
+    trace_id: str
+    job: Optional[int] = None
+    worker: Optional[int] = None
 
 
 class Span:
@@ -64,7 +93,9 @@ class Span:
     lift step's outcome); sinks see the final contents.
     """
 
-    __slots__ = ("span_id", "parent_id", "name", "attrs", "start", "end")
+    __slots__ = (
+        "span_id", "parent_id", "name", "attrs", "start", "end", "context",
+    )
 
     def __init__(
         self,
@@ -73,6 +104,7 @@ class Span:
         name: str,
         attrs: Dict[str, object],
         start: float,
+        context: Optional[TraceContext] = None,
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
@@ -80,6 +112,7 @@ class Span:
         self.attrs = attrs
         self.start = start
         self.end: Optional[float] = None
+        self.context = context
 
     @property
     def duration(self) -> float:
@@ -104,6 +137,24 @@ class Sink(Protocol):
 _ids = itertools.count(1)  # CPython: next() on count is atomic enough
 _sinks: List[Sink] = []
 _context = threading.local()
+_trace_context: Optional[TraceContext] = None
+
+
+def set_trace_context(
+    context: Optional[TraceContext],
+) -> Optional[TraceContext]:
+    """Install ``context`` as the process-level trace context (stamped
+    onto every span opened from now on); returns the previous context so
+    callers can restore it.  ``None`` clears."""
+    global _trace_context
+    previous = _trace_context
+    _trace_context = context
+    return previous
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The trace context new spans are stamped with (or ``None``)."""
+    return _trace_context
 
 
 def _stack() -> List[Span]:
@@ -157,7 +208,9 @@ def span(name: str, **attrs: object) -> Iterator[Optional[Span]]:
         return
     stack = _stack()
     parent_id = stack[-1].span_id if stack else None
-    s = Span(next(_ids), parent_id, name, attrs, perf_counter())
+    s = Span(
+        next(_ids), parent_id, name, attrs, perf_counter(), _trace_context
+    )
     stack.append(s)
     try:
         yield s

@@ -14,12 +14,16 @@ process-local caches.  This package is the batch face of the engine:
   :class:`~repro.engine.events.JobError` — the per-job outcome events
   (a failing job is contained, never aborts the batch);
 * :func:`~repro.parallel.pool.aggregate_metrics` — merge per-worker
-  observability snapshots into one.
+  observability snapshots into one;
+* :func:`~repro.parallel.pool.aggregate_trace` — merge per-job span
+  trees (``collect_spans=True``) into one cross-process trace with job
+  attribution, analyzable with ``python -m repro obs``.
 
 The guarantees (determinism against the sequential engine, fault
-isolation, metrics equivalence) are pinned by ``tests/parallel``;
-``docs/parallelism.md`` documents the worker model and failure
-semantics.  The CLI front end is ``python -m repro lift-batch``.
+isolation, metrics and trace equivalence) are pinned by
+``tests/parallel``; ``docs/parallelism.md`` documents the worker model
+and failure semantics.  The CLI front end is
+``python -m repro lift-batch``.
 """
 
 from repro.engine.events import BatchLifted, JobError
@@ -27,6 +31,7 @@ from repro.parallel.jobs import LiftJob, as_job
 from repro.parallel.pool import (
     PAYLOADS,
     aggregate_metrics,
+    aggregate_trace,
     default_worker_count,
     lift_corpus,
     lift_corpus_stream,
@@ -40,6 +45,7 @@ __all__ = [
     "lift_corpus",
     "lift_corpus_stream",
     "aggregate_metrics",
+    "aggregate_trace",
     "default_worker_count",
     "PAYLOADS",
 ]

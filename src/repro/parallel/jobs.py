@@ -10,7 +10,11 @@ already-built job) into one.
 The outcome vocabulary lives with the other lift events in
 :mod:`repro.engine.events`: a finished job is a
 :class:`~repro.engine.events.BatchLifted`, a failed one a
-:class:`~repro.engine.events.JobError`.
+:class:`~repro.engine.events.JobError`.  Observability payloads ride
+the outcome events the same way in both directions: per-job metrics
+snapshots (``collect_metrics=True``) and per-job span trees with the
+batch's trace context (``collect_spans=True``) — the job record itself
+stays small and option-only.
 """
 
 from __future__ import annotations

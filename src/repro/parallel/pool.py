@@ -47,14 +47,25 @@ worker-side traceback — the batch continues.  A *worker process* dying
 outright (hard crash) surfaces as a ``JobError`` for every job that was
 in flight on the broken pool rather than an exception in the consumer.
 
-Metrics
--------
+Metrics and traces
+------------------
 
 With ``collect_metrics=True`` each job runs under a fresh
 :class:`repro.obs.Observability` scope and its event carries a per-job
 metrics snapshot; :func:`aggregate_metrics` merges them into one
 snapshot equal to what a single-process run of the corpus would have
 recorded (see :meth:`repro.obs.metrics.MetricsRegistry.merge`).
+
+With ``collect_spans=True`` span trees travel the same road: every job
+runs with a process-level :class:`repro.obs.TraceContext` carrying the
+batch's shared trace id plus this job's submission index and worker
+pid, its spans are gathered by a per-job
+:class:`repro.obs.SpanCollector`, and the picklable record tuples ride
+back on the outcome events (``BatchLifted.spans`` / partial
+``JobError.spans``).  :func:`aggregate_trace` merges them into one
+coherent multi-process trace — structurally identical, modulo
+ids/timings/attribution, to what ``jobs=1`` records, because both
+paths run the very same :func:`_execute_job`.
 """
 
 from __future__ import annotations
@@ -62,6 +73,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import traceback as _traceback
+import uuid
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterator, List, Optional, Sequence, Union
@@ -74,6 +86,7 @@ __all__ = [
     "lift_corpus",
     "lift_corpus_stream",
     "aggregate_metrics",
+    "aggregate_trace",
     "default_worker_count",
 ]
 
@@ -86,6 +99,8 @@ _WORKER_ENGINE = None
 _WORKER_PRETTY: Optional[Callable] = None
 _WORKER_PAYLOAD = "result"
 _WORKER_METRICS = False
+_WORKER_SPANS = False
+_WORKER_TRACE_ID: Optional[str] = None
 
 
 def default_worker_count() -> int:
@@ -132,19 +147,45 @@ def _execute_job(
     payload: str,
     pretty: Optional[Callable],
     collect_metrics: bool,
+    collect_spans: bool = False,
+    trace_id: Optional[str] = None,
 ) -> BatchOutcome:
     """Run one job to an outcome event.  Never raises for job-level
     failures — that is the fault-isolation contract (only interpreter
-    teardown exceptions like ``KeyboardInterrupt`` propagate)."""
-    worker = os.getpid()
-    try:
-        if collect_metrics:
-            from repro.obs import Observability
+    teardown exceptions like ``KeyboardInterrupt`` propagate).
 
-            obs = Observability(reset_metrics=True)
-            with obs:
-                result = engine.lift(job.program, **job.lift_kwargs())
-            metrics = obs.snapshot()
+    This is the one job path for every worker count: the poolless
+    ``jobs=1`` loop and every pool worker call exactly this function,
+    which is what makes batch traces structurally identical across
+    worker counts.
+    """
+    worker = os.getpid()
+    collector = None
+    try:
+        if collect_metrics or collect_spans:
+            from repro.obs import (
+                Observability,
+                SpanCollector,
+                TraceContext,
+                set_trace_context,
+            )
+
+            sinks = []
+            previous_context = None
+            if collect_spans:
+                collector = SpanCollector()
+                sinks.append(collector)
+                previous_context = set_trace_context(
+                    TraceContext(trace_id, job=index, worker=worker)
+                )
+            obs = Observability(sinks=sinks, reset_metrics=collect_metrics)
+            try:
+                with obs:
+                    result = engine.lift(job.program, **job.lift_kwargs())
+            finally:
+                if collect_spans:
+                    set_trace_context(previous_context)
+            metrics = obs.snapshot() if collect_metrics else None
         else:
             result = engine.lift(job.program, **job.lift_kwargs())
             metrics = None
@@ -157,6 +198,7 @@ def _execute_job(
             rendered=rendered,
             worker=worker,
             metrics=metrics,
+            spans=tuple(collector.records) if collector is not None else None,
         )
     except Exception as exc:
         return JobError(
@@ -165,17 +207,23 @@ def _execute_job(
             error_message=str(exc),
             traceback=_traceback.format_exc(),
             worker=worker,
+            spans=tuple(collector.records) if collector is not None else None,
         )
 
 
-def _warm_worker(engine, payload, pretty, collect_metrics) -> None:
+def _warm_worker(
+    engine, payload, pretty, collect_metrics, collect_spans, trace_id
+) -> None:
     """Pool initializer: build this worker's engine once (rule tables,
     stepper) and stash the batch configuration in module globals."""
     global _WORKER_ENGINE, _WORKER_PRETTY, _WORKER_PAYLOAD, _WORKER_METRICS
+    global _WORKER_SPANS, _WORKER_TRACE_ID
     _WORKER_ENGINE = _resolve_engine(engine)
     _WORKER_PRETTY = pretty
     _WORKER_PAYLOAD = payload
     _WORKER_METRICS = collect_metrics
+    _WORKER_SPANS = collect_spans
+    _WORKER_TRACE_ID = trace_id
 
 
 def _pool_run(index: int, job: LiftJob) -> BatchOutcome:
@@ -183,7 +231,7 @@ def _pool_run(index: int, job: LiftJob) -> BatchOutcome:
     the warmed engine."""
     return _execute_job(
         _WORKER_ENGINE, index, job, _WORKER_PAYLOAD, _WORKER_PRETTY,
-        _WORKER_METRICS,
+        _WORKER_METRICS, _WORKER_SPANS, _WORKER_TRACE_ID,
     )
 
 
@@ -202,6 +250,7 @@ def lift_corpus_stream(
     payload: str = "result",
     pretty: Optional[Callable] = None,
     collect_metrics: bool = False,
+    collect_spans: bool = False,
     mp_context: Optional[str] = None,
     window: Optional[int] = None,
 ) -> Iterator[BatchOutcome]:
@@ -216,20 +265,25 @@ def lift_corpus_stream(
     semantics.  ``payload`` selects what a :class:`BatchLifted` carries:
     the full ``result`` (default), just the ``rendered`` surface lines
     (smallest cross-process payload; requires ``pretty``), or ``both``.
-    ``window`` bounds how many jobs are in flight at once (default
-    ``4 * jobs``), so a long corpus never piles up in the call queue.
+    ``collect_spans`` additionally records each job's span tree under a
+    batch-wide trace id (see the module docstring); merge the outcomes'
+    ``spans`` with :func:`aggregate_trace`.  ``window`` bounds how many
+    jobs are in flight at once (default ``4 * jobs``), so a long corpus
+    never piles up in the call queue.
     """
     _check_options(payload, pretty)
     jobs_list: List[LiftJob] = [as_job(entry) for entry in corpus]
     n_workers = default_worker_count() if jobs is None else jobs
     if n_workers < 1:
         raise ValueError(f"jobs must be >= 1, got {n_workers!r}")
+    trace_id = uuid.uuid4().hex[:16] if collect_spans else None
 
     if n_workers == 1:
         local = _resolve_engine(engine)
         for index, job in enumerate(jobs_list):
             yield _execute_job(
-                local, index, job, payload, pretty, collect_metrics
+                local, index, job, payload, pretty, collect_metrics,
+                collect_spans, trace_id,
             )
         return
 
@@ -245,7 +299,10 @@ def lift_corpus_stream(
         max_workers=n_workers,
         mp_context=context,
         initializer=_warm_worker,
-        initargs=(engine, payload, pretty, collect_metrics),
+        initargs=(
+            engine, payload, pretty, collect_metrics, collect_spans,
+            trace_id,
+        ),
     ) as pool:
         pending: deque = deque()
         upcoming = iter(enumerate(jobs_list))
@@ -288,6 +345,7 @@ def lift_corpus(
     payload: str = "result",
     pretty: Optional[Callable] = None,
     collect_metrics: bool = False,
+    collect_spans: bool = False,
     mp_context: Optional[str] = None,
     window: Optional[int] = None,
 ) -> List[BatchOutcome]:
@@ -301,6 +359,7 @@ def lift_corpus(
             payload=payload,
             pretty=pretty,
             collect_metrics=collect_metrics,
+            collect_spans=collect_spans,
             mp_context=mp_context,
             window=window,
         )
@@ -316,4 +375,20 @@ def aggregate_metrics(outcomes) -> dict:
         outcome.metrics
         for outcome in outcomes
         if isinstance(outcome, BatchLifted) and outcome.metrics is not None
+    )
+
+
+def aggregate_trace(outcomes) -> List[dict]:
+    """Merge the per-job span records of a batch (collected with
+    ``collect_spans=True``) into one coherent trace, in job-submission
+    order — failed jobs contribute their partial spans too.  The result
+    is a list of JSONL-schema record dicts, ready for
+    :func:`repro.obs.export.write_trace` or
+    :func:`repro.obs.export.build_tree`."""
+    from repro.obs.export import merge_traces
+
+    return merge_traces(
+        outcome.spans
+        for outcome in outcomes
+        if getattr(outcome, "spans", None) is not None
     )

@@ -3,7 +3,7 @@
 from hypothesis import given
 
 from repro.core.bindings import ListBinding
-from repro.core.matching import match, matches
+from repro.core.matching import match, match_explain, matches
 from repro.core.substitution import subst
 from repro.core.terms import (
     BodyTag,
@@ -161,3 +161,50 @@ class TestMatchSubstProperty:
     @given(terms(max_leaves=8))
     def test_every_term_matches_a_variable(self, term):
         assert match(term, PVar("x")) == {"x": term}
+
+
+class TestMatchExplain:
+    """``match_explain`` is ``match`` plus a failure diagnosis: same
+    verdict and bindings, and on failure a path naming the innermost
+    mismatched pattern position."""
+
+    @given(matching_pairs())
+    def test_agrees_with_match_on_success(self, pair):
+        term, pattern, _ = pair
+        env, path, reason = match_explain(term, pattern)
+        assert env == match(term, pattern)
+        assert path is None and reason is None
+
+    def test_root_mismatch_has_empty_path(self):
+        env, path, reason = match_explain(Const(2), Node("If", ()))
+        assert env is None
+        assert path == ""
+        assert "'If'" in reason
+
+    def test_locates_innermost_mismatch(self):
+        pattern = Node(
+            "If", (PVar("c"), Node("Not", (PVar("x"),)), PVar("e"))
+        )
+        term = Node("If", (Const(1), Node("Or", (Const(2),)), Const(3)))
+        env, path, reason = match_explain(term, pattern)
+        assert env is None
+        assert path == "If.1"
+        assert "'Not'" in reason and "'Or'" in reason
+
+    def test_diagnosis_descends_through_tags(self):
+        tag = BodyTag(False)
+        pattern = Tagged(tag, Node("Pair", (Const(1), Const(2))))
+        term = Tagged(tag, Node("Pair", (Const(1), Const(9))))
+        env, path, reason = match_explain(term, pattern)
+        assert env is None
+        assert path == "Tag/Pair.1"
+        assert "constant" in reason
+
+    def test_lenient_pattern_tags_match_like_match(self):
+        tag = BodyTag(False)
+        pattern = Tagged(tag, PVar("x"))
+        env, path, reason = match_explain(
+            Const(5), pattern, lenient_pattern_tags=True
+        )
+        assert env == {"x": Const(5)}
+        assert path is None and reason is None

@@ -1,0 +1,350 @@
+"""The trace-analysis layer (``obs/analyze.py``) and its CLI face.
+
+Unit tests drive the analysis functions over handcrafted record dicts
+(where every number is known); the integration tests run the real
+pipeline the acceptance criterion names — ``repro lift-batch --jobs N
+--trace t.jsonl`` followed by ``repro obs skips t.jsonl`` — and check
+the skip report names a rule and failure reason for every skipped core
+step of the corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.obs.analyze import (
+    critical_path,
+    format_hot_rules,
+    format_report,
+    format_skips,
+    hot_rules,
+    skip_report,
+    summarize,
+)
+
+
+def _record(span_id, name, duration, parent_id=None, attrs=None, **context):
+    record = {
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "attrs": attrs or {},
+        "start": 0.0,
+        "duration": duration,
+    }
+    record.update(context)
+    return record
+
+
+SYNTHETIC = [
+    _record(
+        1,
+        "lift.step",
+        0.25,
+        parent_id=3,
+        attrs={"index": 0, "outcome": "emitted"},
+    ),
+    _record(
+        2,
+        "lift.step",
+        0.5,
+        parent_id=3,
+        attrs={
+            "index": 1,
+            "outcome": "skipped",
+            "provenance": [
+                {
+                    "event": "unexpand_failed",
+                    "rule": "Or",
+                    "rule_index": 3,
+                    "path": "If.0",
+                    "reason": "expected node 'Id', term is constant Const(1)",
+                }
+            ],
+        },
+    ),
+    _record(
+        3,
+        "lift",
+        1.0,
+        attrs={
+            "rule_stats": {
+                "3:Or": {
+                    "expansions": 2,
+                    "unexpansions": 1,
+                    "unexpand_failures": 1,
+                }
+            }
+        },
+    ),
+]
+
+
+class TestSummarize:
+    def test_counts_and_outcomes(self):
+        summary = summarize(SYNTHETIC)
+        assert summary["spans"] == 3
+        assert summary["core_steps"] == 2
+        assert summary["outcomes"] == {"emitted": 1, "skipped": 1}
+        assert summary["by_name"]["lift.step"] == {
+            "count": 2,
+            "total": 0.75,
+        }
+        assert summary["jobs"] == [] and summary["workers"] == 0
+
+    def test_attribution_is_surfaced(self):
+        records = [
+            _record(1, "lift", 1.0, trace_id="abc", job=0, worker=11),
+            _record(1, "lift", 2.0, trace_id="abc", job=1, worker=12),
+        ]
+        summary = summarize(records)
+        assert summary["trace_ids"] == ["abc"]
+        assert summary["jobs"] == [0, 1]
+        assert summary["workers"] == 2
+
+
+class TestCriticalPath:
+    def test_follows_longest_child(self):
+        path = critical_path(SYNTHETIC)
+        assert [row["name"] for row in path] == ["lift", "lift.step"]
+        assert path[0]["duration"] == 1.0
+        assert path[0]["self"] == pytest.approx(0.25)
+        assert path[1]["attrs"]["index"] == 1
+
+    def test_picks_longest_root_across_jobs(self):
+        records = [
+            _record(1, "lift", 1.0, job=0, worker=5, trace_id="t"),
+            _record(1, "lift", 3.0, job=1, worker=6, trace_id="t"),
+        ]
+        path = critical_path(records)
+        assert len(path) == 1 and path[0]["job"] == 1
+
+    def test_empty_trace(self):
+        assert critical_path([]) == []
+
+
+class TestHotRules:
+    def test_merges_rule_stats_across_lift_spans(self):
+        records = SYNTHETIC + [
+            _record(
+                9,
+                "lift",
+                1.0,
+                attrs={
+                    "rule_stats": {
+                        "3:Or": {"expansions": 1},
+                        "7:Let": {"expansions": 5, "unexpansions": 5},
+                    }
+                },
+                job=1,
+                worker=2,
+                trace_id="t",
+            )
+        ]
+        rows = dict(hot_rules(records))
+        assert rows["3:Or"]["expansions"] == 3
+        assert rows["7:Let"] == {"expansions": 5, "unexpansions": 5}
+        # Sorted hottest first:
+        assert hot_rules(records)[0][0] == "7:Let"
+
+    def test_no_stats_anywhere(self):
+        assert hot_rules([_record(1, "lift", 1.0)]) == []
+        assert "no rule activity" in format_hot_rules([])
+
+
+class TestSkipReport:
+    def test_names_rule_path_and_reason(self):
+        (row,) = skip_report(SYNTHETIC)
+        assert row["index"] == 1
+        assert "rule Or" in row["explanation"]
+        assert "at If.0" in row["explanation"]
+        assert "expected node 'Id'" in row["explanation"]
+
+    def test_explains_tag_blocks_and_cached_failures(self):
+        records = [
+            _record(
+                1,
+                "lift.step",
+                0.1,
+                attrs={
+                    "index": 0,
+                    "outcome": "skipped",
+                    "provenance": [
+                        {"event": "tag_blocked", "kind": "opaque_body_tag"}
+                    ],
+                },
+            ),
+            _record(
+                2,
+                "lift.step",
+                0.1,
+                attrs={
+                    "index": 1,
+                    "outcome": "skipped",
+                    "provenance": [
+                        {"event": "unexpand_failed", "cached": True}
+                    ],
+                },
+            ),
+            _record(
+                3,
+                "lift.step",
+                0.1,
+                attrs={"index": 2, "outcome": "skipped"},
+            ),
+        ]
+        explanations = [row["explanation"] for row in skip_report(records)]
+        assert "opaque body tag" in explanations[0]
+        assert "cached" in explanations[1]
+        assert "no provenance recorded" in explanations[2]
+
+    def test_rows_sort_by_job_then_index(self):
+        records = [
+            _record(
+                1,
+                "lift.step",
+                0.1,
+                attrs={"index": 4, "outcome": "skipped"},
+                job=1,
+                worker=9,
+                trace_id="t",
+            ),
+            _record(
+                1,
+                "lift.step",
+                0.1,
+                attrs={"index": 2, "outcome": "skipped"},
+                job=0,
+                worker=8,
+                trace_id="t",
+            ),
+        ]
+        rows = skip_report(records)
+        assert [(row["job"], row["index"]) for row in rows] == [
+            (0, 2),
+            (1, 4),
+        ]
+
+
+class TestFormatting:
+    def test_report_renders_tables_and_path(self):
+        text = format_report(summarize(SYNTHETIC))
+        assert "core steps: 2 (emitted=1, skipped=1)" in text
+        assert "lift.step" in text
+        assert "critical path" in text
+
+    def test_hot_rules_table(self):
+        text = format_hot_rules(hot_rules(SYNTHETIC))
+        assert "3:Or" in text and "unexpand_failures" in text
+
+    def test_skips_lists_every_row(self):
+        text = format_skips(skip_report(SYNTHETIC), core_steps=2)
+        assert "1 of 2 core steps skipped" in text
+        assert "step 1: rule Or" in text
+        assert (
+            format_skips([], core_steps=2)
+            == "no skipped steps: every core step resugared"
+        )
+
+
+# --- the CLI, end to end ----------------------------------------------
+
+
+@pytest.fixture()
+def batch_trace(tmp_path):
+    """Run the acceptance pipeline: lift-batch a small corpus across 4
+    workers, writing a merged trace."""
+    corpus = tmp_path / "corpus.scm"
+    corpus.write_text(
+        "(or (not #t) (not #f))\n"
+        "(let ((x (not #t)) (y #f)) (or x y))\n"
+        "(cond ((not #t) 1) (#t (+ 1 2)))\n"
+    )
+    trace = tmp_path / "t.jsonl"
+    code = main(
+        [
+            "lift-batch",
+            "--lang",
+            "lambda",
+            "--jobs",
+            "4",
+            "--per-line",
+            "--trace",
+            str(trace),
+            str(corpus),
+        ]
+    )
+    assert code == 0
+    assert trace.exists()
+    return trace
+
+
+def test_cli_obs_report(batch_trace, capsys):
+    assert main(["obs", "report", str(batch_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "spans:" in out and "jobs: 3" in out
+    assert "critical path" in out
+
+
+def test_cli_obs_hot_rules(batch_trace, capsys):
+    assert main(["obs", "hot-rules", str(batch_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "expansions" in out
+    assert ":Or" in out or ":Let" in out
+
+
+def test_cli_obs_skips_explains_every_skip(batch_trace, capsys):
+    """The acceptance criterion: after a 4-worker batch, ``repro obs
+    skips`` names a rule + failure reason (or the blocking tag check)
+    for every skipped core step in the corpus."""
+    from repro.obs import read_trace
+
+    records = read_trace(batch_trace)
+    skipped = sum(
+        1
+        for r in records
+        if r["name"] == "lift.step" and r["attrs"].get("outcome") == "skipped"
+    )
+    assert skipped, "this corpus is chosen to skip steps"
+
+    assert main(["obs", "skips", str(batch_trace)]) == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if l.strip().startswith(("job", "step"))]
+    assert len(lines) == skipped
+    for line in lines:
+        assert ("rule " in line) or ("tag check blocked" in line)
+    assert "no provenance recorded" not in out
+
+
+def test_cli_obs_rejects_missing_file(tmp_path, capsys):
+    assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_obs_strict_rejects_truncated_trace(batch_trace, tmp_path, capsys):
+    mangled = tmp_path / "mangled.jsonl"
+    mangled.write_text(batch_trace.read_text() + '{"span_id": 1, "na')
+    assert main(["obs", "report", str(mangled), "--strict"]) == 1
+    assert "error:" in capsys.readouterr().err
+    # Tolerant mode (the default) drops the partial line and reports.
+    assert main(["obs", "report", str(mangled)]) == 0
+
+
+def test_cli_single_process_lift_trace_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "solo.jsonl"
+    code = main(
+        [
+            "lift",
+            "--lang",
+            "lambda",
+            "--trace",
+            str(trace),
+            "(or (not #t) (not #f))",
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    assert main(["obs", "skips", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "skipped" in out and "tag check blocked" in out

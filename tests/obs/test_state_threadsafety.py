@@ -1,0 +1,131 @@
+"""The observability flag's thread-safety contract (``obs/_state.py``).
+
+Reads of ``_state.enabled`` are lock-free; transitions serialize on a
+module lock and derive the flag from a scope refcount plus a
+process-wide pin.  These tests pin the contract's observable
+consequences: scopes compose instead of stomping each other, a
+``disable()`` under active scopes drops only the pin, and hammering
+acquire/release from many threads never strands the flag on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import _state
+
+
+@pytest.fixture(autouse=True)
+def _pristine_state():
+    assert _state._scopes == 0 and not _state._pinned and not _state.enabled
+    yield
+    # A failure here means a test (or the code under test) leaked state
+    # that would silently enable instrumentation for the rest of the
+    # session.
+    assert _state._scopes == 0 and not _state._pinned and not _state.enabled
+
+
+def test_scopes_compose():
+    _state.acquire()
+    _state.acquire()
+    assert _state.enabled
+    _state.release()
+    assert _state.enabled, "the flag drops only at the last scope exit"
+    _state.release()
+    assert not _state.enabled
+
+
+def test_release_without_acquire_is_harmless():
+    _state.release()
+    assert not _state.enabled and _state._scopes == 0
+
+
+def test_disable_under_an_active_scope_drops_only_the_pin():
+    _state.pin(True)
+    _state.acquire()
+    _state.pin(False)
+    assert _state.enabled, "an active scope outlives obs.disable()"
+    _state.release()
+    assert not _state.enabled
+
+
+def test_pin_outlives_scopes():
+    _state.acquire()
+    _state.pin(True)
+    _state.release()
+    assert _state.enabled, "the pin keeps the flag up with no scopes"
+    _state.pin(False)
+    assert not _state.enabled
+
+
+def test_concurrent_scope_churn_never_strands_the_flag():
+    """N threads each enter and exit many scopes concurrently; when all
+    have finished, the flag must be down — the refcount cannot have
+    been torn by a lost update."""
+    threads = 8
+    rounds = 200
+    barrier = threading.Barrier(threads)
+    seen_disabled = []
+
+    def churn():
+        barrier.wait()
+        for _ in range(rounds):
+            _state.acquire()
+            # Inside a scope the flag is visibly up, no matter what the
+            # other threads are doing.
+            if not _state.enabled:
+                seen_disabled.append(True)
+            _state.release()
+
+    workers = [threading.Thread(target=churn) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert not seen_disabled
+    assert not _state.enabled
+    assert _state._scopes == 0
+
+
+def test_concurrent_observability_contexts_compose():
+    """The public face of the contract: overlapping Observability
+    activations on different threads keep instrumentation on until the
+    last one exits."""
+    first_active = threading.Event()
+    second_done = threading.Event()
+    states = {}
+
+    def second_scope():
+        first_active.wait(5)
+        with obs.Observability(reset_metrics=False):
+            states["during_second"] = obs.enabled()
+        states["after_second"] = obs.enabled()
+        second_done.set()
+
+    worker = threading.Thread(target=second_scope)
+    worker.start()
+    with obs.Observability(reset_metrics=False):
+        first_active.set()
+        assert second_done.wait(5)
+        states["first_still_active"] = obs.enabled()
+    worker.join()
+
+    assert states == {
+        "during_second": True,
+        # The first scope is still open when the second exits:
+        "after_second": True,
+        "first_still_active": True,
+    }
+    assert not obs.enabled()
+
+
+def test_observability_scope_is_reentrant():
+    scope = obs.Observability(reset_metrics=False)
+    with scope:
+        with scope:
+            assert obs.enabled()
+        assert obs.enabled()
+    assert not obs.enabled()

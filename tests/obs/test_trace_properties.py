@@ -154,17 +154,42 @@ def test_span_ids_are_fresh_across_runs(tree):
     assert not {r["span_id"] for r in first} & {r["span_id"] for r in second}
 
 
+_GOOD_LINE = (
+    '{"span_id": 1, "parent_id": null, "name": "a", '
+    '"attrs": {}, "start": 0.0, "duration": 0.1}\n'
+)
+
+
 def test_read_trace_rejects_garbage_lines():
     import pytest
 
+    # Strict mode: a malformed final line raises like any other.
     with pytest.raises(ValueError, match="line 2"):
         read_trace(
-            io.StringIO(
-                '{"span_id": 1, "parent_id": null, "name": "a", '
-                '"attrs": {}, "start": 0.0, "duration": 0.1}\n'
-                "not json\n"
-            )
+            io.StringIO(_GOOD_LINE + "not json\n"),
+            tolerate_truncation=False,
         )
+    # Garbage *before* the final line always raises: only the last line
+    # can be a partial write, so anything earlier is real corruption.
+    with pytest.raises(ValueError, match="line 2"):
+        read_trace(io.StringIO(_GOOD_LINE + "not json\n" + _GOOD_LINE))
+
+
+def test_read_trace_tolerates_truncated_final_line():
+    from repro.obs.metrics import TRACE_TRUNCATED_LINES
+
+    before = TRACE_TRUNCATED_LINES.value
+    # A worker killed mid-write leaves one partial trailing line; by
+    # default it is dropped and counted, not fatal.
+    records = read_trace(io.StringIO(_GOOD_LINE + '{"span_id": 2, "par'))
+    assert [r["span_id"] for r in records] == [1]
+    assert TRACE_TRUNCATED_LINES.value == before + 1
+
+    # A complete-but-schema-incomplete final line (cut mid-record yet
+    # still valid JSON) is dropped the same way.
+    records = read_trace(io.StringIO(_GOOD_LINE + '{"span_id": 2}\n'))
+    assert [r["span_id"] for r in records] == [1]
+    assert TRACE_TRUNCATED_LINES.value == before + 2
 
 
 def test_build_tree_rejects_cycles():

@@ -1,0 +1,142 @@
+"""Cross-process trace merging equals the in-process trace.
+
+A batch lift with ``collect_spans=True`` ships every job's span tree
+back on its outcome event; :func:`repro.parallel.aggregate_trace`
+merges them into one trace.  Because jobs=1 and jobs=N run the *same*
+job path (``_execute_job``), the merged multi-worker trace must be
+structurally identical to the single-process one — same spans, same
+names, same attrs (outcomes, provenance, rule stats), same tree shape
+— differing only in span ids, timings, worker pids, and the batch's
+random trace id.  The Hypothesis test pins exactly that, over random
+small corpora; the deterministic tests pin the attribution fields and
+the failed-job partial-trace behavior.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.terms import Const
+from repro.engine.events import BatchLifted, JobError
+from repro.engine.registry import get_backend
+from repro.obs.export import build_tree
+from repro.parallel import LiftJob, aggregate_trace, lift_corpus
+from tests.parallel.faulty import POISON_VALUE, make_exploding_confection
+
+PROGRAMS = [
+    "(or (not #t) (not #f))",
+    "(and #t #t #f)",
+    "(let ((x 1) (y 2)) (+ x y))",
+    "(cond ((not #t) 1) (#t (+ 1 2)))",
+    "(or #f #t)",
+]
+
+_backend = get_backend("lambda")
+_confection = _backend.make_confection()
+ENGINE = (_confection.rules, _confection.stepper)
+PARSED = [_backend.parse(source) for source in PROGRAMS]
+
+ATTRIBUTION_FIELDS = ("trace_id", "worker")
+
+
+def _normalize(records):
+    """A trace modulo ids, timings, and process attribution: per record
+    ``(job, name, attrs)`` in merge (= per-job emission) order."""
+    return [
+        (record.get("job"), record["name"], record["attrs"])
+        for record in records
+    ]
+
+
+def _tree_shape(records):
+    """The span forest as nested ``(job, name)`` tuples, per root."""
+    by_key = {}
+    for record in records:
+        by_key[(record.get("job"), record.get("worker"), record["span_id"])] = (
+            record
+        )
+    roots, children = build_tree(records)
+
+    def shape(key):
+        record = by_key[key]
+        return (
+            record.get("job"),
+            record["name"],
+            tuple(shape(child) for child in children[key]),
+        )
+
+    return [shape(root) for root in roots]
+
+
+def _merged(corpus, n_jobs):
+    outcomes = lift_corpus(ENGINE, corpus, jobs=n_jobs, collect_spans=True)
+    assert all(isinstance(o, BatchLifted) for o in outcomes)
+    return aggregate_trace(outcomes)
+
+
+@given(
+    corpus=st.lists(
+        st.sampled_from(range(len(PROGRAMS))), min_size=1, max_size=3
+    )
+)
+@settings(max_examples=5, deadline=None)
+def test_merged_worker_trace_equals_in_process_trace(corpus):
+    programs = [PARSED[i] for i in corpus]
+    single = _merged(programs, 1)
+    merged = _merged(programs, 2)
+    assert _normalize(merged) == _normalize(single)
+    assert _tree_shape(merged) == _tree_shape(single)
+
+
+def test_attribution_fields_are_stamped():
+    merged = _merged(PARSED[:3], 2)
+    assert merged
+    trace_ids = {record["trace_id"] for record in merged}
+    assert len(trace_ids) == 1, "one batch, one trace id"
+    assert {record["job"] for record in merged} == {0, 1, 2}
+    for record in merged:
+        assert isinstance(record["worker"], int)
+
+
+def test_batches_get_distinct_trace_ids():
+    first = _merged(PARSED[:1], 1)
+    second = _merged(PARSED[:1], 1)
+    assert first[0]["trace_id"] != second[0]["trace_id"]
+
+
+def test_span_ids_are_globally_unique_after_merge():
+    merged = _merged(PARSED, 2)
+    ids = [record["span_id"] for record in merged]
+    assert len(ids) == len(set(ids))
+    # ... which is what lets build_tree treat the merged trace as one.
+    roots, children = build_tree(merged)
+    assert len(roots) == len(PARSED)
+
+
+def test_without_collect_spans_no_spans_ride_the_outcomes():
+    outcomes = lift_corpus(ENGINE, PARSED[:2], jobs=2)
+    for outcome in outcomes:
+        assert outcome.spans is None
+    assert aggregate_trace(outcomes) == []
+
+
+def test_failed_job_contributes_a_partial_trace():
+    engine = make_exploding_confection()
+    corpus = [
+        LiftJob(Const(POISON_VALUE - 1), name="fine"),
+        LiftJob(Const(POISON_VALUE + 3), name="poisoned"),
+    ]
+    outcomes = lift_corpus(engine, corpus, jobs=2, collect_spans=True)
+    assert isinstance(outcomes[0], BatchLifted)
+    assert isinstance(outcomes[1], JobError)
+    assert outcomes[1].spans is not None
+    merged = aggregate_trace(outcomes)
+    assert {record["job"] for record in merged} == {0, 1}
+    # The poisoned job died mid-lift, but the spans it finished before
+    # the fault (the steps up to the poison value) still made it back
+    # and merge into an analyzable tree alongside the healthy job's.
+    failed_spans = [r for r in merged if r["job"] == 1]
+    assert any(r["name"] == "lift.step" for r in failed_spans)
+    roots, _children = build_tree(merged)
+    assert len(roots) >= 2
