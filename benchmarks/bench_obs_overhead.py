@@ -87,6 +87,10 @@ def _guard_sites_fired(snapshot) -> int:
         + snapshot["desugar.cache_hits"]
         + snapshot["desugar.cache_misses"]
         + snapshot["desugar.depth"]["count"]
+        # Decomposition-depth histogram: the machine stepper observes
+        # once per step (and the naive stepper once per non-value
+        # decomposition), each behind one guard.
+        + snapshot["redex.decompose.depth"]["count"]
         + 2 * snapshot["lift.steps_total"]  # stream guard + classify branch
         + snapshot["lift.runs"]
         # Provenance guards (each site increments its counter when

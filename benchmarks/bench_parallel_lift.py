@@ -81,8 +81,7 @@ def test_corpus_throughput_across_worker_counts():
             f"on {cpu_count} cores (need >= {MIN_JOBS4_SPEEDUP}x)"
         )
 
-    REPORTER.record(
-        "parallel_corpus_8",
+    fields = dict(
         corpus_programs=len(corpus),
         core_steps=total_core_steps,
         cpu_count=cpu_count,
@@ -91,10 +90,17 @@ def test_corpus_throughput_across_worker_counts():
         jobs2_seconds=round(batch_seconds[2], 4),
         jobs4_seconds=round(batch_seconds[4], 4),
         jobs1_speedup=round(speedups[1], 2),
-        jobs2_speedup=round(speedups[2], 2),
-        jobs4_speedup=round(speedups[4], 2),
         jobs4_steps_per_sec=round(total_core_steps / batch_seconds[4], 1),
     )
+    if cpu_count == 1:
+        # On a single core extra workers cannot speed anything up; a
+        # 0.9x "speedup" bar would just record scheduling noise as a
+        # regression.  Flag the hardware limit instead of the numbers.
+        fields["degraded_expected"] = True
+    else:
+        fields["jobs2_speedup"] = round(speedups[2], 2)
+        fields["jobs4_speedup"] = round(speedups[4], 2)
+    REPORTER.record("parallel_corpus_8", **fields)
     report(
         f"Parallel batch lift: {len(corpus)} programs, "
         f"{total_core_steps} core steps ({cpu_count} cores)",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict
@@ -38,6 +39,23 @@ __all__ = ["BenchReporter", "REPORTER", "DEFAULT_PATH", "SCHEMA", "validate"]
 
 DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_lift.json"
 SCHEMA = "repro-bench-lift/1"
+
+
+def _git_revision() -> str:
+    """The repo's short HEAD revision, or ``"unknown"`` outside a git
+    checkout (e.g. an unpacked source archive)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else "unknown"
 
 
 class BenchReporter:
@@ -85,6 +103,7 @@ class BenchReporter:
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "platform": platform.platform(),
+            "git_revision": _git_revision(),
             "workloads": dict(sorted(self._workloads.items())),
         }
 
@@ -106,7 +125,8 @@ def validate(payload: Dict[str, Any]) -> None:
         raise ValueError("report must be a JSON object")
     if payload.get("schema") != SCHEMA:
         raise ValueError(f"unexpected schema: {payload.get('schema')!r}")
-    for key in ("generated", "python", "implementation", "platform"):
+    for key in ("generated", "python", "implementation", "platform",
+                "git_revision"):
         if not isinstance(payload.get(key), str) or not payload[key]:
             raise ValueError(f"missing or empty field: {key!r}")
     workloads = payload.get("workloads")

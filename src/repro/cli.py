@@ -38,6 +38,7 @@ from repro.core.wellformed import DisjointnessMode
 from repro.engine import events
 from repro.engine.registry import Backend, available_backends, get_backend
 from repro.engine.stream import ON_BUDGET_POLICIES
+from repro.redex.reduction import STEPPER_MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -105,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="raise",
         help="budget exhaustion policy: error out, or truncate the "
         "trace (default: raise)",
+    )
+    lift.add_argument(
+        "--stepper",
+        choices=STEPPER_MODES,
+        default="refocus",
+        help="core decomposition engine: refocus keeps the evaluation "
+        "context alive across steps, naive re-decomposes from the root "
+        "(identical traces; default: refocus)",
     )
     lift.add_argument(
         "--show-skipped",
@@ -218,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace", help="show the raw core trace (no lifting)")
     common(trace)
     trace.add_argument("--max-steps", type=int, default=100_000)
+    trace.add_argument(
+        "--stepper",
+        choices=STEPPER_MODES,
+        default="refocus",
+        help="core decomposition engine (default: refocus)",
+    )
 
     check = sub.add_parser("check", help="statically check a rule-DSL file")
     check.add_argument("rules_file")
@@ -290,7 +305,11 @@ def _cmd_lift(args) -> int:
 
 def _run_lift(args, confection, backend) -> int:
     program = backend.parse(_read_program(args.program))
-    budget_kwargs = dict(max_seconds=args.max_seconds, on_budget=args.on_budget)
+    budget_kwargs = dict(
+        max_seconds=args.max_seconds,
+        on_budget=args.on_budget,
+        stepper_mode=args.stepper,
+    )
     if args.tree:
         return _cmd_lift_tree(args, confection, backend, program, budget_kwargs)
     if args.html or args.table:
@@ -493,6 +512,9 @@ def _cmd_trace(args) -> int:
     confection, backend = _build_confection(args)
     core = confection.desugar(backend.parse(_read_program(args.program)))
     stepper = confection.stepper
+    with_mode = getattr(stepper, "with_mode", None)
+    if with_mode is not None:
+        stepper = with_mode(args.stepper)
     state = stepper.load(core)
     for _ in range(args.max_steps):
         print(backend.pretty(stepper.term(state)))

@@ -106,6 +106,7 @@ class Confection:
         incremental: bool = True,
         max_seconds: Optional[float] = None,
         on_budget: str = "raise",
+        stepper_mode: Optional[str] = None,
     ) -> LiftResult:
         """Run the program and lift its core evaluation sequence into a
         surface evaluation sequence, with per-step bookkeeping.
@@ -130,6 +131,7 @@ class Confection:
                 incremental=incremental,
                 max_seconds=max_seconds,
                 on_budget=on_budget,
+                stepper_mode=stepper_mode,
             )
 
     def lift_stream(
@@ -141,6 +143,7 @@ class Confection:
         incremental: bool = True,
         max_seconds: Optional[float] = None,
         on_budget: str = "raise",
+        stepper_mode: Optional[str] = None,
     ) -> Iterator["LiftEvent"]:
         """Lift lazily, yielding :mod:`repro.engine.events` events as
         core evaluation proceeds (the streaming face of :meth:`lift` —
@@ -159,6 +162,7 @@ class Confection:
             dedup=dedup,
             check_emulation=check_emulation,
             incremental=incremental,
+            stepper_mode=stepper_mode,
         )
         return self._scoped_stream(stream)
 
@@ -179,6 +183,7 @@ class Confection:
         incremental: bool = True,
         max_seconds: Optional[float] = None,
         on_budget: str = "raise",
+        stepper_mode: Optional[str] = None,
     ) -> SurfaceTree:
         """Lift a nondeterministic evaluation into a surface tree."""
         self._require_stepper()
@@ -192,6 +197,7 @@ class Confection:
                 incremental=incremental,
                 max_seconds=max_seconds,
                 on_budget=on_budget,
+                stepper_mode=stepper_mode,
             )
 
     def lift_tree_stream(
@@ -202,6 +208,7 @@ class Confection:
         incremental: bool = True,
         max_seconds: Optional[float] = None,
         on_budget: str = "raise",
+        stepper_mode: Optional[str] = None,
     ) -> Iterator["LiftEvent"]:
         """Lift a nondeterministic evaluation lazily, yielding events in
         breadth-first exploration order (the streaming face of
@@ -218,6 +225,7 @@ class Confection:
             on_budget=on_budget,
             check_emulation=check_emulation,
             incremental=incremental,
+            stepper_mode=stepper_mode,
         )
         return self._scoped_stream(stream)
 

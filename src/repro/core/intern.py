@@ -39,6 +39,9 @@ from repro.core.terms import Const, Node, Pattern, PList, Tagged
 
 __all__ = [
     "intern",
+    "intern_node",
+    "intern_plist",
+    "intern_tagged",
     "is_interned",
     "intern_stats",
     "clear_intern_caches",
@@ -223,6 +226,18 @@ def _intern_tagged(tag, inner: Pattern) -> Pattern:
         _HITS += 1
         return found
     return _store(key, Tagged(tag, inner))
+
+
+# Public single-probe constructors.  Contract: every component passed in
+# must ALREADY be canonical under the current generation (``is_interned``
+# is true for it) — these helpers key the table on component identity and
+# never walk, so handing them a private term would store an entry under
+# an unstable key.  They are the building blocks for zipper plugging in
+# ``repro.redex.refocus``, where frame components are interned once at
+# descent time and each snapshot costs one probe per frame.
+intern_node = _intern_node
+intern_plist = _intern_plist
+intern_tagged = _intern_tagged
 
 
 def _store(key: tuple, canon: Pattern) -> Pattern:

@@ -167,6 +167,7 @@ def lift_evaluation(
     incremental: bool = True,
     max_seconds: Optional[float] = None,
     on_budget: str = "raise",
+    stepper_mode: Optional[str] = None,
 ) -> LiftResult:
     """Compute the surface evaluation sequence of ``surface_term``.
 
@@ -188,6 +189,11 @@ def lift_evaluation(
     the default) or returns a well-formed partial result with
     ``truncated=True`` (``"truncate"``).
 
+    ``stepper_mode`` (``"refocus"``/``"naive"``/``None``) selects the
+    decomposition engine on mode-aware steppers such as
+    :class:`~repro.redex.reduction.RedexStepper`; the lifted result is
+    byte-identical either way.
+
     This is an eager fold over :func:`repro.engine.stream.lift_stream`;
     use the stream directly to consume steps as they are produced.
     """
@@ -203,6 +209,7 @@ def lift_evaluation(
         dedup=dedup,
         check_emulation=check_emulation,
         incremental=incremental,
+        stepper_mode=stepper_mode,
     )
     if _obs.enabled:
         with _obs_span("lift.batch", mode="sequence"):
@@ -303,6 +310,7 @@ def lift_evaluation_tree(
     incremental: bool = True,
     max_seconds: Optional[float] = None,
     on_budget: str = "raise",
+    stepper_mode: Optional[str] = None,
 ) -> SurfaceTree:
     """Lift a nondeterministic evaluation into a surface tree
     (section 5.3's breadth-first exploration with bookkeeping).
@@ -330,6 +338,7 @@ def lift_evaluation_tree(
         on_budget=on_budget,
         check_emulation=check_emulation,
         incremental=incremental,
+        stepper_mode=stepper_mode,
     )
     if _obs.enabled:
         with _obs_span("lift.batch", mode="tree"):

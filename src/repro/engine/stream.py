@@ -82,6 +82,30 @@ __all__ = [
 
 ON_BUDGET_POLICIES = ("raise", "truncate")
 
+
+def _apply_stepper_mode(stepper: "Stepper", stepper_mode: Optional[str]):
+    """Resolve the ``stepper_mode`` flag against a stepper.
+
+    ``None`` keeps the stepper as configured (for a
+    :class:`~repro.redex.reduction.RedexStepper` that means its own
+    default, refocus).  Mode-aware steppers expose ``with_mode``;
+    steppers without it (e.g. plain function steppers) are their own
+    single mode and pass through unchanged.
+    """
+    if stepper_mode is None:
+        return stepper
+    from repro.redex.reduction import STEPPER_MODES
+
+    if stepper_mode not in STEPPER_MODES:
+        raise ValueError(
+            f"stepper_mode must be one of {STEPPER_MODES}, "
+            f"got {stepper_mode!r}"
+        )
+    with_mode = getattr(stepper, "with_mode", None)
+    if with_mode is None:
+        return stepper
+    return with_mode(stepper_mode)
+
 # Classification outcome -> the counter it moves (observability only).
 _OUTCOME_COUNTERS = {
     "emitted": LIFT_STEPS_EMITTED,
@@ -117,6 +141,7 @@ def lift_stream(
     dedup: bool = True,
     check_emulation: bool = True,
     incremental: bool = True,
+    stepper_mode: Optional[str] = None,
 ) -> Iterator[LiftEvent]:
     """Lazily lift ``surface_term``'s evaluation, yielding events.
 
@@ -128,6 +153,9 @@ def lift_stream(
     ``dedup``, ``check_emulation``, and ``incremental`` mean exactly
     what they mean on :func:`repro.core.lift.lift_evaluation` — that
     function *is* :func:`fold_lift` over this generator.
+    ``stepper_mode`` (``"refocus"`` / ``"naive"`` / ``None``) selects
+    the decomposition engine on mode-aware steppers; ``None`` keeps the
+    stepper's own configuration.
 
     With observability on (:mod:`repro.obs`), the run is wrapped in a
     ``lift`` span, every core step gets a ``lift.step`` child span
@@ -135,6 +163,7 @@ def lift_stream(
     move per event; disabled, the loop pays one branch per step.
     """
     _check_policy(on_budget)
+    stepper = _apply_stepper_mode(stepper, stepper_mode)
     # The provenance run scope opens before desugaring so the initial
     # expansions are attributed to this run too.  The run's per-rule
     # totals are attached while the lift span is still open (attrs must
@@ -261,6 +290,7 @@ def lift_tree_stream(
     on_budget: str = "raise",
     check_emulation: bool = True,
     incremental: bool = True,
+    stepper_mode: Optional[str] = None,
 ) -> Iterator[LiftEvent]:
     """Lazily lift a nondeterministic evaluation tree, breadth-first.
 
@@ -272,6 +302,7 @@ def lift_tree_stream(
     ``"nodes"``) plus the optional wall clock.
     """
     _check_policy(on_budget)
+    stepper = _apply_stepper_mode(stepper, stepper_mode)
     # Same scoping as lift_stream: run provenance opens before
     # desugaring, rule_stats attach while the lift span is open.
     run = _prov.begin_run(rules) if _obs.enabled else None

@@ -47,6 +47,7 @@ name                          kind       meaning
 ``desugar.cache_hits``        counter    desugar memo hits
 ``desugar.cache_misses``      counter    desugar memo misses
 ``desugar.depth``             histogram  expansion nesting depth per expansion
+``redex.decompose.depth``     histogram  context frames moved per decomposition
 ``trace.truncated_lines``     counter    partial JSONL trace lines dropped
 ============================  =========  =====================================
 
@@ -90,6 +91,7 @@ __all__ = [
     "DESUGAR_CACHE_HITS",
     "DESUGAR_CACHE_MISSES",
     "DESUGAR_DEPTH",
+    "REDEX_DECOMPOSE_DEPTH",
     "RESUGAR_CALLS",
     "UNEXPAND_ATTEMPTS",
     "RESUGAR_FAIL_PROPAGATIONS",
@@ -318,6 +320,9 @@ RESUGAR_CACHE_MISSES = REGISTRY.counter("resugar.cache_misses")
 DESUGAR_CACHE_HITS = REGISTRY.counter("desugar.cache_hits")
 DESUGAR_CACHE_MISSES = REGISTRY.counter("desugar.cache_misses")
 DESUGAR_DEPTH = REGISTRY.histogram("desugar.depth", DEFAULT_DEPTH_BUCKETS)
+REDEX_DECOMPOSE_DEPTH = REGISTRY.histogram(
+    "redex.decompose.depth", DEFAULT_DEPTH_BUCKETS
+)
 RESUGAR_CALLS = REGISTRY.counter("resugar.calls")
 UNEXPAND_ATTEMPTS = REGISTRY.counter("resugar.unexpand_attempts")
 RESUGAR_FAIL_PROPAGATIONS = REGISTRY.counter("resugar.fail_propagations")

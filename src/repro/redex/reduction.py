@@ -23,8 +23,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.bindings import Env
 from repro.core.errors import StuckError
+from repro.core.intern import intern_generation
 from repro.core.substitution import subst
 from repro.core.terms import Node, Pattern, Tagged
+from repro.obs import _state as _obs
+from repro.obs.metrics import REDEX_DECOMPOSE_DEPTH
 from repro.redex.grammar import Grammar
 from repro.redex.patterns import redex_match
 from repro.redex.strategy import EvalStrategy
@@ -36,7 +39,10 @@ __all__ = [
     "ReductionSemantics",
     "MachineState",
     "RedexStepper",
+    "STEPPER_MODES",
 ]
+
+STEPPER_MODES: Tuple[str, ...] = ("refocus", "naive")
 
 Store = MappingProxyType
 EMPTY_STORE: "Store" = MappingProxyType({})
@@ -146,6 +152,8 @@ class ReductionSemantics:
         self.rules: Tuple[ReductionRule, ...] = tuple(rules)
         self.value_nonterminal = value_nonterminal
         self.name = name
+        self._value_memo: Dict[int, bool] = {}
+        self._value_memo_generation: Optional[int] = None
         # Label-indexed dispatch: a rule whose LHS is a labeled node can
         # only match a redex with that label, so bucket rules by label at
         # construction and consult one bucket per step instead of trying
@@ -181,6 +189,25 @@ class ReductionSemantics:
         return [self.rules[i] for i in indices]
 
     def is_value(self, term: Pattern) -> bool:
+        # Interned terms are pointer-canonical, so their value verdicts
+        # memoize by identity — decomposition re-checks the same shared
+        # subtrees constantly (every list element left of the hole, every
+        # rescan after a refocus pop), and the grammar walk is the single
+        # hottest pure function in the stepper.  The memo lives and dies
+        # with the intern table: a generation bump invalidates it
+        # wholesale, since ids of dead canonical terms may be reused.
+        generation = intern_generation()
+        if getattr(term, "_interned", None) == generation:
+            memo = self._value_memo
+            if self._value_memo_generation != generation:
+                memo.clear()
+                self._value_memo_generation = generation
+            key = id(term)
+            cached = memo.get(key)
+            if cached is None:
+                cached = self.grammar.matches(term, self.value_nonterminal)
+                memo[key] = cached
+            return cached
         return self.grammar.matches(term, self.value_nonterminal)
 
     def step(self, state: MachineState) -> List[MachineState]:
@@ -193,6 +220,8 @@ class ReductionSemantics:
         decomposition = self.strategy.decompose(state.term, self.is_value)
         if decomposition is None:
             return []
+        if _obs.enabled:
+            REDEX_DECOMPOSE_DEPTH.observe(decomposition.depth)
         redex, plug = decomposition.redex, decomposition.plug
         for rule in self._candidate_rules(redex):
             env = redex_match(redex, rule.lhs, self.grammar)
@@ -271,26 +300,64 @@ class RedexStepper:
     ``on_stuck`` selects what a stuck term means: ``"halt"`` treats it as
     a final state (the lifted sequence simply ends there, mirroring a
     crashed program), ``"raise"`` propagates :class:`StuckError`.
+
+    ``mode`` selects the decomposition engine: ``"refocus"`` (the
+    default) drives a :class:`~repro.redex.refocus.RefocusMachine` that
+    keeps the evaluation context alive across steps and resumes
+    decomposition at the contraction site; ``"naive"`` re-decomposes
+    from the root every step.  The two produce byte-identical traces —
+    the naive mode survives as the differential-testing oracle and for
+    stepping non-ground (uninternable) terms.
     """
 
     def __init__(
-        self, semantics: ReductionSemantics, on_stuck: str = "halt"
+        self,
+        semantics: ReductionSemantics,
+        on_stuck: str = "halt",
+        mode: str = "refocus",
     ) -> None:
         if on_stuck not in ("halt", "raise"):
             raise ValueError(f"on_stuck must be 'halt' or 'raise', not {on_stuck!r}")
+        if mode not in STEPPER_MODES:
+            raise ValueError(
+                f"mode must be one of {STEPPER_MODES}, not {mode!r}"
+            )
         self.semantics = semantics
         self.on_stuck = on_stuck
+        self.mode = mode
+        if mode == "refocus":
+            from repro.redex.refocus import RefocusMachine
 
-    def load(self, core_term: Pattern) -> MachineState:
+            self._machine: Optional["RefocusMachine"] = RefocusMachine(
+                semantics
+            )
+        else:
+            self._machine = None
+
+    def with_mode(self, mode: str) -> "RedexStepper":
+        """This stepper, or a copy of it running in ``mode``."""
+        if mode == self.mode:
+            return self
+        return RedexStepper(self.semantics, self.on_stuck, mode=mode)
+
+    def load(self, core_term: Pattern):
+        if self._machine is not None:
+            return self._machine.load(core_term)
         return MachineState(core_term)
 
-    def step(self, state: MachineState) -> List[MachineState]:
+    def step(self, state) -> List[MachineState]:
         try:
+            if self._machine is not None and not isinstance(
+                state, MachineState
+            ):
+                return self._machine.step(state)
             return self.semantics.step(state)
         except StuckError:
             if self.on_stuck == "halt":
                 return []
             raise
 
-    def term(self, state: MachineState) -> Pattern:
+    def term(self, state) -> Pattern:
+        if self._machine is not None and not isinstance(state, MachineState):
+            return self._machine.term(state)
         return state.term

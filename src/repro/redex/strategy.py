@@ -28,15 +28,22 @@ the redex's own tags travel with it into the rule — whose contractum,
 built from captured subterms and fresh structure, naturally drops the
 tags of consumed syntax and keeps the tags of captured code
 (Definition 4's origin semantics).
+
+Decomposition is implemented by the zipper traversal in
+:mod:`repro.redex.refocus`: the context is *reified* as a stack of
+frames rather than captured in closures, so a
+:class:`Decomposition` can be resumed (refocused) after contraction by
+the machine stepper as well as plugged.  ``depth`` counts context
+frames (tags, node hops, and list hops each contribute one frame).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
-from repro.core.errors import LanguageError
-from repro.core.terms import Node, Pattern, PList, Tagged
+from repro.core.terms import Pattern
+from repro.redex.refocus import Context, find_redex, plug_context
 
 __all__ = ["EvalStrategy", "Decomposition"]
 
@@ -47,13 +54,18 @@ Position = Union[int, Tuple[str, int], Tuple[str, int, int]]
 class Decomposition:
     """A split of a term into an evaluation context and a redex.
 
-    ``plug(contractum)`` rebuilds the whole term with the redex replaced.
-    The redex carries its own tags; the context keeps every tag above it.
+    ``context`` is the reified frame stack above the redex (``None`` at
+    the root); ``plug(contractum)`` rebuilds the whole term with the
+    redex replaced.  The redex carries its own tags; the context keeps
+    every tag above it.  ``depth`` is the number of context frames.
     """
 
     redex: Pattern
-    plug: Callable[[Pattern], Pattern]
+    context: Optional[Context]
     depth: int
+
+    def plug(self, contractum: Pattern) -> Pattern:
+        return plug_context(self.context, contractum)
 
 
 class EvalStrategy:
@@ -81,160 +93,7 @@ class EvalStrategy:
         """Find the redex under this strategy, or ``None`` for a value."""
         if is_value(term):
             return None
-        return self._decompose(term, is_value, 0)
-
-    def _decompose(self, term, is_value, depth) -> Decomposition:
-        # Tags above the eventual redex belong to the context -- unless
-        # the redex turns out to be this very term, in which case they
-        # travel with it (and are consumed by the rule).
-        if isinstance(term, Tagged):
-            inner = self._decompose(term.term, is_value, depth)
-            if inner.depth == depth:
-                # Redex is the whole (tagged) term.
-                return Decomposition(term, lambda c: c, depth)
-            tag = term.tag
-            inner_plug = inner.plug
-            return Decomposition(
-                inner.redex, lambda c: Tagged(tag, inner_plug(c)), inner.depth
-            )
-
-        if isinstance(term, Node):
-            for position in self.positions(term.label):
-                hit = self._try_position(term, position, is_value, depth)
-                if hit is not None:
-                    return hit
-        return Decomposition(term, lambda c: c, depth)
-
-    def _try_position(self, node, position, is_value, depth):
-        if isinstance(position, int):
-            child = self._child(node, position)
-            if is_value(child):
-                return None
-            inner = self._decompose(child, is_value, depth + 1)
-            return self._wrap_child(node, position, inner)
-
-        kind = position[0]
-        if kind == "list":
-            _, child_index = position
-            return self._descend_list(node, child_index, None, is_value, depth)
-        if kind == "nth":
-            child_index, element_index = position[1], position[2]
-            min_len = position[3] if len(position) > 3 else 0
-            return self._descend_list(
-                node, child_index, element_index, is_value, depth, min_len
-            )
-        if kind == "list_child":
-            _, child_index, inner_index = position
-            return self._descend_list_child(
-                node, child_index, inner_index, is_value, depth
-            )
-        raise LanguageError(f"unknown evaluation position {position!r}")
-
-    def _descend_list_child(self, node, child_index, inner_index, is_value, depth):
-        child = self._child(node, child_index)
-        bare = child
-        tags: List = []
-        while isinstance(bare, Tagged):
-            tags.append(bare.tag)
-            bare = bare.term
-        if not isinstance(bare, PList):
-            return None
-        for j, element in enumerate(bare.items):
-            elem_bare = element
-            elem_tags: List = []
-            while isinstance(elem_bare, Tagged):
-                elem_tags.append(elem_bare.tag)
-                elem_bare = elem_bare.term
-            if not isinstance(elem_bare, Node):
-                continue
-            if inner_index >= len(elem_bare.children):
-                continue
-            target = elem_bare.children[inner_index]
-            if is_value(target):
-                continue
-            inner = self._decompose(target, is_value, depth + 1)
-            inner_plug = inner.plug
-
-            def plug(contractum, _j=j, _elem=elem_bare, _etags=tuple(elem_tags),
-                     _lst=bare, _ltags=tuple(tags), _ip=inner_plug):
-                children = list(_elem.children)
-                children[inner_index] = _ip(contractum)
-                rebuilt_elem: Pattern = Node(_elem.label, tuple(children))
-                for tag in reversed(_etags):
-                    rebuilt_elem = Tagged(tag, rebuilt_elem)
-                items = list(_lst.items)
-                items[_j] = rebuilt_elem
-                rebuilt: Pattern = PList(tuple(items))
-                for tag in reversed(_ltags):
-                    rebuilt = Tagged(tag, rebuilt)
-                outer = list(node.children)
-                outer[child_index] = rebuilt
-                return Node(node.label, tuple(outer))
-
-            return Decomposition(inner.redex, plug, inner.depth)
-        return None
-
-    def _descend_list(self, node, child_index, only, is_value, depth, min_len=0):
-        child = self._child(node, child_index)
-        bare = child
-        tags: List = []
-        while isinstance(bare, Tagged):
-            tags.append(bare.tag)
-            bare = bare.term
-        if isinstance(bare, PList) and len(bare.items) < min_len:
-            return None
-        if not isinstance(bare, PList):
-            # Not a list (yet): treat the child as an ordinary position.
-            if is_value(child):
-                return None
-            inner = self._decompose(child, is_value, depth + 1)
-            return self._wrap_child(node, child_index, inner)
-        indices = range(len(bare.items)) if only is None else [only]
-        for j in indices:
-            if j >= len(bare.items):
-                continue
-            element = bare.items[j]
-            if is_value(element):
-                continue
-            inner = self._decompose(element, is_value, depth + 1)
-            return self._wrap_list_element(node, child_index, tags, bare, j, inner)
-        return None
-
-    @staticmethod
-    def _child(node: Node, index: int) -> Pattern:
-        try:
-            return node.children[index]
-        except IndexError:
-            raise LanguageError(
-                f"congruence position {index} out of range for "
-                f"{node.label} with arity {len(node.children)}"
-            ) from None
-
-    @staticmethod
-    def _wrap_child(node: Node, index: int, inner: Decomposition) -> Decomposition:
-        inner_plug = inner.plug
-
-        def plug(contractum: Pattern) -> Pattern:
-            children = list(node.children)
-            children[index] = inner_plug(contractum)
-            return Node(node.label, tuple(children))
-
-        return Decomposition(inner.redex, plug, inner.depth)
-
-    @staticmethod
-    def _wrap_list_element(
-        node: Node, child_index: int, tags, lst: PList, j: int, inner: Decomposition
-    ) -> Decomposition:
-        inner_plug = inner.plug
-
-        def plug(contractum: Pattern) -> Pattern:
-            items = list(lst.items)
-            items[j] = inner_plug(contractum)
-            rebuilt: Pattern = PList(tuple(items))
-            for tag in reversed(tags):
-                rebuilt = Tagged(tag, rebuilt)
-            children = list(node.children)
-            children[child_index] = rebuilt
-            return Node(node.label, tuple(children))
-
-        return Decomposition(inner.redex, plug, inner.depth)
+        context, redex, _moves = find_redex(self, None, term, is_value)
+        return Decomposition(
+            redex, context, 0 if context is None else context.depth
+        )

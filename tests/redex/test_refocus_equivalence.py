@@ -1,0 +1,227 @@
+"""Refocusing equivalence: the machine stepper is observably identical
+to root-restart stepping.
+
+Two property families over random programs in both backends:
+
+* *split equivalence* — at every reachable machine state, resuming
+  decomposition from the kept context (:func:`repro.redex.refocus.refocus`)
+  finds exactly the split that decomposing the plugged snapshot from the
+  root finds: same redex, and both contexts plug the redex back to the
+  same whole term;
+* *run equivalence* — an N-step machine run yields the same term
+  sequence (and the same branching, halting, and stuck behaviour,
+  including :class:`~repro.core.errors.StuckError` messages) as N
+  root-restart steps.
+
+Programs are generated as random surface strings and desugared through
+the bundled sugar sets, so the cores carry origin tags — exercising the
+tag-transparent frames — and cover control rules (``call/cc`` via the
+return sugar), ``preserve_redex_tags`` rules (``begin``), mutation, and
+nondeterminism (``amb``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.desugar import desugar
+from repro.core.errors import StuckError
+from repro.redex.reduction import MachineState, RedexStepper
+from repro.redex.refocus import plug_context, refocus
+
+MAX_STATES = 40
+
+
+# ---------------------------------------------------------------------------
+# Random surface programs
+# ---------------------------------------------------------------------------
+
+scheme_atoms = st.sampled_from(["#t", "#f", "0", "1", "2", "5"])
+
+
+def scheme_exprs():
+    return st.recursive(
+        scheme_atoms,
+        lambda e: st.one_of(
+            st.builds("(or {} {})".format, e, e),
+            st.builds("(and {} {} {})".format, e, e, e),
+            st.builds("(not {})".format, e),
+            st.builds("(if {} {} {})".format, e, e, e),
+            st.builds("(let ((x {})) {})".format, e, e),
+            st.builds("(+ {} {})".format, e, e),
+            st.builds("(< {} {})".format, e, e),
+            st.builds("(begin {} {})".format, e, e),
+            st.builds("((lambda (x) {}) {})".format, e, e),
+            st.builds("((lambda (x) (begin (set! x {}) x)) {})".format, e, e),
+            st.builds("(amb {} {})".format, e, e),
+        ),
+        max_leaves=8,
+    )
+
+
+pyret_atoms = st.sampled_from(["1", "2", "true", "false", '"s"'])
+
+
+def pyret_exprs():
+    return st.recursive(
+        pyret_atoms,
+        lambda e: st.one_of(
+            st.builds("{} + {}".format, e, e),
+            st.builds("(if {}: {} else: {} end)".format, e, e, e),
+            st.builds("block: {} {} end".format, e, e),
+            st.builds("fun(x): x end({})".format, e),
+            st.builds("raise({})".format, e),
+            st.builds("{} or {}".format, e, e),
+        ),
+        max_leaves=6,
+    )
+
+
+def _scheme_core(source):
+    from repro.lambdacore import make_semantics, parse_program
+    from repro.sugars.scheme_sugars import make_scheme_rules
+
+    rules = make_scheme_rules()
+    return make_semantics(), desugar(rules, parse_program(source))
+
+
+def _pyret_core(source):
+    from repro.pyretcore import make_semantics, parse_program
+    from repro.sugars.pyret_sugars import make_pyret_rules
+
+    rules = make_pyret_rules()
+    return make_semantics(), desugar(rules, parse_program(source))
+
+
+def _return_core(source):
+    from repro.lambdacore import make_semantics, parse_program
+    from repro.sugars.returns import make_return_rules
+
+    rules = make_return_rules()
+    return make_semantics(), desugar(rules, parse_program(source))
+
+
+# ---------------------------------------------------------------------------
+# The two equivalence walks
+# ---------------------------------------------------------------------------
+
+
+def assert_split_equivalence(semantics, core, max_states=MAX_STATES):
+    """At every reachable machine state, refocusing from the kept
+    context finds the split that root decomposition of the snapshot
+    finds."""
+    stepper = RedexStepper(semantics, on_stuck="halt", mode="refocus")
+    machine = stepper._machine
+    queue = [stepper.load(core)]
+    seen = 0
+    while queue and seen < max_states:
+        state = queue.pop(0)
+        seen += 1
+        if isinstance(state, MachineState):
+            continue  # non-ground fallback state; nothing to compare
+        snapshot = machine.term(state)
+        ctx, focus, done, _moves = refocus(
+            semantics.strategy, state.context, state.focus, semantics.is_value
+        )
+        root = semantics.strategy.decompose(snapshot, semantics.is_value)
+        if done:
+            assert root is None
+            assert focus == snapshot
+        else:
+            assert root is not None
+            assert root.redex == focus
+            assert plug_context(ctx, focus) == snapshot
+            assert root.plug(root.redex) == snapshot
+        queue.extend(stepper.step(state))
+
+
+def assert_run_equivalence(semantics, core, max_states=MAX_STATES):
+    """Lockstep breadth-first comparison of the machine run against
+    root-restart stepping: same snapshots, same branching, same stuck
+    errors."""
+    naive = RedexStepper(semantics, on_stuck="raise", mode="naive")
+    machine = RedexStepper(semantics, on_stuck="raise", mode="refocus")
+    queue = [(naive.load(core), machine.load(core))]
+    seen = 0
+    while queue and seen < max_states:
+        n_state, m_state = queue.pop(0)
+        seen += 1
+        assert naive.term(n_state) == machine.term(m_state)
+        n_err = m_err = None
+        try:
+            n_succ = naive.step(n_state)
+        except StuckError as err:
+            n_err = str(err)
+        try:
+            m_succ = machine.step(m_state)
+        except StuckError as err:
+            m_err = str(err)
+        assert n_err == m_err
+        if n_err is not None:
+            continue
+        assert len(n_succ) == len(m_succ)
+        queue.extend(zip(n_succ, m_succ))
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheme_exprs())
+def test_scheme_split_matches_root_decomposition(source):
+    assert_split_equivalence(*_scheme_core(source))
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheme_exprs())
+def test_scheme_machine_matches_root_restart(source):
+    assert_run_equivalence(*_scheme_core(source))
+
+
+@settings(max_examples=30, deadline=None)
+@given(pyret_exprs())
+def test_pyret_split_matches_root_decomposition(source):
+    assert_split_equivalence(*_pyret_core(source))
+
+
+@settings(max_examples=30, deadline=None)
+@given(pyret_exprs())
+def test_pyret_machine_matches_root_restart(source):
+    assert_run_equivalence(*_pyret_core(source))
+
+
+# ---------------------------------------------------------------------------
+# Targeted control-flow cases (call/cc, deep contexts, objects)
+# ---------------------------------------------------------------------------
+
+
+RETURN_PROGRAMS = [
+    "(+ 1 ((function (x) (+ 1 (return (+ x 2)))) (+ 3 4)))",
+    "((function (x) (return x)) 5)",
+    "(+ 1 ((function (x) (if (< x 3) (return 0) (return 1))) 2))",
+]
+
+
+def test_callcc_control_rules_match_root_restart():
+    for source in RETURN_PROGRAMS:
+        semantics, core = _return_core(source)
+        assert_run_equivalence(semantics, core)
+        assert_split_equivalence(semantics, core)
+
+
+def test_deep_let_in_or_arm_matches_root_restart():
+    source = "(or #f (let ((x (let ((y 2)) (+ y 3)))) (< x 2)) (not #f))"
+    semantics, core = _scheme_core(source)
+    assert_run_equivalence(semantics, core, max_states=100)
+    assert_split_equivalence(semantics, core, max_states=100)
+
+
+def test_pyret_object_fields_match_root_restart():
+    semantics, core = _pyret_core(
+        "cases(List) []: | link(f, r) => f | else => 1 + 2 end"
+    )
+    assert_run_equivalence(semantics, core, max_states=100)
+    assert_split_equivalence(semantics, core, max_states=100)

@@ -111,7 +111,7 @@ GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.trace"))
 
 
 def test_corpus_is_present():
-    assert len(GOLDEN_FILES) >= 32
+    assert len(GOLDEN_FILES) >= 33
 
 
 @pytest.mark.parametrize(
