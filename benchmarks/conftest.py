@@ -14,17 +14,19 @@ import sys
 
 import pytest
 
-from benchmarks.reporter import REPORTER
+from benchmarks.reporter import REPORTER, SERVE_REPORTER
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _write_bench_report():
-    """Flush everything the benchmarks recorded to ``BENCH_lift.json``
-    once the session ends (no-op when nothing was recorded)."""
+    """Flush everything the benchmarks recorded — ``BENCH_lift.json``
+    and ``BENCH_serve.json`` — once the session ends (each is a no-op
+    when nothing was recorded against it)."""
     yield
-    if REPORTER.dirty:
-        path = REPORTER.write()
-        sys.stdout.write(f"\nwrote {path}\n")
+    for reporter in (REPORTER, SERVE_REPORTER):
+        if reporter.dirty:
+            path = reporter.write()
+            sys.stdout.write(f"\nwrote {path}\n")
 
 
 def report(title: str, lines) -> None:

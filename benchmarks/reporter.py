@@ -35,10 +35,21 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict
 
-__all__ = ["BenchReporter", "REPORTER", "DEFAULT_PATH", "SCHEMA", "validate"]
+__all__ = [
+    "BenchReporter",
+    "REPORTER",
+    "SERVE_REPORTER",
+    "DEFAULT_PATH",
+    "SERVE_PATH",
+    "SCHEMA",
+    "SERVE_SCHEMA",
+    "validate",
+]
 
 DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_lift.json"
 SCHEMA = "repro-bench-lift/1"
+SERVE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+SERVE_SCHEMA = "repro-bench-serve/1"
 
 
 def _git_revision() -> str:
@@ -61,8 +72,11 @@ def _git_revision() -> str:
 class BenchReporter:
     """Accumulates named workload measurements and serializes them."""
 
-    def __init__(self, path: Path = DEFAULT_PATH) -> None:
+    def __init__(
+        self, path: Path = DEFAULT_PATH, schema: str = SCHEMA
+    ) -> None:
         self.path = Path(path)
+        self.schema = schema
         self._workloads: Dict[str, Dict[str, Any]] = {}
 
     def record(self, workload: str, **fields: Any) -> None:
@@ -98,7 +112,7 @@ class BenchReporter:
 
     def payload(self) -> Dict[str, Any]:
         return {
-            "schema": SCHEMA,
+            "schema": self.schema,
             "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
@@ -114,8 +128,12 @@ class BenchReporter:
 
 REPORTER = BenchReporter()
 
+#: The serving load test writes ``BENCH_serve.json`` — same envelope,
+#: its own schema tag, flushed by the same session fixture.
+SERVE_REPORTER = BenchReporter(SERVE_PATH, SERVE_SCHEMA)
 
-def validate(payload: Dict[str, Any]) -> None:
+
+def validate(payload: Dict[str, Any], schema: str = SCHEMA) -> None:
     """Raise ``ValueError`` if ``payload`` is not a well-formed report.
 
     Used by the CI benchmark smoke job (and tests) to guarantee the
@@ -123,7 +141,7 @@ def validate(payload: Dict[str, Any]) -> None:
     """
     if not isinstance(payload, dict):
         raise ValueError("report must be a JSON object")
-    if payload.get("schema") != SCHEMA:
+    if payload.get("schema") != schema:
         raise ValueError(f"unexpected schema: {payload.get('schema')!r}")
     for key in ("generated", "python", "implementation", "platform",
                 "git_revision"):

@@ -234,6 +234,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="core decomposition engine (default: refocus)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the resugaring server (HTTP + WebSocket lift sessions)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="bind port (default: 8750; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="batch worker processes for /lift-batch (default: 1 = "
+        "in-process; lift sessions always run on threads)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="concurrent session cap; excess requests get a 503 "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--max-steps-cap",
+        type=int,
+        default=100_000,
+        help="server-side cap clamped onto every request's step budget",
+    )
+    serve.add_argument(
+        "--max-seconds-cap",
+        type=float,
+        default=30.0,
+        help="server-side cap clamped onto every request's wall-clock "
+        "budget (applies even when the request sets none; default: 30)",
+    )
+
     check = sub.add_parser("check", help="statically check a rule-DSL file")
     check.add_argument("rules_file")
     check.add_argument(
@@ -434,31 +475,44 @@ def _cmd_lift_batch(args) -> int:
     jobs = _collect_batch_jobs(args, backend)
     outcomes = []
     failed = 0
-    for outcome in lift_corpus_stream(
-        (confection.rules, confection.stepper),
-        jobs,
-        jobs=args.jobs,
-        payload="rendered",
-        pretty=backend.pretty,
-        collect_metrics=args.metrics,
-        collect_spans=args.trace is not None,
-    ):
-        outcomes.append(outcome)
-        name = jobs[outcome.job_index].name
-        if isinstance(outcome, events.JobError):
-            failed += 1
-            print(f"== job {outcome.job_index}: {name} FAILED ==", flush=True)
-            print(
-                f"{outcome.error_type}: {outcome.error_message}",
-                file=sys.stderr,
-            )
-            continue
-        print(f"== job {outcome.job_index}: {name} ==", flush=True)
-        for line in outcome.rendered:
-            print(line, flush=True)
+    interrupted = False
+    try:
+        for outcome in lift_corpus_stream(
+            (confection.rules, confection.stepper),
+            jobs,
+            jobs=args.jobs,
+            payload="rendered",
+            pretty=backend.pretty,
+            collect_metrics=args.metrics,
+            collect_spans=args.trace is not None,
+        ):
+            outcomes.append(outcome)
+            name = jobs[outcome.job_index].name
+            if isinstance(outcome, events.JobError):
+                failed += 1
+                print(
+                    f"== job {outcome.job_index}: {name} FAILED ==",
+                    flush=True,
+                )
+                print(
+                    f"{outcome.error_type}: {outcome.error_message}",
+                    file=sys.stderr,
+                )
+                continue
+            print(f"== job {outcome.job_index}: {name} ==", flush=True)
+            for line in outcome.rendered:
+                print(line, flush=True)
+    except KeyboardInterrupt:
+        # Graceful shutdown: the stream's finally block has already
+        # cancelled the queued tail and the pool teardown reaped the
+        # workers; report the partial results and exit with the
+        # conventional SIGINT code.
+        interrupted = True
     print(
-        f"[{len(outcomes)} jobs, {failed} failed, "
-        f"jobs={args.jobs if args.jobs is not None else 'auto'}]",
+        f"[{len(outcomes)}/{len(jobs)} jobs, {failed} failed, "
+        f"jobs={args.jobs if args.jobs is not None else 'auto'}"
+        + (", interrupted" if interrupted else "")
+        + "]",
         file=sys.stderr,
     )
     if args.metrics:
@@ -471,6 +525,8 @@ def _cmd_lift_batch(args) -> int:
 
         count = write_trace(aggregate_trace(outcomes), args.trace)
         print(f"wrote {args.trace} ({count} spans)", file=sys.stderr)
+    if interrupted:
+        return 130
     return 1 if failed else 0
 
 
@@ -551,6 +607,45 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server import ReproServer, ServerLimits
+
+    async def run() -> None:
+        server = ReproServer(
+            args.host,
+            args.port,
+            jobs=args.jobs,
+            max_sessions=args.max_sessions,
+            limits=ServerLimits(
+                max_steps_cap=args.max_steps_cap,
+                max_seconds_cap=args.max_seconds_cap,
+            ),
+        )
+        async with server:
+            print(
+                f"serving on http://{server.host}:{server.port} "
+                f"(max {args.max_sessions} sessions, "
+                f"{args.jobs} batch worker(s))",
+                file=sys.stderr,
+                flush=True,
+            )
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        # Graceful: asyncio.run cancels serve_forever and the context
+        # manager drains live sessions before the process exits.
+        print("shutting down", file=sys.stderr)
+        return 130
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -560,6 +655,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "desugar": _cmd_desugar,
         "trace": _cmd_trace,
         "check": _cmd_check,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -13,7 +13,7 @@ results can be rendered back to strings with :meth:`Confection.show`.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Iterator, List, Optional, Union
+from typing import Callable, Iterator, List, Optional, Union
 
 from repro.core.desugar import desugar as _desugar
 from repro.core.desugar import resugar as _resugar
@@ -144,11 +144,15 @@ class Confection:
         max_seconds: Optional[float] = None,
         on_budget: str = "raise",
         stepper_mode: Optional[str] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Iterator["LiftEvent"]:
         """Lift lazily, yielding :mod:`repro.engine.events` events as
         core evaluation proceeds (the streaming face of :meth:`lift` —
         same options, same output, but the first surface step is
-        available immediately and memory stays bounded)."""
+        available immediately and memory stays bounded).  ``should_stop``
+        is the cooperative cancellation hook of
+        :func:`repro.engine.stream.lift_stream`: polled once per core
+        step, a true return ends the stream without a terminal event."""
         from repro.engine.stream import lift_stream
 
         self._require_stepper()
@@ -163,6 +167,7 @@ class Confection:
             check_emulation=check_emulation,
             incremental=incremental,
             stepper_mode=stepper_mode,
+            should_stop=should_stop,
         )
         return self._scoped_stream(stream)
 
@@ -209,10 +214,11 @@ class Confection:
         max_seconds: Optional[float] = None,
         on_budget: str = "raise",
         stepper_mode: Optional[str] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Iterator["LiftEvent"]:
         """Lift a nondeterministic evaluation lazily, yielding events in
         breadth-first exploration order (the streaming face of
-        :meth:`lift_tree`)."""
+        :meth:`lift_tree`; ``should_stop`` as on :meth:`lift_stream`)."""
         from repro.engine.stream import lift_tree_stream
 
         self._require_stepper()
@@ -226,6 +232,7 @@ class Confection:
             check_emulation=check_emulation,
             incremental=incremental,
             stepper_mode=stepper_mode,
+            should_stop=should_stop,
         )
         return self._scoped_stream(stream)
 

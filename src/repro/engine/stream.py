@@ -23,6 +23,16 @@ and an ``on_budget`` policy deciding what exhaustion means:
   :class:`~repro.engine.events.BudgetExhausted` event and stop; every
   event already yielded is a valid prefix of the full lift.
 
+Both also take a *cooperative cancellation hook*: ``should_stop``, a
+zero-argument callable polled once per core step.  When it returns
+true the generator returns immediately — no terminal event, no more
+stepping.  This exists for consumers that drive the generator from
+another thread (the session server bridges :func:`lift_stream` over an
+executor): the owning thread cannot ``close()`` a generator that a
+worker thread is iterating, but it *can* flip a flag the hook reads, and
+the abandoned lift then stops stepping promptly instead of running its
+evaluation to completion for nobody.
+
 :func:`fold_lift` and :func:`fold_tree` replay an event stream into the
 batch :class:`~repro.core.lift.LiftResult` /
 :class:`~repro.core.lift.SurfaceTree` values; the batch entry points in
@@ -34,7 +44,7 @@ from __future__ import annotations
 
 from collections import deque
 from time import monotonic
-from typing import Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.core.desugar import desugar, resugar
 from repro.core.errors import ReproError
@@ -142,6 +152,7 @@ def lift_stream(
     check_emulation: bool = True,
     incremental: bool = True,
     stepper_mode: Optional[str] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Iterator[LiftEvent]:
     """Lazily lift ``surface_term``'s evaluation, yielding events.
 
@@ -155,7 +166,10 @@ def lift_stream(
     function *is* :func:`fold_lift` over this generator.
     ``stepper_mode`` (``"refocus"`` / ``"naive"`` / ``None``) selects
     the decomposition engine on mode-aware steppers; ``None`` keeps the
-    stepper's own configuration.
+    stepper's own configuration.  ``should_stop`` is the cooperative
+    cancellation hook (see the module docstring): polled before every
+    core step, and a true return ends the stream with no terminal
+    event.
 
     With observability on (:mod:`repro.obs`), the run is wrapped in a
     ``lift`` span, every core step gets a ``lift.step`` child span
@@ -178,7 +192,7 @@ def lift_stream(
                 yield from _lift_stream_body(
                     rules, stepper, surface_term, max_steps, max_seconds,
                     on_budget, dedup, check_emulation, incremental,
-                    lift_span,
+                    lift_span, should_stop,
                 )
             finally:
                 if run is not None and lift_span is not None:
@@ -191,6 +205,7 @@ def lift_stream(
 def _lift_stream_body(
     rules, stepper, surface_term, max_steps, max_seconds,
     on_budget, dedup, check_emulation, incremental, lift_span,
+    should_stop,
 ):
     core = desugar(rules, surface_term)
     state = stepper.load(core)
@@ -225,6 +240,10 @@ def _lift_stream_body(
     if _obs.enabled:
         LIFT_RUNS.inc()
     while True:
+        if should_stop is not None and should_stop():
+            if lift_span is not None:
+                lift_span.attrs["cancelled"] = True
+            return
         if index > max_steps:
             if on_budget == "raise":
                 raise ReproError(
@@ -291,6 +310,7 @@ def lift_tree_stream(
     check_emulation: bool = True,
     incremental: bool = True,
     stepper_mode: Optional[str] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Iterator[LiftEvent]:
     """Lazily lift a nondeterministic evaluation tree, breadth-first.
 
@@ -299,7 +319,8 @@ def lift_tree_stream(
     so :func:`fold_tree` can rebuild the
     :class:`~repro.core.lift.SurfaceTree` from events alone.  The budget
     is ``max_nodes`` explored core states (terminal event budget kind:
-    ``"nodes"``) plus the optional wall clock.
+    ``"nodes"``) plus the optional wall clock.  ``should_stop`` is the
+    cooperative cancellation hook, polled once per explored node.
     """
     _check_policy(on_budget)
     stepper = _apply_stepper_mode(stepper, stepper_mode)
@@ -314,6 +335,7 @@ def lift_tree_stream(
                 yield from _lift_tree_stream_body(
                     rules, stepper, surface_term, max_nodes, max_seconds,
                     on_budget, check_emulation, incremental, lift_span,
+                    should_stop,
                 )
             finally:
                 if run is not None and lift_span is not None:
@@ -326,6 +348,7 @@ def lift_tree_stream(
 def _lift_tree_stream_body(
     rules, stepper, surface_term, max_nodes, max_seconds,
     on_budget, check_emulation, incremental, lift_span,
+    should_stop,
 ):
     core = desugar(rules, surface_term)
     cache = ResugarCache(rules) if incremental else None
@@ -361,6 +384,10 @@ def _lift_tree_stream_body(
     if _obs.enabled:
         LIFT_RUNS.inc()
     while queue:
+        if should_stop is not None and should_stop():
+            if lift_span is not None:
+                lift_span.attrs["cancelled"] = True
+            return
         if explored >= max_nodes:
             if on_budget == "raise":
                 raise ReproError(

@@ -49,13 +49,32 @@ name                          kind       meaning
 ``desugar.depth``             histogram  expansion nesting depth per expansion
 ``redex.decompose.depth``     histogram  context frames moved per decomposition
 ``trace.truncated_lines``     counter    partial JSONL trace lines dropped
+``server.sessions_started``   counter    lift sessions the server accepted
+``server.sessions_rejected``  counter    sessions refused at the cap
+``server.sessions_errored``   counter    sessions ended by an error frame
+``server.sessions_cancelled`` counter    sessions cancelled (disconnects)
+``server.sessions_active``    gauge      sessions currently streaming
+``server.sessions_peak``      gauge      high-water mark of active sessions
+``server.frames_sent``        counter    protocol frames written to clients
+``server.requests``           counter    HTTP/WebSocket requests handled
+``server.ttfs_seconds``       histogram  per-session time to first step
 ============================  =========  =====================================
 
 Counters only move when observability is enabled (the instrumentation
-sites are guarded); reading them is always safe.  The one exception is
-``trace.truncated_lines``, which :func:`repro.obs.export.read_trace`
-moves unconditionally — trace reading is analysis, not a hot path, and
-a silently dropped line should never go unrecorded.
+sites are guarded); reading them is always safe.  Two exceptions move
+unconditionally: ``trace.truncated_lines``, which
+:func:`repro.obs.export.read_trace` bumps because a silently dropped
+line should never go unrecorded, and the ``server.*`` family, which
+:mod:`repro.server` maintains because serving bookkeeping is not on the
+per-step hot path and a ``/metrics`` scrape must see traffic whether or
+not any lift ran with observability on.
+
+:func:`render_prometheus` renders a registry in the Prometheus text
+exposition format (version 0.0.4) for scrape endpoints: counters gain
+the conventional ``_total`` suffix, histograms become *cumulative*
+``_bucket{le=...}`` series plus ``_sum``/``_count``, and the per-rule
+``rule.<event>.<i>:<name>`` instruments become one metric per event
+kind with ``rule``/``index`` labels.
 
 Per-rule attribution (``rule.expansions.<i>:<name>`` and friends) is
 pre-bound lazily by :func:`per_rule_counters`, one counter triple per
@@ -65,6 +84,7 @@ hot loops index a tuple instead of formatting metric names.
 
 from __future__ import annotations
 
+import re
 import weakref
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -100,6 +120,17 @@ __all__ = [
     "MATCH_ATTEMPTS_PER_STEP",
     "per_rule_counters",
     "RuleCounters",
+    "render_prometheus",
+    "SERVER_TIME_BUCKETS",
+    "SERVER_SESSIONS_STARTED",
+    "SERVER_SESSIONS_REJECTED",
+    "SERVER_SESSIONS_ERRORED",
+    "SERVER_SESSIONS_CANCELLED",
+    "SERVER_SESSIONS_ACTIVE",
+    "SERVER_SESSIONS_PEAK",
+    "SERVER_FRAMES_SENT",
+    "SERVER_REQUESTS",
+    "SERVER_TTFS_SECONDS",
 ]
 
 Number = Union[int, float]
@@ -243,6 +274,11 @@ class MetricsRegistry:
             boundaries=tuple(boundaries or DEFAULT_DEPTH_BUCKETS),
         )
 
+    def instruments(self) -> Dict[str, Instrument]:
+        """The live instruments, keyed by name (a copy; the instruments
+        themselves are the registry's own)."""
+        return dict(self._instruments)
+
     def snapshot(self) -> Dict[str, object]:
         """Freeze every instrument into a plain, JSON-safe dict, keyed
         by metric name (sorted for stable output)."""
@@ -332,6 +368,24 @@ MATCH_ATTEMPTS_PER_STEP = REGISTRY.histogram(
     "match.attempts_per_step", DEFAULT_DEPTH_BUCKETS
 )
 
+# Serving instruments (repro.server).  These move unconditionally — see
+# the module docstring — and their latency buckets are in seconds,
+# scaled for interactive time-to-first-step targets.
+SERVER_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+SERVER_SESSIONS_STARTED = REGISTRY.counter("server.sessions_started")
+SERVER_SESSIONS_REJECTED = REGISTRY.counter("server.sessions_rejected")
+SERVER_SESSIONS_ERRORED = REGISTRY.counter("server.sessions_errored")
+SERVER_SESSIONS_CANCELLED = REGISTRY.counter("server.sessions_cancelled")
+SERVER_SESSIONS_ACTIVE = REGISTRY.gauge("server.sessions_active")
+SERVER_SESSIONS_PEAK = REGISTRY.gauge("server.sessions_peak")
+SERVER_FRAMES_SENT = REGISTRY.counter("server.frames_sent")
+SERVER_REQUESTS = REGISTRY.counter("server.requests")
+SERVER_TTFS_SECONDS = REGISTRY.histogram(
+    "server.ttfs_seconds", SERVER_TIME_BUCKETS
+)
+
 
 class RuleCounters:
     """The pre-bound per-rule instruments of one rule list.
@@ -358,6 +412,94 @@ class RuleCounters:
             REGISTRY.counter(f"rule.unexpand_failures.{i}:{name}")
             for i, name in enumerate(names)
         )
+
+
+# --- Prometheus text exposition -----------------------------------------
+
+# rule.<event>.<index>:<rule name> — rendered as labels, not as a
+# per-rule metric name, so dashboards can aggregate across rules.
+_PER_RULE_NAME = re.compile(
+    r"^rule\.(expansions|unexpansions|unexpand_failures)\.(\d+):(.*)$"
+)
+_PROM_UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """``lift.steps_total`` -> ``repro_lift_steps_total``."""
+    return "repro_" + _PROM_UNSAFE.sub("_", name)
+
+
+def _prom_counter_name(name: str) -> str:
+    """Counter names carry the conventional ``_total`` suffix."""
+    prom = _prom_name(name)
+    return prom if prom.endswith("_total") else prom + "_total"
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_number(value: Number) -> str:
+    """Render a sample value (integers stay integral)."""
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def _render_histogram(prom: str, hist: Histogram, out: List[str]) -> None:
+    out.append(f"# TYPE {prom} histogram")
+    cumulative = 0
+    for edge, count in zip(hist.boundaries, hist.bucket_counts):
+        cumulative += count
+        out.append(f'{prom}_bucket{{le="{edge:g}"}} {cumulative}')
+    out.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+    out.append(f"{prom}_sum {_prom_number(hist.sum)}")
+    out.append(f"{prom}_count {hist.count}")
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render ``registry`` (default: the process-wide :data:`REGISTRY`)
+    in the Prometheus text exposition format.
+
+    Counters become ``repro_<name>_total``, gauges ``repro_<name>``,
+    histograms the standard cumulative ``_bucket``/``_sum``/``_count``
+    triple, and the per-rule counters one labelled series per rule:
+    ``repro_rule_expansions_total{index="0",rule="Or"} 3``.  The result
+    is what the server's ``/metrics`` endpoint serves.
+    """
+    registry = REGISTRY if registry is None else registry
+    out: List[str] = []
+    per_rule: Dict[str, List[Tuple[int, str, int]]] = {}
+    for name, inst in sorted(registry.instruments().items()):
+        match = _PER_RULE_NAME.match(name)
+        if match is not None:
+            event, index, rule = match.groups()
+            per_rule.setdefault(event, []).append(
+                (int(index), rule, inst.value)
+            )
+            continue
+        if isinstance(inst, Counter):
+            prom = _prom_counter_name(name)
+            out.append(f"# TYPE {prom} counter")
+            out.append(f"{prom} {_prom_number(inst.value)}")
+        elif isinstance(inst, Gauge):
+            prom = _prom_name(name)
+            out.append(f"# TYPE {prom} gauge")
+            out.append(f"{prom} {_prom_number(inst.value)}")
+        else:
+            _render_histogram(_prom_name(name), inst, out)
+    for event in sorted(per_rule):
+        prom = f"repro_rule_{event}_total"
+        out.append(f"# TYPE {prom} counter")
+        for index, rule, value in sorted(per_rule[event]):
+            out.append(
+                f'{prom}{{index="{index}",rule="{_prom_label_value(rule)}"}}'
+                f" {_prom_number(value)}"
+            )
+    return "\n".join(out) + "\n"
 
 
 _rule_counters: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()

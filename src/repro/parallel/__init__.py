@@ -9,6 +9,9 @@ process-local caches.  This package is the batch face of the engine:
   ``(program, options)`` jobs across N worker processes, warm each
   worker once with the rule tables, and stream per-job outcomes back in
   deterministic submission order;
+* :class:`~repro.parallel.pool.WarmPool` — the reusable form of the
+  same engine: warm workers kept alive across batches, for long-lived
+  services (``repro serve``) that pay warm-up once, not per request;
 * :class:`~repro.parallel.jobs.LiftJob` — one picklable job record;
 * :class:`~repro.engine.events.BatchLifted` /
   :class:`~repro.engine.events.JobError` — the per-job outcome events
@@ -30,6 +33,7 @@ from repro.engine.events import BatchLifted, JobError
 from repro.parallel.jobs import LiftJob, as_job
 from repro.parallel.pool import (
     PAYLOADS,
+    WarmPool,
     aggregate_metrics,
     aggregate_trace,
     default_worker_count,
@@ -42,6 +46,7 @@ __all__ = [
     "as_job",
     "BatchLifted",
     "JobError",
+    "WarmPool",
     "lift_corpus",
     "lift_corpus_stream",
     "aggregate_metrics",

@@ -13,8 +13,14 @@ Worker protocol
 Each worker is warmed exactly once (pool initializer): the engine spec —
 a :class:`~repro.confection.Confection`, a ``(rules, stepper)`` pair, or
 a zero-argument factory returning either — is resolved into a private
-Confection whose rule tables live for the worker's whole life.  Jobs
-then cross the boundary as small pickled :class:`LiftJob` records, and
+Confection whose rule tables live for the worker's whole life.  The
+warm workers belong to a :class:`WarmPool`, which is *reusable*: a
+long-lived service creates one per engine configuration and runs many
+batches through it, paying the worker warmup once instead of once per
+batch (:func:`lift_corpus_stream` accepts one via ``pool=``; without it
+an ephemeral pool is built and torn down around the call, the
+historical behaviour).  Jobs
+cross the boundary as small pickled :class:`LiftJob` records, and
 each job runs the ordinary :meth:`Confection.lift
 <repro.confection.Confection.lift>` (that is, the streaming engine's
 :func:`~repro.engine.stream.lift_stream` with the job's budgets).  The
@@ -46,6 +52,18 @@ budget runs out under ``on_budget="raise"`` yields a structured
 worker-side traceback — the batch continues.  A *worker process* dying
 outright (hard crash) surfaces as a ``JobError`` for every job that was
 in flight on the broken pool rather than an exception in the consumer.
+
+Graceful shutdown
+-----------------
+
+Abandoning a batch early — the consumer ``close()``-ing the stream, a
+``KeyboardInterrupt`` (SIGINT) landing mid-batch, or any exception
+escaping the consumer loop — never orphans workers: the queued-but-
+unstarted tail of the in-flight window is cancelled, the jobs already
+running drain to completion, and the worker processes are joined before
+control returns.  Outcomes yielded before the interruption remain valid
+partial results (the ``lift-batch`` CLI prints them, reports the batch
+as interrupted, and exits 130 on SIGINT).
 
 Metrics and traces
 ------------------
@@ -83,6 +101,7 @@ from repro.parallel.jobs import LiftJob, as_job
 
 __all__ = [
     "PAYLOADS",
+    "WarmPool",
     "lift_corpus",
     "lift_corpus_stream",
     "aggregate_metrics",
@@ -100,7 +119,6 @@ _WORKER_PRETTY: Optional[Callable] = None
 _WORKER_PAYLOAD = "result"
 _WORKER_METRICS = False
 _WORKER_SPANS = False
-_WORKER_TRACE_ID: Optional[str] = None
 
 
 def default_worker_count() -> int:
@@ -212,26 +230,29 @@ def _execute_job(
 
 
 def _warm_worker(
-    engine, payload, pretty, collect_metrics, collect_spans, trace_id
+    engine, payload, pretty, collect_metrics, collect_spans
 ) -> None:
     """Pool initializer: build this worker's engine once (rule tables,
-    stepper) and stash the batch configuration in module globals."""
+    stepper) and stash the pool configuration in module globals.  The
+    batch trace id is *not* baked here — a warm pool outlives any one
+    batch, so it rides along per job (:func:`_pool_run`)."""
     global _WORKER_ENGINE, _WORKER_PRETTY, _WORKER_PAYLOAD, _WORKER_METRICS
-    global _WORKER_SPANS, _WORKER_TRACE_ID
+    global _WORKER_SPANS
     _WORKER_ENGINE = _resolve_engine(engine)
     _WORKER_PRETTY = pretty
     _WORKER_PAYLOAD = payload
     _WORKER_METRICS = collect_metrics
     _WORKER_SPANS = collect_spans
-    _WORKER_TRACE_ID = trace_id
 
 
-def _pool_run(index: int, job: LiftJob) -> BatchOutcome:
+def _pool_run(
+    index: int, job: LiftJob, trace_id: Optional[str] = None
+) -> BatchOutcome:
     """Worker-side job entry: delegate to the shared executor against
     the warmed engine."""
     return _execute_job(
         _WORKER_ENGINE, index, job, _WORKER_PAYLOAD, _WORKER_PRETTY,
-        _WORKER_METRICS, _WORKER_SPANS, _WORKER_TRACE_ID,
+        _WORKER_METRICS, _WORKER_SPANS, trace_id,
     )
 
 
@@ -240,6 +261,158 @@ def _check_options(payload: str, pretty: Optional[Callable]) -> None:
         raise ValueError(f"payload must be one of {PAYLOADS}, got {payload!r}")
     if payload != "result" and pretty is None:
         raise ValueError(f"payload={payload!r} requires a pretty function")
+
+
+class WarmPool:
+    """A reusable batch-lift engine: warm workers shared across batches.
+
+    The pool owns one :class:`~concurrent.futures.ProcessPoolExecutor`
+    (built lazily on the first batch) whose workers were warmed once
+    with ``engine`` and this pool's payload configuration; every
+    subsequent :meth:`run` reuses them, so a long-lived service pays
+    rule-table construction and interpreter start-up once, not once per
+    request.  ``jobs=1`` is the poolless in-process path, with the
+    resolved engine likewise cached across runs.
+
+    :meth:`run` streams one outcome per job in submission order with
+    the same windowing, determinism, and fault-isolation contract as
+    :func:`lift_corpus_stream` (which is now a thin ephemeral-pool
+    wrapper over this class).  Abandoning a run mid-stream cancels the
+    queued tail of its window; the pool itself stays warm for the next
+    batch.  :meth:`shutdown` drains in-flight jobs and joins the
+    workers; the pool is also a context manager doing exactly that.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        jobs: Optional[int] = None,
+        payload: str = "result",
+        pretty: Optional[Callable] = None,
+        collect_metrics: bool = False,
+        collect_spans: bool = False,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        _check_options(payload, pretty)
+        n_workers = default_worker_count() if jobs is None else jobs
+        if n_workers < 1:
+            raise ValueError(f"jobs must be >= 1, got {n_workers!r}")
+        self.engine = engine
+        self.jobs = n_workers
+        self.payload = payload
+        self.pretty = pretty
+        self.collect_metrics = collect_metrics
+        self.collect_spans = collect_spans
+        self._mp_context = mp_context
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._local = None  # resolved engine for the jobs=1 path
+
+    @property
+    def warm(self) -> bool:
+        """Has a batch already built (and warmed) the executor?"""
+        return self._executor is not None or self._local is not None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            context = multiprocessing.get_context(
+                self._mp_context or _default_start_method()
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=context,
+                initializer=_warm_worker,
+                initargs=(
+                    self.engine, self.payload, self.pretty,
+                    self.collect_metrics, self.collect_spans,
+                ),
+            )
+        return self._executor
+
+    def run(
+        self, corpus: Sequence, *, window: Optional[int] = None
+    ) -> Iterator[BatchOutcome]:
+        """Lift ``corpus``, yielding outcomes in submission order (the
+        :func:`lift_corpus_stream` contract).  Each run gets its own
+        batch trace id when the pool collects spans."""
+        jobs_list: List[LiftJob] = [as_job(entry) for entry in corpus]
+        trace_id = uuid.uuid4().hex[:16] if self.collect_spans else None
+
+        if self.jobs == 1:
+            if self._local is None:
+                self._local = _resolve_engine(self.engine)
+            for index, job in enumerate(jobs_list):
+                yield _execute_job(
+                    self._local, index, job, self.payload, self.pretty,
+                    self.collect_metrics, self.collect_spans, trace_id,
+                )
+            return
+
+        if window is None:
+            window = 4 * self.jobs
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+
+        pool = self._ensure_executor()
+        pending: deque = deque()
+        upcoming = iter(enumerate(jobs_list))
+
+        def submit_next() -> bool:
+            try:
+                index, job = next(upcoming)
+            except StopIteration:
+                return False
+            pending.append(
+                (index, pool.submit(_pool_run, index, job, trace_id))
+            )
+            return True
+
+        try:
+            for _ in range(window):
+                if not submit_next():
+                    break
+            while pending:
+                index, future = pending.popleft()
+                submit_next()
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    # The job function never raises; reaching here means
+                    # the pool itself broke (a worker died, or a payload
+                    # failed to pickle).  Contain it as this job's
+                    # failure.
+                    outcome = JobError(
+                        job_index=index,
+                        error_type=type(exc).__name__,
+                        error_message=str(exc),
+                        traceback=_traceback.format_exc(),
+                        worker=None,
+                    )
+                yield outcome
+        finally:
+            # Early exit — the consumer closed the stream, SIGINT landed
+            # in future.result(), or an exception escaped the loop.
+            # Cancel the queued-but-unstarted tail so the batch stops at
+            # the in-flight window instead of running the whole corpus.
+            while pending:
+                _, future = pending.popleft()
+                future.cancel()
+
+    def shutdown(
+        self, wait: bool = True, cancel_pending: bool = True
+    ) -> None:
+        """Stop the pool: cancel queued jobs (``cancel_pending``), let
+        in-flight jobs drain, and join the worker processes.  The pool
+        can warm up again afterwards (a fresh executor on next use)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+            self._executor = None
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True, cancel_pending=True)
 
 
 def lift_corpus_stream(
@@ -253,6 +426,7 @@ def lift_corpus_stream(
     collect_spans: bool = False,
     mp_context: Optional[str] = None,
     window: Optional[int] = None,
+    pool: Optional[WarmPool] = None,
 ) -> Iterator[BatchOutcome]:
     """Lift every program in ``corpus``, streaming outcomes back in
     submission order.
@@ -270,71 +444,32 @@ def lift_corpus_stream(
     ``spans`` with :func:`aggregate_trace`.  ``window`` bounds how many
     jobs are in flight at once (default ``4 * jobs``), so a long corpus
     never piles up in the call queue.
+
+    ``pool`` reuses an already-warm :class:`WarmPool` instead of
+    building an ephemeral one: the pool's own engine and payload
+    configuration govern the batch (``engine``/``jobs``/``payload``/
+    ``pretty``/``collect_*``/``mp_context`` are ignored), and the pool
+    stays warm afterwards.  Without it, workers are torn down — after
+    draining the in-flight window and joining them, even on an early
+    exit (see *Graceful shutdown* in the module docstring) — before the
+    generator finishes.
     """
-    _check_options(payload, pretty)
-    jobs_list: List[LiftJob] = [as_job(entry) for entry in corpus]
-    n_workers = default_worker_count() if jobs is None else jobs
-    if n_workers < 1:
-        raise ValueError(f"jobs must be >= 1, got {n_workers!r}")
-    trace_id = uuid.uuid4().hex[:16] if collect_spans else None
-
-    if n_workers == 1:
-        local = _resolve_engine(engine)
-        for index, job in enumerate(jobs_list):
-            yield _execute_job(
-                local, index, job, payload, pretty, collect_metrics,
-                collect_spans, trace_id,
-            )
+    if pool is not None:
+        yield from pool.run(corpus, window=window)
         return
-
-    context = multiprocessing.get_context(
-        mp_context or _default_start_method()
+    owned = WarmPool(
+        engine,
+        jobs=jobs,
+        payload=payload,
+        pretty=pretty,
+        collect_metrics=collect_metrics,
+        collect_spans=collect_spans,
+        mp_context=mp_context,
     )
-    if window is None:
-        window = 4 * n_workers
-    if window < 1:
-        raise ValueError(f"window must be >= 1, got {window!r}")
-
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        mp_context=context,
-        initializer=_warm_worker,
-        initargs=(
-            engine, payload, pretty, collect_metrics, collect_spans,
-            trace_id,
-        ),
-    ) as pool:
-        pending: deque = deque()
-        upcoming = iter(enumerate(jobs_list))
-
-        def submit_next() -> bool:
-            try:
-                index, job = next(upcoming)
-            except StopIteration:
-                return False
-            pending.append((index, pool.submit(_pool_run, index, job)))
-            return True
-
-        for _ in range(window):
-            if not submit_next():
-                break
-        while pending:
-            index, future = pending.popleft()
-            submit_next()
-            try:
-                outcome = future.result()
-            except Exception as exc:
-                # The job function never raises; reaching here means the
-                # pool itself broke (a worker died, or a payload failed
-                # to pickle).  Contain it as this job's failure.
-                outcome = JobError(
-                    job_index=index,
-                    error_type=type(exc).__name__,
-                    error_message=str(exc),
-                    traceback=_traceback.format_exc(),
-                    worker=None,
-                )
-            yield outcome
+    try:
+        yield from owned.run(corpus, window=window)
+    finally:
+        owned.shutdown(wait=True, cancel_pending=True)
 
 
 def lift_corpus(

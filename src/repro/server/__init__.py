@@ -1,0 +1,46 @@
+"""Resugaring as a service: stream lift sessions to many clients.
+
+The paper's deliverable is an *interactive* stepper — users watch the
+surface evaluation sequence unfold — and interactivity at service scale
+means a long-lived process multiplexing many concurrent sessions, each
+receiving surface steps the moment the engine produces them.  This
+package is that serving layer over the streaming engine:
+
+* :class:`~repro.server.app.ReproServer` — the asyncio HTTP + WebSocket
+  front end (``/lift``, ``/lift-batch``, ``/metrics``, ``/healthz``,
+  ``/backends``);
+* :mod:`~repro.server.protocol` — request validation, server-side
+  budget clamping (budgets are the isolation boundary between
+  sessions), and the NDJSON frame vocabulary;
+* :mod:`~repro.server.sessions` — the session manager: admission
+  control, backpressure-bounded frame queues, and the cooperative
+  cancellation bridge into executor threads;
+* :mod:`~repro.server.client` — blocking protocol clients for tests
+  and CI.
+
+The CLI front end is ``python -m repro serve``; ``docs/serving.md``
+documents the protocol and the load-test methodology behind
+``BENCH_serve.json``.  The server is a transport, never a semantics
+fork: its streamed output is byte-identical to ``python -m repro
+lift`` over the golden corpus (pinned by ``tests/server``).
+"""
+
+from repro.server.app import ReproServer
+from repro.server.protocol import (
+    BatchRequest,
+    LiftRequest,
+    ProtocolError,
+    ServerLimits,
+)
+from repro.server.sessions import Session, SessionLimitError, SessionManager
+
+__all__ = [
+    "ReproServer",
+    "ServerLimits",
+    "LiftRequest",
+    "BatchRequest",
+    "ProtocolError",
+    "Session",
+    "SessionManager",
+    "SessionLimitError",
+]

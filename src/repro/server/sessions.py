@@ -1,0 +1,191 @@
+"""Sessions: the bridge between blocking lift streams and the event loop.
+
+One :class:`Session` per in-flight request.  The CPU-bound side — a
+``lift_stream`` generator iterated on an executor thread — pushes frames
+into the session's bounded :class:`asyncio.Queue` via
+:meth:`Session.put_from_thread`; the asyncio side pops them and writes
+to the socket.  The bounded queue is the backpressure boundary: a slow
+client fills it, which blocks the *producer thread* (not the event
+loop), which stops the stepper from racing ahead of the network.
+
+Cancellation is cooperative and flows in the other direction.  A
+generator being iterated by one thread cannot be ``close()``d from
+another, so the session instead owns a :class:`threading.Event`; the
+engine polls it once per core step through the ``should_stop`` hook of
+:func:`repro.engine.stream.lift_stream`, and ``put_from_thread`` polls
+it while blocked on a full queue.  Setting the event — on client
+disconnect, shutdown, or timeout — therefore stops the producer within
+one step or one poll interval, whichever side it is currently in.
+
+The :class:`SessionManager` enforces the ``max_sessions`` admission cap
+(excess requests are *rejected* with a structured error, not queued
+into oblivion) and keeps a registry of live sessions — the leak
+assertions in ``tests/server`` check it drains to empty after every
+scenario, including mid-stream disconnects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import itertools
+import threading
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import (
+    SERVER_SESSIONS_ACTIVE,
+    SERVER_SESSIONS_PEAK,
+    SERVER_SESSIONS_REJECTED,
+    SERVER_SESSIONS_STARTED,
+)
+
+__all__ = ["Session", "SessionManager", "SessionLimitError", "DONE"]
+
+#: Sentinel the producer enqueues after its last frame; consumers stop
+#: on identity (frames are dicts, never this object).
+DONE = object()
+
+#: How long ``put_from_thread`` blocks on a full queue before re-checking
+#: the cancel event.  The worst-case latency between a client vanishing
+#: and its producer thread noticing, when the producer is parked on
+#: backpressure.
+_PUT_POLL_SECONDS = 0.1
+
+
+class SessionLimitError(RuntimeError):
+    """The ``max_sessions`` admission cap is reached (an HTTP 503)."""
+
+
+class Session:
+    """One live lift session: a bounded frame queue plus a cancel flag.
+
+    Created by :class:`SessionManager.open`; the asyncio side consumes
+    :attr:`queue`, the producer thread calls :meth:`put_from_thread`.
+    """
+
+    def __init__(
+        self,
+        session_id: int,
+        kind: str,
+        loop: asyncio.AbstractEventLoop,
+        maxsize: int,
+    ) -> None:
+        self.id = session_id
+        self.kind = kind
+        self._loop = loop
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
+        self._cancel = threading.Event()
+
+    # --- producer side (executor thread) -----------------------------
+
+    def cancelled(self) -> bool:
+        """The engine's ``should_stop`` hook (polled once per core
+        step)."""
+        return self._cancel.is_set()
+
+    def put_from_thread(self, item: Any) -> bool:
+        """Enqueue one frame from the producer thread, blocking under
+        backpressure.  Returns ``False`` (dropping the frame) once the
+        session is cancelled — the signal for the producer to stop."""
+        if self._cancel.is_set():
+            return False
+        future = asyncio.run_coroutine_threadsafe(
+            self.queue.put(item), self._loop
+        )
+        while True:
+            try:
+                future.result(timeout=_PUT_POLL_SECONDS)
+                return True
+            except concurrent.futures.TimeoutError:
+                if self._cancel.is_set():
+                    future.cancel()
+                    return False
+            except concurrent.futures.CancelledError:
+                return False
+            except RuntimeError:
+                # The loop shut down underneath us mid-put.
+                return False
+
+    def finish_from_thread(self) -> None:
+        """Mark the end of the stream (enqueues :data:`DONE`)."""
+        self.put_from_thread(DONE)
+
+    # --- consumer side (event loop) ----------------------------------
+
+    def cancel(self) -> None:
+        """Ask the producer to stop (idempotent; takes effect within one
+        core step or one backpressure poll)."""
+        self._cancel.set()
+
+    async def next_frame(self) -> Any:
+        """The next frame, or :data:`DONE`."""
+        return await self.queue.get()
+
+
+class SessionManager:
+    """Admission control plus the live-session registry.
+
+    ``max_sessions`` bounds concurrently open sessions across all
+    endpoints; ``queue_size`` is each session's frame-queue bound (the
+    per-session backpressure window).
+    """
+
+    def __init__(self, max_sessions: int = 64, queue_size: int = 64) -> None:
+        self.max_sessions = max_sessions
+        self.queue_size = queue_size
+        self._ids = itertools.count(1)
+        self._active: Dict[int, Session] = {}
+        self._peak = 0
+
+    # --- registry ----------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    def active_sessions(self) -> Dict[int, Session]:
+        """A snapshot of live sessions (test hook for leak assertions)."""
+        return dict(self._active)
+
+    # --- lifecycle ---------------------------------------------------
+
+    def open(
+        self,
+        kind: str,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> Session:
+        """Admit one session or raise :class:`SessionLimitError`."""
+        if len(self._active) >= self.max_sessions:
+            SERVER_SESSIONS_REJECTED.inc()
+            raise SessionLimitError(
+                f"session limit reached ({self.max_sessions} active)"
+            )
+        session = Session(
+            next(self._ids),
+            kind,
+            loop or asyncio.get_running_loop(),
+            self.queue_size,
+        )
+        self._active[session.id] = session
+        self._peak = max(self._peak, len(self._active))
+        SERVER_SESSIONS_STARTED.inc()
+        SERVER_SESSIONS_ACTIVE.set(len(self._active))
+        SERVER_SESSIONS_PEAK.set(self._peak)
+        return session
+
+    def close(self, session: Session) -> None:
+        """Retire a session (idempotent).  Always called from the
+        handler's ``finally`` — a session missing from the registry
+        afterwards is the no-leak guarantee the tests assert."""
+        session.cancel()
+        self._active.pop(session.id, None)
+        SERVER_SESSIONS_ACTIVE.set(len(self._active))
+
+    def cancel_all(self) -> None:
+        """Shutdown path: ask every live producer to stop."""
+        for session in list(self._active.values()):
+            session.cancel()

@@ -1,0 +1,128 @@
+"""RFC 6455 WebSockets, the minimal server half.
+
+The step-by-step stepper UI the paper envisions wants a push channel;
+``/lift`` over WebSocket delivers exactly the NDJSON frames of the
+chunked-HTTP stream, one frame per text message, then a close frame.
+Only what the protocol needs is implemented: the ``Sec-WebSocket-Key``
+handshake, unmasking of client frames (clients MUST mask), server text
+/ close / pong frames, and 16-bit/64-bit extended payload lengths.  No
+extensions, no fragmentation (frames are single NDJSON objects, far
+under the fragmentation threshold), no compression.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import struct
+from typing import Optional, Tuple
+
+from repro.server.http import HttpRequest
+
+__all__ = [
+    "accept_value",
+    "handshake_response",
+    "encode_text",
+    "encode_close",
+    "read_frame",
+    "OP_TEXT",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+]
+
+_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def accept_value(key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key + _GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def handshake_response(request: HttpRequest) -> bytes:
+    """The 101 response upgrading ``request``, or raises ``ValueError``
+    when it is not a well-formed upgrade request."""
+    key = request.header("sec-websocket-key")
+    if not key:
+        raise ValueError("missing Sec-WebSocket-Key")
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_value(key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def _encode(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    head = bytearray([0x80 | opcode])
+    length = len(payload)
+    if length < 126:
+        head.append((0x80 if mask else 0) | length)
+    elif length < 1 << 16:
+        head.append((0x80 if mask else 0) | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append((0x80 if mask else 0) | 127)
+        head += struct.pack(">Q", length)
+    if mask:
+        # Client-side framing (used by the test/bench client).  A fixed
+        # zero mask is valid per RFC 6455 — unpredictability guards
+        # against proxy cache poisoning, irrelevant on loopback.
+        head += b"\x00\x00\x00\x00"
+    return bytes(head) + payload
+
+
+def encode_text(payload: bytes, mask: bool = False) -> bytes:
+    """One final text frame."""
+    return _encode(OP_TEXT, payload, mask)
+
+
+def encode_close(code: int = 1000, mask: bool = False) -> bytes:
+    """A close frame with the given status code."""
+    return _encode(OP_CLOSE, struct.pack(">H", code), mask)
+
+
+def encode_pong(payload: bytes, mask: bool = False) -> bytes:
+    return _encode(OP_PONG, payload, mask)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[int, bytes]]:
+    """Read one frame, unmasking if needed; ``(opcode, payload)``, or
+    ``None`` on EOF."""
+    try:
+        first = await reader.readexactly(2)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    opcode = first[0] & 0x0F
+    masked = bool(first[1] & 0x80)
+    length = first[1] & 0x7F
+    try:
+        if length == 126:
+            length = struct.unpack(">H", await reader.readexactly(2))[0]
+        elif length == 127:
+            length = struct.unpack(">Q", await reader.readexactly(8))[0]
+        if length > MAX_FRAME_BYTES:
+            return None
+        mask_key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    if masked and payload:
+        payload = bytes(
+            b ^ mask_key[i % 4] for i, b in enumerate(payload)
+        )
+    return opcode, payload

@@ -1,0 +1,99 @@
+"""Unit tests for the Prometheus text exposition renderer — the format
+the server's ``/metrics`` endpoint speaks."""
+
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+
+
+def test_counter_gets_total_suffix_and_type_line():
+    registry = MetricsRegistry()
+    registry.counter("lift.steps_total").inc(4)
+    text = render_prometheus(registry)
+    assert "# TYPE repro_lift_steps_total counter\n" in text
+    assert "repro_lift_steps_total 4\n" in text
+    # The _total suffix is not doubled when the name already carries it.
+    assert "total_total" not in text
+
+
+def test_counter_without_total_suffix_gains_one():
+    registry = MetricsRegistry()
+    registry.counter("server.requests").inc()
+    text = render_prometheus(registry)
+    assert "repro_server_requests_total 1\n" in text
+
+
+def test_gauge_renders_without_suffix():
+    registry = MetricsRegistry()
+    registry.gauge("server.sessions_active").set(3)
+    text = render_prometheus(registry)
+    assert "# TYPE repro_server_sessions_active gauge\n" in text
+    assert "repro_server_sessions_active 3\n" in text
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("ttfs", boundaries=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.7, 5.0, 100.0):
+        histogram.observe(value)
+    lines = render_prometheus(registry).splitlines()
+    assert "# TYPE repro_ttfs histogram" in lines
+    # Internal storage is per-interval; exposition must be cumulative.
+    assert 'repro_ttfs_bucket{le="0.1"} 1' in lines
+    assert 'repro_ttfs_bucket{le="1"} 3' in lines
+    assert 'repro_ttfs_bucket{le="10"} 4' in lines
+    assert 'repro_ttfs_bucket{le="+Inf"} 5' in lines
+    assert "repro_ttfs_sum 106.25" in lines
+    assert "repro_ttfs_count 5" in lines
+
+
+def test_per_rule_counters_become_labelled_series():
+    # The interned naming scheme of RuleCounters
+    # (rule.<event>.<index>:<rule name>) renders as labelled series.
+    registry = MetricsRegistry()
+    registry.counter("rule.expansions.0:Or").inc(2)
+    registry.counter("rule.expansions.1:And").inc()
+    registry.counter("rule.unexpand_failures.1:And").inc()
+    lines = render_prometheus(registry).splitlines()
+    assert "# TYPE repro_rule_expansions_total counter" in lines
+    assert 'repro_rule_expansions_total{index="0",rule="Or"} 2' in lines
+    assert 'repro_rule_expansions_total{index="1",rule="And"} 1' in lines
+    assert (
+        'repro_rule_unexpand_failures_total{index="1",rule="And"} 1' in lines
+    )
+    # The raw interned names (rule.expansions.0:Or) never leak through.
+    assert not any("rule.expansions" in line for line in lines)
+
+
+def test_rule_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter('rule.expansions.0:Weird"Rule\\Name').inc()
+    text = render_prometheus(registry)
+    assert 'rule="Weird\\"Rule\\\\Name"' in text
+
+
+def test_metric_names_are_sanitized():
+    registry = MetricsRegistry()
+    registry.counter("resugar.cache-hits@weird").inc()
+    text = render_prometheus(registry)
+    assert "repro_resugar_cache_hits_weird_total 1\n" in text
+
+
+def test_float_and_int_formatting():
+    registry = MetricsRegistry()
+    registry.gauge("ratio").set(0.25)
+    registry.gauge("whole").set(2.0)
+    text = render_prometheus(registry)
+    assert "repro_ratio 0.25\n" in text
+    # Integral floats render without a trailing .0.
+    assert "repro_whole 2\n" in text
+
+
+def test_empty_registry_renders_empty_exposition():
+    assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+def test_default_registry_includes_server_instruments():
+    # The module-level instruments the server observes must be present
+    # in the default exposition even before any traffic.
+    text = render_prometheus()
+    assert "repro_server_sessions_started_total" in text
+    assert "repro_server_ttfs_seconds_bucket" in text

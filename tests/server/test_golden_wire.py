@@ -1,0 +1,120 @@
+"""The golden-equivalence guard: the server is a transport, never a
+semantics fork.
+
+For every golden-corpus program whose configuration the CLI can
+express, the ``step`` texts streamed over the wire — reassembled into
+lines — must be *byte-identical* to what ``python -m repro lift``
+prints for the same program, options, and stepper mode.  Both backends,
+both stepper modes, one live server for the whole module.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.redex.reduction import STEPPER_MODES
+
+from tests.server.conftest import ServerHarness
+from tests.test_golden_traces import GOLDEN_FILES, parse_golden
+from repro.server import ServerLimits
+from repro.server.client import lift_session_raw
+
+# Golden ``# sugar:`` configs the CLI (and hence the server protocol)
+# can express; pyret-datatype needs the with_datatype factory option,
+# which has no CLI flag — the server must not grow semantics the CLI
+# lacks, so it is exactly the CLI-expressible set we compare.
+CLI_CONFIGS = {
+    "scheme": dict(lang="lambda", sugar="scheme"),
+    "scheme-transparent": dict(
+        lang="lambda", sugar="scheme", transparent=True
+    ),
+    "return": dict(lang="lambda", sugar="return"),
+    "automaton": dict(lang="lambda", sugar="automaton"),
+    "pyret": dict(lang="pyret", sugar="pyret"),
+    "pyret-object": dict(lang="pyret", sugar="pyret", op="object"),
+}
+
+CASES = [
+    (path, mode)
+    for path in GOLDEN_FILES
+    if parse_golden(path)[0] in CLI_CONFIGS
+    for mode in STEPPER_MODES
+]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    server = ServerHarness(
+        max_sessions=4,
+        limits=ServerLimits(max_steps_cap=100_000, max_seconds_cap=None),
+    )
+    yield server
+    server.close()
+
+
+def _cli_argv(config, options, mode, program):
+    argv = ["lift", "--lang", config["lang"], "--sugar", config["sugar"]]
+    if config.get("transparent"):
+        argv.append("--transparent")
+    if config.get("op"):
+        argv += ["--op", config["op"]]
+    argv += ["--stepper", mode]
+    if "max_steps" in options:
+        argv += ["--max-steps", options["max_steps"]]
+    if "max_seconds" in options:
+        argv += ["--max-seconds", options["max_seconds"]]
+    if "on_budget" in options:
+        argv += ["--on-budget", options["on_budget"]]
+    argv.append(program)
+    return argv
+
+
+def _server_request(config, options, mode, program):
+    request = {
+        "program": program,
+        "lang": config["lang"],
+        "sugar": config["sugar"],
+        "transparent": bool(config.get("transparent")),
+        "op": config.get("op", "naive"),
+        "stepper": mode,
+        "on_budget": options.get("on_budget", "raise"),
+    }
+    if "max_steps" in options:
+        request["max_steps"] = int(options["max_steps"])
+    if "max_seconds" in options:
+        request["max_seconds"] = float(options["max_seconds"])
+    return request
+
+
+def test_corpus_coverage_spans_both_backends():
+    sugars = {parse_golden(path)[0] for path, _ in CASES}
+    assert {"scheme", "automaton", "return", "pyret"} <= sugars
+
+
+@pytest.mark.parametrize(
+    "path,mode",
+    CASES,
+    ids=[f"{p.stem}-{m}" for p, m in CASES],
+)
+def test_wire_bytes_match_cli_bytes(path, mode, harness, capsys):
+    sugar, program, _trace, _stats, options = parse_golden(path)
+    config = CLI_CONFIGS[sugar]
+
+    code = cli_main(_cli_argv(config, options, mode, program))
+    assert code == 0
+    cli_bytes = capsys.readouterr().out.encode("utf-8")
+
+    body = lift_session_raw(
+        harness.host,
+        harness.port,
+        _server_request(config, options, mode, program),
+    )
+    frames = [json.loads(line) for line in body.decode().splitlines()]
+    assert frames[-1]["type"] in ("halted", "budget")
+    wire_bytes = b"".join(
+        (frame["text"] + "\n").encode("utf-8")
+        for frame in frames
+        if frame["type"] == "step"
+    )
+    assert wire_bytes == cli_bytes
