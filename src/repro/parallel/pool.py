@@ -90,6 +90,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import traceback as _traceback
 import uuid
 from collections import deque
@@ -281,6 +282,15 @@ class WarmPool:
     queued tail of its window; the pool itself stays warm for the next
     batch.  :meth:`shutdown` drains in-flight jobs and joins the
     workers; the pool is also a context manager doing exactly that.
+
+    The pool is safe to share across threads (the server runs batch
+    producers on executor threads): lazy warm-up is locked, so a racy
+    first use cannot build two executors, and ``jobs=1`` runs are
+    serialized — the resolved in-process engine holds one *mutable*
+    stepper, and interleaving two batches on it would corrupt both.
+    Serialization is exactly the one-worker semantics ``jobs=1``
+    promises; concurrent batches queue just as they would on a
+    one-worker process pool.
     """
 
     def __init__(
@@ -307,6 +317,8 @@ class WarmPool:
         self._mp_context = mp_context
         self._executor: Optional[ProcessPoolExecutor] = None
         self._local = None  # resolved engine for the jobs=1 path
+        self._init_lock = threading.Lock()  # lazy warm-up / shutdown
+        self._run_lock = threading.Lock()  # serializes jobs=1 runs
 
     @property
     def warm(self) -> bool:
@@ -314,20 +326,21 @@ class WarmPool:
         return self._executor is not None or self._local is not None
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            context = multiprocessing.get_context(
-                self._mp_context or _default_start_method()
-            )
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=context,
-                initializer=_warm_worker,
-                initargs=(
-                    self.engine, self.payload, self.pretty,
-                    self.collect_metrics, self.collect_spans,
-                ),
-            )
-        return self._executor
+        with self._init_lock:
+            if self._executor is None:
+                context = multiprocessing.get_context(
+                    self._mp_context or _default_start_method()
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=context,
+                    initializer=_warm_worker,
+                    initargs=(
+                        self.engine, self.payload, self.pretty,
+                        self.collect_metrics, self.collect_spans,
+                    ),
+                )
+            return self._executor
 
     def run(
         self, corpus: Sequence, *, window: Optional[int] = None
@@ -339,13 +352,17 @@ class WarmPool:
         trace_id = uuid.uuid4().hex[:16] if self.collect_spans else None
 
         if self.jobs == 1:
-            if self._local is None:
-                self._local = _resolve_engine(self.engine)
-            for index, job in enumerate(jobs_list):
-                yield _execute_job(
-                    self._local, index, job, self.payload, self.pretty,
-                    self.collect_metrics, self.collect_spans, trace_id,
-                )
+            # The in-process engine's stepper is mutable; concurrent
+            # runs take turns on it (released on exhaustion *and* when
+            # an abandoned generator is closed).
+            with self._run_lock:
+                if self._local is None:
+                    self._local = _resolve_engine(self.engine)
+                for index, job in enumerate(jobs_list):
+                    yield _execute_job(
+                        self._local, index, job, self.payload, self.pretty,
+                        self.collect_metrics, self.collect_spans, trace_id,
+                    )
             return
 
         if window is None:
@@ -404,9 +421,10 @@ class WarmPool:
         """Stop the pool: cancel queued jobs (``cancel_pending``), let
         in-flight jobs drain, and join the worker processes.  The pool
         can warm up again afterwards (a fresh executor on next use)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
-            self._executor = None
+        with self._init_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=cancel_pending)
 
     def __enter__(self) -> "WarmPool":
         return self

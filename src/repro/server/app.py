@@ -97,6 +97,11 @@ class ReproServer:
     ``limits`` are the server-side budget caps clamped onto every
     request.
 
+    ``shutdown_grace`` bounds how long :meth:`aclose` waits for live
+    connection handlers after cancelling their producers; handlers
+    still running past it (e.g. parked on a write to a stalled client)
+    are cancelled, so shutdown terminates even with misbehaving peers.
+
     ``stream_buffer_bytes`` bounds per-connection write buffering (the
     transport's high-water mark and the socket's ``SO_SNDBUF``).  With
     OS defaults a slow client can park a couple of hundred kilobytes of
@@ -120,12 +125,14 @@ class ReproServer:
         queue_size: int = 64,
         limits: Optional[ServerLimits] = None,
         stream_buffer_bytes: Optional[int] = None,
+        shutdown_grace: float = 5.0,
     ) -> None:
         self.host = host
         self.port = port
         self.jobs = jobs
         self.limits = limits or ServerLimits()
         self.stream_buffer_bytes = stream_buffer_bytes
+        self.shutdown_grace = shutdown_grace
         self.manager = SessionManager(max_sessions, queue_size)
         self._executor = ThreadPoolExecutor(
             max_workers=max_sessions + 2, thread_name_prefix="repro-lift"
@@ -133,6 +140,7 @@ class ReproServer:
         self._rules_cache: Dict[tuple, object] = {}
         self._pools: Dict[tuple, WarmPool] = {}
         self._server: Optional[asyncio.base_events.Server] = None
+        self._handlers: set = set()
 
     # --- lifecycle ---------------------------------------------------
 
@@ -145,10 +153,28 @@ class ReproServer:
 
     async def aclose(self) -> None:
         """Graceful shutdown: stop accepting, cancel live producers,
-        drain the thread pool, reap batch workers."""
-        self.manager.cancel_all()
+        wake and drain their handlers, drain the thread pool, reap
+        batch workers.
+
+        Cancelling a session delivers its terminal ``DONE`` from the
+        loop side (:meth:`~repro.server.sessions.Session.cancel`), so
+        handlers parked on a frame queue finish on their own; handlers
+        that still have not returned after ``shutdown_grace`` seconds —
+        e.g. blocked writing to a stalled client — are cancelled, so
+        ``aclose`` terminates even with sessions active."""
         if self._server is not None:
             self._server.close()
+        self.manager.cancel_all()
+        handlers = {task for task in self._handlers if not task.done()}
+        if handlers:
+            _done, pending = await asyncio.wait(
+                handlers, timeout=self.shutdown_grace
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=self.shutdown_grace)
+        if self._server is not None:
             await self._server.wait_closed()
             self._server = None
         await asyncio.get_running_loop().run_in_executor(
@@ -212,6 +238,21 @@ class ReproServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # Registered so aclose() can bound-wait (then cancel) live
+        # handlers; Server.wait_closed alone either ignores them (3.11)
+        # or waits forever on them (3.12+).
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         if self.stream_buffer_bytes is not None:
             writer.transport.set_write_buffer_limits(
                 high=self.stream_buffer_bytes
@@ -238,7 +279,12 @@ class ReproServer:
             SERVER_REQUESTS.inc()
             await self._route(request, reader, writer)
         except (ConnectionError, asyncio.CancelledError):
-            pass
+            # Dead peer or forced teardown (shutdown grace expired):
+            # drop buffered writes — a stalled client's full receive
+            # window must not block the graceful close below.
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
         finally:
             try:
                 writer.close()
@@ -372,11 +418,14 @@ class ReproServer:
             )
             return
 
-        frame = await ws.read_frame(reader)
-        while frame is not None and frame[0] == ws.OP_PING:
-            writer.write(ws.encode_pong(frame[1]))
-            await writer.drain()
-            frame = await ws.read_frame(reader)
+        try:
+            frame = await ws.read_frame(reader, require_mask=True)
+            while frame is not None and frame[0] == ws.OP_PING:
+                writer.write(ws.encode_pong(frame[1]))
+                await writer.drain()
+                frame = await ws.read_frame(reader, require_mask=True)
+        except ws.FrameError:
+            frame = None
         if frame is None or frame[0] != ws.OP_TEXT:
             writer.write(ws.encode_close(1002))
             await writer.drain()
@@ -408,16 +457,55 @@ class ReproServer:
             writer.write(ws.encode_close(1013))
             await writer.drain()
             return
+        # Keep reading the client while streaming: answer pings, and
+        # treat CLOSE / EOF / protocol violations as a disconnect so a
+        # polite close cancels the session promptly instead of waiting
+        # for backpressure plus a failed write to surface it.
+        reader_task = asyncio.ensure_future(
+            self._ws_reader(reader, writer, session)
+        )
         try:
             await self._stream_session(
                 session, lift_request, confection, backend, send
             )
             writer.write(ws.encode_close(1000))
-            await writer.drain()
+            # A finished reader means the client already closed or broke
+            # the protocol — it may have stopped reading too, so the
+            # close echo is best-effort (draining could park forever on
+            # its full receive window).
+            if not reader_task.done():
+                await writer.drain()
         except (ConnectionError, OSError):
             SERVER_SESSIONS_CANCELLED.inc()
         finally:
             self.manager.close(session)
+            reader_task.cancel()
+            await asyncio.gather(reader_task, return_exceptions=True)
+
+    async def _ws_reader(self, reader, writer, session) -> None:
+        """The client-to-server half of a streaming WebSocket.  Pong
+        writes skip ``drain()`` — the send loop owns the transport's
+        single drain waiter, and a pong is a handful of bytes."""
+        while True:
+            try:
+                frame = await ws.read_frame(reader, require_mask=True)
+            except ws.FrameError:
+                break
+            if frame is None or frame[0] == ws.OP_CLOSE:
+                break
+            if frame[0] == ws.OP_PING:
+                writer.write(ws.encode_pong(frame[1]))
+            # Mid-stream text/pong/binary frames are ignored.
+        if not session.cancelled():
+            session.cancel()
+            # The peer is done with the stream (CLOSE, EOF, or a
+            # protocol violation): buffered frames are undeliverable,
+            # so abort rather than drain them — which also unparks a
+            # send loop blocked on the peer's full receive window (the
+            # resulting ConnectionError is counted there).
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
 
     # --- the session core --------------------------------------------
 

@@ -17,6 +17,14 @@ it while blocked on a full queue.  Setting the event — on client
 disconnect, shutdown, or timeout — therefore stops the producer within
 one step or one poll interval, whichever side it is currently in.
 
+Cancellation must also wake the *consumer*: once the flag is set,
+``put_from_thread`` drops every frame including the :data:`DONE`
+sentinel, so a handler parked in :meth:`Session.next_frame` would
+otherwise wait forever (the shutdown deadlock: ``cancel_all`` during an
+active session).  :meth:`Session.cancel` therefore schedules a
+loop-side wake-up that guarantees a ``DONE`` lands in the queue,
+evicting one undeliverable frame if the queue is full.
+
 The :class:`SessionManager` enforces the ``max_sessions`` admission cap
 (excess requests are *rejected* with a structured error, not queued
 into oblivion) and keeps a registry of live sessions — the leak
@@ -114,8 +122,32 @@ class Session:
 
     def cancel(self) -> None:
         """Ask the producer to stop (idempotent; takes effect within one
-        core step or one backpressure poll)."""
+        core step or one backpressure poll) and wake any consumer parked
+        on the queue: a cancelled producer drops its :data:`DONE`, so
+        the terminal sentinel is delivered from the loop side instead."""
+        if self._cancel.is_set():
+            return
         self._cancel.set()
+        try:
+            self._loop.call_soon_threadsafe(self._enqueue_done)
+        except RuntimeError:
+            pass  # the loop already shut down; nothing left to wake
+
+    def _enqueue_done(self) -> None:
+        """Loop-side: guarantee a :data:`DONE` lands so ``next_frame``
+        returns.  The queue may be full of now-undeliverable frames —
+        evict one to make room; nothing behind ``DONE`` is ever read."""
+        try:
+            self.queue.put_nowait(DONE)
+        except asyncio.QueueFull:
+            try:
+                self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                pass
+            try:
+                self.queue.put_nowait(DONE)
+            except asyncio.QueueFull:
+                pass
 
     async def next_frame(self) -> Any:
         """The next frame, or :data:`DONE`."""

@@ -4,10 +4,15 @@ The step-by-step stepper UI the paper envisions wants a push channel;
 ``/lift`` over WebSocket delivers exactly the NDJSON frames of the
 chunked-HTTP stream, one frame per text message, then a close frame.
 Only what the protocol needs is implemented: the ``Sec-WebSocket-Key``
-handshake, unmasking of client frames (clients MUST mask), server text
-/ close / pong frames, and 16-bit/64-bit extended payload lengths.  No
-extensions, no fragmentation (frames are single NDJSON objects, far
-under the fragmentation threshold), no compression.
+handshake (version 13 only), unmasking of client frames (clients MUST
+mask — the server enforces it), server text / close / pong frames, and
+16-bit/64-bit extended payload lengths.  No extensions, no
+fragmentation (frames are single NDJSON objects, far under the
+fragmentation threshold), no compression.  What is not implemented is
+*rejected*, not misparsed: a fragmented (FIN=0) frame, set RSV bits, an
+unmasked client frame, or an oversized frame raises
+:class:`FrameError`, which the server answers with close code 1002
+instead of silently desynchronising the stream.
 """
 
 from __future__ import annotations
@@ -26,11 +31,18 @@ __all__ = [
     "encode_text",
     "encode_close",
     "read_frame",
+    "FrameError",
     "OP_TEXT",
     "OP_CLOSE",
     "OP_PING",
     "OP_PONG",
 ]
+
+
+class FrameError(Exception):
+    """A framing-level protocol violation by the peer (fragmentation,
+    reserved bits, a missing mask, an oversized frame).  Callers answer
+    with close code 1002 rather than attempting to re-synchronise."""
 
 _GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 
@@ -56,6 +68,11 @@ def handshake_response(request: HttpRequest) -> bytes:
     key = request.header("sec-websocket-key")
     if not key:
         raise ValueError("missing Sec-WebSocket-Key")
+    version = request.header("sec-websocket-version")
+    if version is None or version.strip() != "13":
+        raise ValueError(
+            f"unsupported Sec-WebSocket-Version {version!r} (need 13)"
+        )
     return (
         "HTTP/1.1 101 Switching Protocols\r\n"
         "Upgrade: websocket\r\n"
@@ -94,15 +111,27 @@ def encode_close(code: int = 1000, mask: bool = False) -> bytes:
     return _encode(OP_CLOSE, struct.pack(">H", code), mask)
 
 
+def encode_ping(payload: bytes = b"", mask: bool = False) -> bytes:
+    return _encode(OP_PING, payload, mask)
+
+
 def encode_pong(payload: bytes, mask: bool = False) -> bytes:
     return _encode(OP_PONG, payload, mask)
 
 
 async def read_frame(
     reader: asyncio.StreamReader,
+    *,
+    require_mask: bool = False,
 ) -> Optional[Tuple[int, bytes]]:
     """Read one frame, unmasking if needed; ``(opcode, payload)``, or
-    ``None`` on EOF."""
+    ``None`` on EOF.
+
+    ``require_mask`` is the server side of RFC 6455 §5.1 — client
+    frames MUST be masked.  Violations (and FIN=0 fragmentation, RSV
+    bits, oversized frames) raise :class:`FrameError` so the caller
+    fails the connection with close 1002 instead of misparsing the
+    byte stream."""
     try:
         first = await reader.readexactly(2)
     except (asyncio.IncompleteReadError, ConnectionError):
@@ -110,13 +139,22 @@ async def read_frame(
     opcode = first[0] & 0x0F
     masked = bool(first[1] & 0x80)
     length = first[1] & 0x7F
+    if not first[0] & 0x80:
+        raise FrameError("fragmented frames (FIN=0) are not supported")
+    if first[0] & 0x70:
+        raise FrameError("RSV bits set without a negotiated extension")
+    if require_mask and not masked:
+        raise FrameError("client frames must be masked (RFC 6455 §5.1)")
     try:
         if length == 126:
             length = struct.unpack(">H", await reader.readexactly(2))[0]
         elif length == 127:
             length = struct.unpack(">Q", await reader.readexactly(8))[0]
         if length > MAX_FRAME_BYTES:
-            return None
+            raise FrameError(
+                f"frame of {length} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte cap"
+            )
         mask_key = await reader.readexactly(4) if masked else b""
         payload = await reader.readexactly(length) if length else b""
     except (asyncio.IncompleteReadError, ConnectionError):

@@ -195,3 +195,60 @@ class TestCliInterrupt:
         captured = capsys.readouterr()
         assert code == 0
         assert "[1/1 jobs, 0 failed, jobs=1]" in captured.err
+
+
+class TestThreadSafety:
+    """A WarmPool is shared across server request threads: lazy warm-up
+    must not double-build executors, and the jobs=1 in-process path must
+    not interleave concurrent runs on its one mutable stepper."""
+
+    def test_racy_first_use_builds_one_executor(self, monkeypatch):
+        import threading
+
+        from repro.parallel import pool as pool_module
+
+        created = []
+
+        class FakeExecutor:
+            def __init__(self, **kwargs):
+                created.append(self)
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(
+            pool_module, "ProcessPoolExecutor", FakeExecutor
+        )
+        pool = WarmPool(_engine(), jobs=2, payload="rendered", pretty=pretty)
+        barrier = threading.Barrier(4)
+
+        def race():
+            barrier.wait()
+            pool._ensure_executor()
+
+        threads = [threading.Thread(target=race) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(created) == 1
+        pool.shutdown()
+
+    def test_jobs1_concurrent_runs_stay_deterministic(self):
+        import threading
+
+        pool = WarmPool(_engine(), jobs=1, payload="rendered", pretty=pretty)
+        expected = [_steps(o) for o in pool.run(_jobs())]
+        results = [None] * 6
+
+        def run(slot):
+            results[slot] = [_steps(o) for o in pool.run(_jobs())]
+
+        threads = [
+            threading.Thread(target=run, args=(slot,)) for slot in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == [expected] * 6

@@ -300,6 +300,149 @@ class TestAdmissionAndDisconnect:
         _wait_for_no_sessions(harness.manager)
 
 
+def _ws_handshake(host, port, extra_headers=""):
+    """Open a socket and complete the upgrade; returns the socket."""
+    sock = socket.create_connection((host, port), timeout=10)
+    sock.sendall(
+        (
+            f"GET /lift HTTP/1.1\r\nHost: h\r\n"
+            f"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: cmVwcm8td3Mta2V5LTEyMzQ=\r\n"
+            f"Sec-WebSocket-Version: 13\r\n{extra_headers}\r\n"
+        ).encode()
+    )
+    head = bytearray()
+    while not head.endswith(b"\r\n\r\n"):
+        part = sock.recv(1)
+        if not part:
+            raise ConnectionError("handshake failed: socket closed")
+        head += part
+    assert b" 101 " in bytes(head)
+    return sock
+
+
+def _read_ws_frames(sock):
+    """Read ``(opcode, payload)`` pairs until the peer's close frame
+    (inclusive) or EOF."""
+    frames = []
+    buffered = b""
+
+    def read_exact(count):
+        nonlocal buffered
+        while len(buffered) < count:
+            part = sock.recv(65536)
+            if not part:
+                raise ConnectionError("socket closed mid-frame")
+            buffered += part
+        taken, buffered = buffered[:count], buffered[count:]
+        return taken
+
+    while True:
+        first = read_exact(2)
+        opcode = first[0] & 0x0F
+        length = first[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(read_exact(2), "big")
+        elif length == 127:
+            length = int.from_bytes(read_exact(8), "big")
+        payload = read_exact(length) if length else b""
+        frames.append((opcode, payload))
+        if opcode == 0x8:  # OP_CLOSE
+            return frames
+
+
+class TestWebSocketRobustness:
+    def test_ping_is_answered_mid_stream(self, server):
+        from repro.server.ws import OP_PONG, encode_ping, encode_text
+
+        sock = _ws_handshake(server.host, server.port)
+        request = json.dumps(
+            {
+                "program": TestBudgetIsolation.RUNAWAY,
+                "max_steps": 200,
+                "on_budget": "truncate",
+            }
+        ).encode()
+        # Request and ping in one burst: the ping arrives while the
+        # session is streaming, and must be answered before the close.
+        sock.sendall(
+            encode_text(request, mask=True) + encode_ping(b"hb", mask=True)
+        )
+        frames = _read_ws_frames(sock)
+        sock.close()
+        assert (OP_PONG, b"hb") in frames
+        _wait_for_no_sessions(server.manager)
+
+    def test_client_close_cancels_session(self, make_server):
+        # The client politely sends CLOSE mid-stream and then stops
+        # reading entirely: only a server that keeps reading while it
+        # streams can notice and reap the session.
+        harness = make_server(
+            max_sessions=4,
+            queue_size=1,
+            stream_buffer_bytes=4096,
+            limits=ServerLimits(max_seconds_cap=None),
+        )
+        from repro.server.ws import encode_close, encode_text
+
+        sock = _ws_handshake(harness.host, harness.port)
+        sock.sendall(
+            encode_text(
+                json.dumps(
+                    {
+                        "program": TestBudgetIsolation.RUNAWAY,
+                        "events": "all",
+                    }
+                ).encode(),
+                mask=True,
+            )
+        )
+        sock.recv(256)  # the stream is flowing
+        sock.sendall(encode_close(mask=True))
+        _wait_for_no_sessions(harness.manager)
+        sock.close()
+
+    def test_unmasked_client_frame_fails_with_1002(self, server):
+        from repro.server.ws import encode_text
+
+        sock = _ws_handshake(server.host, server.port)
+        sock.sendall(
+            encode_text(json.dumps({"program": "(not #t)"}).encode())
+        )  # mask=False: an RFC 6455 violation from a client
+        frames = _read_ws_frames(sock)
+        sock.close()
+        opcode, payload = frames[-1]
+        assert opcode == 0x8
+        assert int.from_bytes(payload[:2], "big") == 1002
+        _wait_for_no_sessions(server.manager)
+
+    def test_fragmented_frame_fails_with_1002(self, server):
+        sock = _ws_handshake(server.host, server.port)
+        payload = b'{"program": "(not #t)"}'
+        # FIN=0 text frame, masked with a zero key.
+        sock.sendall(
+            bytes([0x01, 0x80 | len(payload)]) + b"\x00" * 4 + payload
+        )
+        frames = _read_ws_frames(sock)
+        sock.close()
+        opcode, close_payload = frames[-1]
+        assert opcode == 0x8
+        assert int.from_bytes(close_payload[:2], "big") == 1002
+        _wait_for_no_sessions(server.manager)
+
+    def test_handshake_requires_version_13(self, server):
+        sock = socket.create_connection((server.host, server.port), timeout=10)
+        sock.sendall(
+            b"GET /lift HTTP/1.1\r\nHost: h\r\n"
+            b"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            b"Sec-WebSocket-Key: cmVwcm8td3Mta2V5LTEyMzQ=\r\n"
+            b"Sec-WebSocket-Version: 8\r\n\r\n"
+        )
+        response = sock.recv(4096)
+        sock.close()
+        assert b" 400 " in response
+
+
 class TestBatch:
     def test_batch_streams_jobs_in_submission_order(self, server):
         frames = wire.batch_session(
@@ -337,4 +480,31 @@ class TestBatch:
         assert by_index[1]["error_type"]
         assert by_index[2]["type"] == "job"
         assert frames[-1]["failed"] == 1
+        _wait_for_no_sessions(server.manager)
+
+    def test_concurrent_batches_share_pool_safely(self, server):
+        # All requests share one engine key, hence one cached WarmPool
+        # (jobs=1: the serialized in-process path) — concurrent batch
+        # producers must not interleave on its mutable stepper.
+        request = {
+            "programs": [
+                "(or #f #t)",
+                "(not #t)",
+                "(or (not #t) (not #f))",
+                "(not #f)",
+            ]
+        }
+        expected = wire.batch_session(server.host, server.port, request)
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(
+                pool.map(
+                    lambda _: wire.batch_session(
+                        server.host, server.port, request
+                    ),
+                    range(6),
+                )
+            )
+        assert results == [expected] * 6
         _wait_for_no_sessions(server.manager)

@@ -1,0 +1,105 @@
+"""Shutdown must terminate with sessions still active.
+
+The regression pinned here: ``SessionManager.cancel_all()`` makes every
+``put_from_thread`` drop frames — including the producer's terminal
+``DONE`` — so a handler parked in ``next_frame()`` would wait forever
+and ``aclose()`` would never return (or, pre-3.12, leak the handler
+task and its connection).  Cancellation now delivers ``DONE`` from the
+loop side, and ``aclose`` bound-waits then cancels stragglers.
+"""
+
+import asyncio
+import json
+import socket
+import time
+
+from repro.server import ServerLimits
+from repro.server.sessions import DONE, SessionManager
+
+from tests.server.test_app import _doubling_chain
+
+
+class TestCancelWakesConsumer:
+    def test_cancel_all_delivers_done_to_parked_consumer(self):
+        async def scenario():
+            manager = SessionManager(max_sessions=2, queue_size=2)
+            session = manager.open("lift")
+            waiter = asyncio.ensure_future(session.next_frame())
+            await asyncio.sleep(0)  # park the consumer on the empty queue
+            manager.cancel_all()
+            frame = await asyncio.wait_for(waiter, timeout=2.0)
+            assert frame is DONE
+            # The producer's own DONE is dropped after cancellation —
+            # exactly the pre-fix deadlock — and must not be needed.
+            session.finish_from_thread()
+            manager.close(session)
+
+        asyncio.run(scenario())
+
+    def test_cancel_with_full_queue_still_delivers_done(self):
+        async def scenario():
+            manager = SessionManager(max_sessions=2, queue_size=1)
+            session = manager.open("lift")
+            session.queue.put_nowait({"type": "step", "index": 0})
+            session.cancel()
+            # The wake-up may evict the undeliverable frame or land
+            # behind it; either way DONE arrives within the timeout.
+            frame = await asyncio.wait_for(session.next_frame(), timeout=2.0)
+            while frame is not DONE:
+                frame = await asyncio.wait_for(
+                    session.next_frame(), timeout=2.0
+                )
+            manager.close(session)
+
+        asyncio.run(scenario())
+
+    def test_cancel_is_idempotent(self):
+        async def scenario():
+            manager = SessionManager(max_sessions=2, queue_size=4)
+            session = manager.open("lift")
+            session.cancel()
+            session.cancel()
+            manager.cancel_all()
+            frame = await asyncio.wait_for(session.next_frame(), timeout=2.0)
+            assert frame is DONE
+            manager.close(session)
+
+        asyncio.run(scenario())
+
+
+class TestServerShutdownWithActiveSessions:
+    def test_aclose_with_stalled_active_session_terminates(self, make_server):
+        harness = make_server(
+            max_sessions=4,
+            queue_size=1,
+            stream_buffer_bytes=4096,
+            shutdown_grace=1.0,
+            limits=ServerLimits(max_seconds_cap=None),
+        )
+        body = json.dumps(
+            {"program": _doubling_chain(8), "events": "all"}
+        ).encode()
+        sock = socket.create_connection(
+            (harness.host, harness.port), timeout=10
+        )
+        sock.sendall(
+            (
+                f"POST /lift HTTP/1.1\r\nHost: h\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode()
+            + body
+        )
+        # Read a little, then stall: the bounded buffers park the
+        # producer on backpressure with the session still live.
+        sock.recv(512)
+        deadline = time.monotonic() + 5.0
+        while harness.manager.active_count == 0:
+            assert time.monotonic() < deadline, "session never started"
+            time.sleep(0.02)
+
+        future = asyncio.run_coroutine_threadsafe(
+            harness.server.aclose(), harness.loop
+        )
+        future.result(timeout=10)  # pre-fix: hangs / leaks the handler
+        assert harness.manager.active_count == 0
+        sock.close()
