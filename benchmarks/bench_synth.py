@@ -1,0 +1,83 @@
+"""Candidate-checking throughput: synthesis filtering in-process vs.
+batched over a warm worker pool.
+
+The filter stage is the synthesis pipeline's hot loop — every
+enumerated candidate runs well-formedness, its own-example expansion,
+and the GetPut/PutGet lens laws.  The checks are independent, so
+:func:`repro.synth.filter.check_candidates` can ship them to a
+:class:`~repro.parallel.WarmPool` via ``map_engine``.  This benchmark
+checks the full lambdacore candidate population both ways, asserts the
+verdicts are identical, and records throughput in ``BENCH_lift.json``.
+
+The pool bar is deliberately lenient: candidate checks are a few
+milliseconds each, so on a single-core box the pickling overhead can
+eat the win.  We assert the pool path is *correct* and not
+catastrophically slower, and record the honest numbers plus
+``cpu_count`` so the report says what hardware produced them.
+"""
+
+import os
+import time
+
+from repro.confection import Confection
+from repro.engine.registry import get_backend
+from repro.parallel.pool import WarmPool
+from repro.synth.filter import check_candidates
+from repro.synth.harvest import SEED_PROGRAMS, harvest_examples
+from repro.synth.pipeline import enumerate_candidates
+
+from benchmarks.conftest import report
+from benchmarks.reporter import REPORTER
+
+POOL_JOBS = 2
+MAX_POOL_SLOWDOWN = 25.0  # pool must not be absurdly slower than in-process
+
+
+def test_candidate_checking_throughput():
+    backend = get_backend("lambda")
+    rules = backend.make_rules(None)
+    programs = [backend.parse(s) for s in SEED_PROGRAMS["lambda"]]
+    buckets = harvest_examples(rules, programs, max_list_len=4)
+    candidates = enumerate_candidates(buckets)
+    assert len(candidates) >= 100
+
+    start = time.perf_counter()
+    inprocess = check_candidates(candidates)
+    inprocess_s = time.perf_counter() - start
+
+    pool = WarmPool(Confection(rules, backend.make_stepper()), jobs=POOL_JOBS)
+    try:
+        start = time.perf_counter()
+        pooled = check_candidates(candidates, pool=pool)
+        pool_s = time.perf_counter() - start
+    finally:
+        pool.shutdown()
+
+    # Same verdicts in the same order, whichever side ran the check.
+    assert [c.verdict for c in pooled] == [c.verdict for c in inprocess]
+    accepted = sum(1 for c in inprocess if c.ok)
+    assert accepted >= 20
+    assert pool_s <= inprocess_s * MAX_POOL_SLOWDOWN
+
+    report(
+        "synth candidate checking (lambdacore)",
+        [
+            f"candidates      {len(candidates)}",
+            f"accepted        {accepted}",
+            f"in-process      {inprocess_s:.3f}s "
+            f"({len(candidates) / inprocess_s:.0f}/s)",
+            f"pool jobs={POOL_JOBS}     {pool_s:.3f}s "
+            f"({len(candidates) / pool_s:.0f}/s)",
+        ],
+    )
+    REPORTER.record(
+        "synth_candidates",
+        candidates=len(candidates),
+        accepted=accepted,
+        inprocess_seconds=round(inprocess_s, 4),
+        pool_seconds=round(pool_s, 4),
+        pool_jobs=POOL_JOBS,
+        inprocess_checked_per_sec=round(len(candidates) / inprocess_s, 1),
+        pool_checked_per_sec=round(len(candidates) / pool_s, 1),
+        cpu_count=os.cpu_count() or 1,
+    )

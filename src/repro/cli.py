@@ -275,6 +275,15 @@ def build_parser() -> argparse.ArgumentParser:
         "budget (applies even when the request sets none; default: 30)",
     )
 
+    synth = sub.add_parser(
+        "synth",
+        help="synthesize desugaring rules from harvested (surface, core) "
+        "examples, or fuzz the engine with perturbed candidate rules",
+    )
+    from repro.synth.cli import add_synth_arguments
+
+    add_synth_arguments(synth)
+
     check = sub.add_parser("check", help="statically check a rule-DSL file")
     check.add_argument("rules_file")
     check.add_argument(
@@ -607,6 +616,12 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_synth(args) -> int:
+    from repro.synth.cli import run_synth
+
+    return run_synth(args)
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -656,6 +671,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "trace": _cmd_trace,
         "check": _cmd_check,
         "serve": _cmd_serve,
+        "synth": _cmd_synth,
     }
     try:
         return handlers[args.command](args)

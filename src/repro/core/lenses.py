@@ -31,6 +31,7 @@ from repro.core.terms import Pattern, strip_tags
 __all__ = [
     "check_get_put",
     "check_put_get",
+    "check_rule_laws",
     "check_desugar_resugar_inverse",
     "emulates",
 ]
@@ -71,6 +72,25 @@ def check_put_get(
     if expansion is None:
         return False
     return expansion.index == index and expansion.term == rhs_instance
+
+
+def check_rule_laws(rules: RuleList, term: Pattern) -> Optional[bool]:
+    """Both lens laws at ``term``: GetPut on the term itself, then PutGet
+    on its expansion.
+
+    Returns ``None`` when no rule expands ``term`` (both laws vacuous),
+    otherwise whether both hold.  This is the single entry point the
+    synthesis filter calls per harvested example.
+    """
+    expansion = rules.expand(term)
+    if expansion is None:
+        return None
+    if check_get_put(rules, term) is not True:
+        return False
+    put_get = check_put_get(
+        rules, expansion.index, expansion.term, expansion.stand_in
+    )
+    return put_get is True
 
 
 def check_desugar_resugar_inverse(rules: RuleList, surface_term: Pattern) -> bool:

@@ -21,7 +21,7 @@ closed.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.core.terms import (
     Const,
@@ -33,7 +33,13 @@ from repro.core.terms import (
     pattern_variables,
 )
 
-__all__ = ["unify", "unifiable", "rename_variables", "subsumes"]
+__all__ = [
+    "unify",
+    "unifiable",
+    "rename_variables",
+    "rename_variables_map",
+    "subsumes",
+]
 
 
 def rename_variables(pattern: Pattern, suffix: str) -> Pattern:
@@ -55,6 +61,33 @@ def rename_variables(pattern: Pattern, suffix: str) -> Pattern:
         return PList(tuple(rename_variables(c, suffix) for c in pattern.items), ell)
     if isinstance(pattern, Tagged):
         return Tagged(pattern.tag, rename_variables(pattern.term, suffix))
+    raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def rename_variables_map(pattern: Pattern, mapping: Mapping[str, str]) -> Pattern:
+    """Rename variables through a table; names absent from ``mapping``
+    are left unchanged.  Used by rule synthesis to put candidate rules
+    into a canonical alpha-form before comparing them."""
+    if isinstance(pattern, PVar):
+        return PVar(mapping.get(pattern.name, pattern.name))
+    if isinstance(pattern, Const):
+        return pattern
+    if isinstance(pattern, Node):
+        return Node(
+            pattern.label,
+            tuple(rename_variables_map(c, mapping) for c in pattern.children),
+        )
+    if isinstance(pattern, PList):
+        ell = (
+            rename_variables_map(pattern.ellipsis, mapping)
+            if pattern.ellipsis is not None
+            else None
+        )
+        return PList(
+            tuple(rename_variables_map(c, mapping) for c in pattern.items), ell
+        )
+    if isinstance(pattern, Tagged):
+        return Tagged(pattern.tag, rename_variables_map(pattern.term, mapping))
     raise TypeError(f"not a pattern: {pattern!r}")
 
 

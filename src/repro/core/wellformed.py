@@ -42,6 +42,7 @@ from repro.core.unification import subsumes, unify
 __all__ = [
     "DisjointnessMode",
     "check_rule_wellformed",
+    "wellformedness_violation",
     "check_disjointness",
     "ellipsis_variable_sets",
 ]
@@ -109,6 +110,23 @@ def check_rule_wellformed(
                     side="LHS", rule_name=rule_name)
     _check_ellipses(rhs, lhs_depths, depth_of_own_side=rhs_depths,
                     side="RHS", rule_name=rule_name)
+
+
+def wellformedness_violation(
+    lhs: Pattern,
+    rhs: Pattern,
+    atomic_vars: Iterable[str] = (),
+    rule_name: str = "<rule>",
+) -> "str | None":
+    """Non-raising form of :func:`check_rule_wellformed`: the violation
+    message, or ``None`` when the rule satisfies criteria 1-4.  This is
+    the entry point the synthesis filter uses to *classify* candidates
+    rather than abort on the first bad one."""
+    try:
+        check_rule_wellformed(lhs, rhs, atomic_vars, rule_name)
+    except WellFormednessError as exc:
+        return str(exc)
+    return None
 
 
 def ellipsis_variable_sets(pattern: Pattern) -> Tuple[Tuple[int, Tuple[str, ...]], ...]:

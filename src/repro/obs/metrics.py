@@ -58,16 +58,25 @@ name                          kind       meaning
 ``server.frames_sent``        counter    protocol frames written to clients
 ``server.requests``           counter    HTTP/WebSocket requests handled
 ``server.ttfs_seconds``       histogram  per-session time to first step
+``synth.examples_harvested``  counter    (surface, core) example pairs mined
+``synth.candidates``          counter    candidate rules anti-unification built
+``synth.accepted``            counter    candidates passing the filter gauntlet
+``synth.rejected``            counter    candidates the filter rejected
+``synth.rules_installed``     counter    rules admitted into a synthesized set
+``synth.fuzz_trials``         counter    perturbed candidates pushed through
+``synth.fuzz_crashes``        counter    engine crashes the fuzzer surfaced
 ============================  =========  =====================================
 
 Counters only move when observability is enabled (the instrumentation
-sites are guarded); reading them is always safe.  Two exceptions move
+sites are guarded); reading them is always safe.  Three exceptions move
 unconditionally: ``trace.truncated_lines``, which
 :func:`repro.obs.export.read_trace` bumps because a silently dropped
-line should never go unrecorded, and the ``server.*`` family, which
+line should never go unrecorded; the ``server.*`` family, which
 :mod:`repro.server` maintains because serving bookkeeping is not on the
 per-step hot path and a ``/metrics`` scrape must see traffic whether or
-not any lift ran with observability on.
+not any lift ran with observability on; and the ``synth.*`` family,
+which :mod:`repro.synth` maintains for the same reason — synthesis runs
+batch-scale, not step-scale, and its counters summarize each run.
 
 :func:`render_prometheus` renders a registry in the Prometheus text
 exposition format (version 0.0.4) for scrape endpoints: counters gain
@@ -131,6 +140,13 @@ __all__ = [
     "SERVER_FRAMES_SENT",
     "SERVER_REQUESTS",
     "SERVER_TTFS_SECONDS",
+    "SYNTH_EXAMPLES_HARVESTED",
+    "SYNTH_CANDIDATES",
+    "SYNTH_ACCEPTED",
+    "SYNTH_REJECTED",
+    "SYNTH_RULES_INSTALLED",
+    "SYNTH_FUZZ_TRIALS",
+    "SYNTH_FUZZ_CRASHES",
 ]
 
 Number = Union[int, float]
@@ -382,6 +398,13 @@ SERVER_SESSIONS_ACTIVE = REGISTRY.gauge("server.sessions_active")
 SERVER_SESSIONS_PEAK = REGISTRY.gauge("server.sessions_peak")
 SERVER_FRAMES_SENT = REGISTRY.counter("server.frames_sent")
 SERVER_REQUESTS = REGISTRY.counter("server.requests")
+SYNTH_EXAMPLES_HARVESTED = REGISTRY.counter("synth.examples_harvested")
+SYNTH_CANDIDATES = REGISTRY.counter("synth.candidates")
+SYNTH_ACCEPTED = REGISTRY.counter("synth.accepted")
+SYNTH_REJECTED = REGISTRY.counter("synth.rejected")
+SYNTH_RULES_INSTALLED = REGISTRY.counter("synth.rules_installed")
+SYNTH_FUZZ_TRIALS = REGISTRY.counter("synth.fuzz_trials")
+SYNTH_FUZZ_CRASHES = REGISTRY.counter("synth.fuzz_crashes")
 SERVER_TTFS_SECONDS = REGISTRY.histogram(
     "server.ttfs_seconds", SERVER_TIME_BUCKETS
 )

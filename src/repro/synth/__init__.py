@@ -1,0 +1,55 @@
+"""Desugaring-rule synthesis from (surface, core) example pairs.
+
+The paper assumes hand-written desugaring rules that satisfy the lens
+laws of section 6.1.  This package closes the loop in the other
+direction, in the spirit of "One Down, 699 to Go": given only concrete
+(surface, core) example pairs — harvested from the golden corpus and
+from randomly grown variants — it re-discovers pattern -> template rules
+by anti-unification, filters them through the engine's own
+well-formedness, disjointness, and lens-law checks, and validates the
+synthesized ruleset by re-lifting the golden traces byte-for-byte
+against the hand-written rules.
+
+The same machinery doubles as a fuzzer: perturbing candidate rules
+(swapped holes, dropped ellipses, captured binders) and pushing them
+through the full pipeline asserts that the engine either rejects them
+statically or lifts safely — any crash or law-violating acceptance is a
+real engine bug.
+
+Pipeline stages (one module each):
+
+* :mod:`repro.synth.harvest`    — examples from programs
+* :mod:`repro.synth.antiunify`  — examples -> candidate rules
+* :mod:`repro.synth.filter`     — candidates -> checked candidates
+* :mod:`repro.synth.validate`   — ruleset vs. reference, byte-compared
+* :mod:`repro.synth.fuzz`       — perturbation fuzzing of the engine
+* :mod:`repro.synth.pipeline`   — ties the stages together
+"""
+
+from repro.synth.antiunify import (
+    Candidate,
+    anti_unify_all,
+    canonical_patterns,
+    rules_alpha_equal,
+)
+from repro.synth.harvest import harvest_examples
+from repro.synth.filter import CheckedCandidate, assemble_ruleset, check_candidate
+from repro.synth.fuzz import FuzzReport, fuzz_backend
+from repro.synth.pipeline import SynthesisReport, synthesize
+from repro.synth.validate import validate_against_reference
+
+__all__ = [
+    "Candidate",
+    "anti_unify_all",
+    "canonical_patterns",
+    "rules_alpha_equal",
+    "harvest_examples",
+    "CheckedCandidate",
+    "check_candidate",
+    "assemble_ruleset",
+    "FuzzReport",
+    "fuzz_backend",
+    "SynthesisReport",
+    "synthesize",
+    "validate_against_reference",
+]

@@ -1,0 +1,272 @@
+"""Anti-unification: from concrete example pairs to candidate rules.
+
+Given ``n`` concrete (surface, core) pairs that are all believed to be
+instances of one sugar, compute their *least general generalization*:
+the most specific pattern -> template pair of which every example is an
+instance.  Positions where the examples agree stay concrete; positions
+where they differ become pattern variables ("holes"); list positions
+whose lengths differ become ellipses.
+
+Two decisions make this the rule-synthesis flavor of lgg rather than the
+textbook one:
+
+* **A shared hole table.**  The LHS and RHS are generalized by one
+  generalizer, and a hole is keyed by the per-example tuple of concrete
+  values it abstracts.  When the surface and core sides disagree *in the
+  same way* — example i puts ``vi`` here on both sides — they receive
+  the *same* variable, which is exactly what links a pattern variable to
+  its template occurrence.  The key groups values by example index, so
+  the linkage survives through ellipses (where one example binds a hole
+  to several values).
+
+* **Replayable choice sites.**  When list lengths differ, any split of
+  the shared prefix from the repeated tail is a valid generalization
+  (``[x, y, zs ...]`` vs. ``[x, zs ...]`` vs. ``[zs ...]``).  Each such
+  split is a *choice site*; :func:`anti_unify_all` enumerates the
+  alternatives Hypothesis-style, by re-running the generalizer with a
+  prescribed prefix of choices and collecting the distinct rules that
+  fall out.  The default choice is the longest shared prefix — the most
+  specific rule — which is also what the hand-written multi-arm rules
+  (``And``, ``Or``, ``Let``) look like.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.terms import (
+    Const,
+    Node,
+    Pattern,
+    PList,
+    PVar,
+    pattern_variables,
+)
+from repro.core.unification import rename_variables_map
+
+__all__ = [
+    "Candidate",
+    "Example",
+    "anti_unify",
+    "anti_unify_all",
+    "canonical_patterns",
+    "rules_alpha_equal",
+    "hole_name",
+]
+
+Example = Tuple[Pattern, Pattern]
+"""One (surface term, core term) pair.  Both sides are concrete."""
+
+_Row = Tuple[int, Pattern]
+"""A subterm tagged with the index of the example it came from."""
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def hole_name(i: int) -> str:
+    """Canonical name of the ``i``-th hole: ``a`` .. ``z``, then ``v26``,
+    ``v27``, ..."""
+    return _LETTERS[i] if i < len(_LETTERS) else f"v{i}"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One synthesized pattern -> template rule, plus the examples that
+    produced it (kept for the lens-law filter)."""
+
+    lhs: Pattern
+    rhs: Pattern
+    atomic_vars: Tuple[str, ...]
+    examples: Tuple[Example, ...]
+
+    @property
+    def label(self) -> str:
+        return self.lhs.label if isinstance(self.lhs, Node) else "?"
+
+
+@dataclass
+class _Replay:
+    """Prescribed-prefix chooser for enumerating ambiguous splits.
+
+    ``choose`` follows ``prescribed`` while it lasts, then defaults to
+    the last option (the longest shared prefix).  The trail records
+    every decision with its alternatives so the caller can schedule the
+    paths not taken.
+    """
+
+    prescribed: Tuple[int, ...] = ()
+    trail: List[Tuple[int, Tuple[int, ...]]] = field(default_factory=list)
+
+    def choose(self, options: Sequence[int]) -> int:
+        opts = tuple(options)
+        i = len(self.trail)
+        chosen = self.prescribed[i] if i < len(self.prescribed) and self.prescribed[i] in opts else opts[-1]
+        self.trail.append((chosen, opts))
+        return chosen
+
+
+class _Generalizer:
+    """Computes the lgg of rows of concrete subterms, sharing one hole
+    table across every call (i.e. across the LHS and RHS)."""
+
+    def __init__(self, n_examples: int, replay: _Replay):
+        self.n = n_examples
+        self.replay = replay
+        self._holes: Dict[Tuple, str] = {}
+        self.hole_values: Dict[str, Tuple[Pattern, ...]] = {}
+
+    def lgg(self, rows: Sequence[_Row]) -> Pattern:
+        terms = [t for _, t in rows]
+        first = terms[0]
+        # Identical everywhere -> keep concrete, but only when the rows
+        # span at least two distinct examples.  Rows drawn from a single
+        # example carry no evidence that the position is fixed (it may
+        # just be that one example's value), so they fall through to a
+        # hole or a structural split.
+        if all(t == first for t in terms) and len({i for i, _ in rows}) >= 2:
+            return first
+        if all(isinstance(t, Node) for t in terms):
+            if (
+                len({t.label for t in terms}) == 1
+                and len({len(t.children) for t in terms}) == 1
+            ):
+                return Node(
+                    first.label,
+                    tuple(
+                        self.lgg([(i, t.children[k]) for i, t in rows])
+                        for k in range(len(first.children))
+                    ),
+                )
+        if all(isinstance(t, PList) for t in terms):
+            lengths = {len(t.items) for t in terms}
+            if len(lengths) == 1:
+                return PList(
+                    tuple(
+                        self.lgg([(i, t.items[k]) for i, t in rows])
+                        for k in range(lengths.pop())
+                    )
+                )
+            # Differing lengths: split a shared prefix from a repeated
+            # tail.  Every split point 0..min_len is sound; which one is
+            # *right* is a choice site.
+            k = self.replay.choose(range(min(lengths) + 1))
+            prefix = tuple(
+                self.lgg([(i, t.items[j]) for i, t in rows]) for j in range(k)
+            )
+            tail_rows = [(i, item) for i, t in rows for item in t.items[k:]]
+            return PList(prefix, self.lgg(tail_rows))
+        return self._hole(rows)
+
+    def _hole(self, rows: Sequence[_Row]) -> PVar:
+        groups: Dict[int, List[Pattern]] = {}
+        for i, t in rows:
+            groups.setdefault(i, []).append(t)
+        key = tuple(tuple(groups.get(i, ())) for i in range(self.n))
+        name = self._holes.get(key)
+        if name is None:
+            name = f"~h{len(self._holes)}"
+            self._holes[key] = name
+            self.hole_values[name] = tuple(t for _, t in rows)
+        return PVar(name)
+
+
+def anti_unify(
+    examples: Sequence[Example], prescribed: Tuple[int, ...] = ()
+) -> Tuple[Candidate, _Replay]:
+    """One lgg pass over ``examples`` with the given choice prefix.
+
+    Returns the candidate (holes canonically renamed by first occurrence,
+    LHS before RHS; atomic variables inferred) and the replay trail."""
+    replay = _Replay(prescribed)
+    gen = _Generalizer(len(examples), replay)
+    lhs = gen.lgg([(i, s) for i, (s, _) in enumerate(examples)])
+    rhs = gen.lgg([(i, c) for i, (_, c) in enumerate(examples)])
+
+    order: List[str] = []
+    for name in pattern_variables(lhs) + pattern_variables(rhs):
+        if name not in order:
+            order.append(name)
+    mapping = {name: hole_name(i) for i, name in enumerate(order)}
+    lhs = rename_variables_map(lhs, mapping)
+    rhs = rename_variables_map(rhs, mapping)
+
+    # A hole that recurs on one side violates linearity (criterion 2)
+    # unless declared atomic; declare it when the evidence supports it —
+    # every concrete value it abstracted was an atom.  Otherwise leave
+    # it undeclared and let the well-formedness filter reject the rule.
+    atomic = []
+    for side in (lhs, rhs):
+        names = pattern_variables(side)
+        for name in dict.fromkeys(names):
+            if names.count(name) > 1:
+                values = gen.hole_values.get(_preimage(mapping, name), ())
+                if values and all(isinstance(v, Const) for v in values):
+                    atomic.append(name)
+    candidate = Candidate(
+        lhs=lhs,
+        rhs=rhs,
+        atomic_vars=tuple(dict.fromkeys(atomic)),
+        examples=tuple(examples),
+    )
+    return candidate, replay
+
+
+def _preimage(mapping: Dict[str, str], name: str) -> Optional[str]:
+    for old, new in mapping.items():
+        if new == name:
+            return old
+    return None
+
+
+def anti_unify_all(
+    examples: Sequence[Example], max_candidates: int = 64
+) -> List[Candidate]:
+    """Every distinct generalization of ``examples`` reachable by varying
+    the prefix/tail splits, breadth-first, most specific first.
+
+    The first result is always the default (longest shared prefixes).
+    Enumeration is capped at ``max_candidates`` distinct rules; the
+    filter stage prunes further.
+    """
+    examples = tuple(examples)
+    results: List[Candidate] = []
+    seen_rules = set()
+    tried = set()
+    queue: deque[Tuple[int, ...]] = deque([()])
+    while queue and len(results) < max_candidates:
+        prescribed = queue.popleft()
+        if prescribed in tried:
+            continue
+        tried.add(prescribed)
+        candidate, replay = anti_unify(examples, prescribed)
+        sig = (candidate.lhs, candidate.rhs, candidate.atomic_vars)
+        if sig not in seen_rules:
+            seen_rules.add(sig)
+            results.append(candidate)
+        # Schedule the paths not taken: for each choice site, keep the
+        # prefix of decisions before it and flip that one decision.
+        for i, (chosen, options) in enumerate(replay.trail):
+            prefix = tuple(c for c, _ in replay.trail[:i])
+            for alt in options:
+                if alt != chosen and prefix + (alt,) not in tried:
+                    queue.append(prefix + (alt,))
+    return results
+
+
+def canonical_patterns(lhs: Pattern, rhs: Pattern) -> Tuple[Pattern, Pattern]:
+    """Alpha-canonical form of a rule: variables renamed ``a``, ``b``,
+    ... by first occurrence (LHS pre-order, then RHS)."""
+    order: List[str] = []
+    for name in pattern_variables(lhs) + pattern_variables(rhs):
+        if name not in order:
+            order.append(name)
+    mapping = {name: hole_name(i) for i, name in enumerate(order)}
+    return rename_variables_map(lhs, mapping), rename_variables_map(rhs, mapping)
+
+
+def rules_alpha_equal(a, b) -> bool:
+    """Do two rules (anything with ``.lhs`` / ``.rhs``) coincide up to
+    renaming of pattern variables?"""
+    return canonical_patterns(a.lhs, a.rhs) == canonical_patterns(b.lhs, b.rhs)

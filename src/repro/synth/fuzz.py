@@ -1,0 +1,552 @@
+"""Perturbation fuzzing: the synthesis harness as an engine test.
+
+Take a rule the pipeline synthesized and verified, break it on purpose
+— swap two template holes, drop an ellipsis, freeze a repetition at a
+fixed length, capture a binder, make it self-recursive — and push the
+broken rule through the whole stack: well-formedness, disjointness,
+the lens-law filter, and finally real lifts with the emulation check
+on.  The engine's contract is that every such rule is either *rejected*
+(a clean :class:`~repro.core.errors.ReproError` from some layer) or
+*harmless* (the lift completes and emulation holds).  Any other
+exception escaping the stack is an engine bug — the fuzzer records it
+as a crash, and the regression corpus under ``tests/synth/regressions``
+replays it forever after.
+
+Trial verdicts:
+
+``rejected-static``   well-formedness or disjointness said no
+``rejected-filter``   the rule can't reproduce its examples / breaks a lens law
+``rejected-runtime``  desugar fuel, substitution, or the emulation check said no mid-lift
+``accepted-safe``     the perturbation was harmless; lifts completed, laws held
+``crash``             a non-``ReproError`` escaped — an engine bug
+"""
+
+from __future__ import annotations
+
+import random
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.confection import Confection
+from repro.core.errors import DisjointnessError, ReproError
+from repro.core.rules import RuleList
+from repro.core.terms import Const, Node, Pattern, PList, PVar, Symbol
+from repro.core.wellformed import DisjointnessMode
+from repro.engine.registry import get_backend
+from repro.obs import metrics as _metrics
+from repro.synth.antiunify import Candidate
+from repro.synth.filter import check_candidate, check_candidates
+from repro.synth.harvest import SEED_PROGRAMS, harvest_examples
+
+__all__ = [
+    "FuzzOutcome",
+    "FuzzReport",
+    "PERTURBATIONS",
+    "candidate_from_json",
+    "candidate_to_json",
+    "fuzz_backend",
+    "minimize_candidate",
+    "pattern_from_json",
+    "pattern_to_json",
+    "run_trial",
+]
+
+Path = Tuple[int, ...]
+
+
+# --------------------------------------------------------------------------
+# Pattern surgery (ellipsis-aware, unlike the harvester's concrete walker)
+
+def _kids(p: Pattern) -> Tuple[Pattern, ...]:
+    if isinstance(p, Node):
+        return p.children
+    if isinstance(p, PList):
+        items = p.items
+        return items + (p.ellipsis,) if p.ellipsis is not None else items
+    return ()
+
+
+def _with_kid(p: Pattern, k: int, new: Pattern) -> Pattern:
+    if isinstance(p, Node):
+        return Node(p.label, p.children[:k] + (new,) + p.children[k + 1 :])
+    assert isinstance(p, PList)
+    if p.ellipsis is not None and k == len(p.items):
+        return PList(p.items, new)
+    return PList(p.items[:k] + (new,) + p.items[k + 1 :], p.ellipsis)
+
+
+def _paths(p: Pattern) -> List[Tuple[Path, Pattern]]:
+    out: List[Tuple[Path, Pattern]] = []
+    stack: List[Tuple[Path, Pattern]] = [((), p)]
+    while stack:
+        path, sub = stack.pop(0)
+        out.append((path, sub))
+        stack.extend(
+            (path + (k,), c) for k, c in enumerate(_kids(sub))
+        )
+    return out
+
+
+def _get(p: Pattern, path: Path) -> Pattern:
+    for k in path:
+        p = _kids(p)[k]
+    return p
+
+
+def _put(p: Pattern, path: Path, new: Pattern) -> Pattern:
+    if not path:
+        return new
+    return _with_kid(p, path[0], _put(_kids(p)[path[0]], path[1:], new))
+
+
+def _var_paths(p: Pattern) -> List[Path]:
+    return [path for path, sub in _paths(p) if isinstance(sub, PVar)]
+
+
+def _plist_paths(p: Pattern) -> List[Path]:
+    return [path for path, sub in _paths(p) if isinstance(sub, PList)]
+
+
+# --------------------------------------------------------------------------
+# Perturbation operators.  Each takes (candidate, rng) and returns a
+# mutated candidate, or None when inapplicable to this rule's shape.
+
+def _swap_holes_rhs(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Exchange two different template holes — values land in the wrong
+    positions, which the lens laws (or emulation) must notice."""
+    paths = _var_paths(c.rhs)
+    named = [(p, _get(c.rhs, p).name) for p in paths]
+    distinct = [
+        (p1, n1, p2, n2)
+        for i, (p1, n1) in enumerate(named)
+        for (p2, n2) in named[i + 1 :]
+        if n1 != n2
+    ]
+    if not distinct:
+        return None
+    p1, n1, p2, n2 = rng.choice(distinct)
+    rhs = _put(_put(c.rhs, p1, PVar(n2)), p2, PVar(n1))
+    return Candidate(c.lhs, rhs, c.atomic_vars, c.examples)
+
+
+def _rename_rhs_hole_fresh(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Point a template hole at a variable the pattern never binds."""
+    paths = _var_paths(c.rhs)
+    if not paths:
+        return None
+    path = rng.choice(paths)
+    rhs = _put(c.rhs, path, PVar("~unbound"))
+    return Candidate(c.lhs, rhs, c.atomic_vars, c.examples)
+
+
+def _duplicate_rhs_hole(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Use one bound hole twice in the template (breaks linearity unless
+    it was declared atomic)."""
+    paths = _var_paths(c.rhs)
+    if len(paths) < 2:
+        return None
+    src, dst = rng.sample(paths, 2)
+    rhs = _put(c.rhs, dst, PVar(_get(c.rhs, src).name))
+    return Candidate(c.lhs, rhs, c.atomic_vars, c.examples)
+
+
+def _drop_ellipsis(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Forget a repetition: the rule freezes at the prefix arity."""
+    for side_name in rng.sample(("lhs", "rhs"), 2):
+        side = getattr(c, side_name)
+        ells = [
+            p for p in _plist_paths(side) if _get(side, p).ellipsis is not None
+        ]
+        if ells:
+            path = rng.choice(ells)
+            plist = _get(side, path)
+            mutated = _put(side, path, PList(plist.items, None))
+            if side_name == "lhs":
+                return Candidate(mutated, c.rhs, c.atomic_vars, c.examples)
+            return Candidate(c.lhs, mutated, c.atomic_vars, c.examples)
+    return None
+
+
+def _freeze_ellipsis(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Inline a repetition element as one fixed trailing item — its
+    variables now sit at the wrong ellipsis depth."""
+    for side_name in rng.sample(("lhs", "rhs"), 2):
+        side = getattr(c, side_name)
+        ells = [
+            p for p in _plist_paths(side) if _get(side, p).ellipsis is not None
+        ]
+        if ells:
+            path = rng.choice(ells)
+            plist = _get(side, path)
+            mutated = _put(
+                side, path, PList(plist.items + (plist.ellipsis,), None)
+            )
+            if side_name == "lhs":
+                return Candidate(mutated, c.rhs, c.atomic_vars, c.examples)
+            return Candidate(c.lhs, mutated, c.atomic_vars, c.examples)
+    return None
+
+
+def _capture_binder(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Replace a template hole with a name the template already uses
+    concretely (e.g. the ``"%t"`` the multi-arm ``Or`` binds) — the
+    classic capture bug hygiene exists to prevent."""
+    names = [
+        sub.value
+        for _, sub in _paths(c.rhs)
+        if isinstance(sub, Const) and isinstance(sub.value, str)
+    ]
+    paths = _var_paths(c.rhs)
+    if not paths:
+        return None
+    name = rng.choice(names) if names else "~captured"
+    rhs = _put(c.rhs, rng.choice(paths), Const(name))
+    return Candidate(c.lhs, rhs, c.atomic_vars, c.examples)
+
+
+def _mutate_const_type(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Flip a template constant's type (string name -> number, ...)."""
+    consts = [
+        (p, sub) for p, sub in _paths(c.rhs) if isinstance(sub, Const)
+    ]
+    if not consts:
+        return None
+    path, const = rng.choice(consts)
+    flipped = Const(13) if isinstance(const.value, str) else Const("thirteen")
+    rhs = _put(c.rhs, path, flipped)
+    return Candidate(c.lhs, rhs, c.atomic_vars, c.examples)
+
+
+def _swap_sides(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Run the rule backwards: often an ill-formed LHS (criterion 4) or
+    an un-explanatory rule; never a crash."""
+    return Candidate(c.rhs, c.lhs, c.atomic_vars, c.examples)
+
+
+def _self_recurse(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Make the rule expand to itself — desugaring diverges and must hit
+    the expansion fuel, not the process's recursion limit."""
+    return Candidate(c.lhs, c.lhs, c.atomic_vars, c.examples)
+
+
+def _shuffle_lhs_children(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Permute the pattern's fields — holes bind the wrong subterms."""
+    if not isinstance(c.lhs, Node) or len(c.lhs.children) < 2:
+        return None
+    order = list(range(len(c.lhs.children)))
+    rng.shuffle(order)
+    lhs = Node(c.lhs.label, tuple(c.lhs.children[i] for i in order))
+    if lhs == c.lhs:
+        return None
+    return Candidate(lhs, c.rhs, c.atomic_vars, c.examples)
+
+
+def _add_rhs_ellipsis_nonvar(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Attach a variable-free repetition — its length is undetermined
+    (criterion 3 territory)."""
+    plists = [
+        p for p in _plist_paths(c.rhs) if _get(c.rhs, p).ellipsis is None
+    ]
+    if not plists:
+        return None
+    path = rng.choice(plists)
+    plist = _get(c.rhs, path)
+    rhs = _put(c.rhs, path, PList(plist.items, Const("~junk")))
+    return Candidate(c.lhs, rhs, c.atomic_vars, c.examples)
+
+
+def _depth_shift(c: Candidate, rng: random.Random) -> Optional[Candidate]:
+    """Use an under-ellipsis variable at depth zero — a substitution
+    depth mismatch the engine must contain."""
+    ells = [
+        p for p in _plist_paths(c.lhs) if _get(c.lhs, p).ellipsis is not None
+    ]
+    for path in ells:
+        inner_vars = _var_paths(_get(c.lhs, path).ellipsis)
+        if not inner_vars:
+            continue
+        name = _get(_get(c.lhs, path).ellipsis, rng.choice(inner_vars)).name
+        targets = _var_paths(c.rhs)
+        if not targets:
+            return None
+        rhs = _put(c.rhs, rng.choice(targets), PVar(name))
+        return Candidate(c.lhs, rhs, c.atomic_vars, c.examples)
+    return None
+
+
+PERTURBATIONS: Tuple[Tuple[str, Callable], ...] = (
+    ("swap-holes-rhs", _swap_holes_rhs),
+    ("rename-rhs-hole-fresh", _rename_rhs_hole_fresh),
+    ("duplicate-rhs-hole", _duplicate_rhs_hole),
+    ("drop-ellipsis", _drop_ellipsis),
+    ("freeze-ellipsis", _freeze_ellipsis),
+    ("capture-binder", _capture_binder),
+    ("mutate-const-type", _mutate_const_type),
+    ("swap-sides", _swap_sides),
+    ("self-recurse", _self_recurse),
+    ("shuffle-lhs-children", _shuffle_lhs_children),
+    ("add-rhs-ellipsis-nonvar", _add_rhs_ellipsis_nonvar),
+    ("depth-shift", _depth_shift),
+)
+
+
+# --------------------------------------------------------------------------
+# Trial execution
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """One perturbed candidate's journey through the stack."""
+
+    op: str
+    verdict: str
+    detail: str = ""
+    candidate: Optional[Candidate] = None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one fuzzing run."""
+
+    backend: str
+    seed: int
+    trials: int
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    crashes: List[FuzzOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.crashes
+
+
+def run_trial(
+    reference: RuleList,
+    stepper_factory: Callable,
+    mutated: Candidate,
+    op: str,
+    *,
+    max_steps: int = 40,
+) -> FuzzOutcome:
+    """Push one perturbed candidate through filter + spliced lifts.
+
+    The perturbed rule is spliced *ahead* of the reference rules so it
+    shadows the rule it was derived from; when the overlap is caught
+    statically we retry with disjointness off — the paper's own mode
+    for demonstrating dynamic Emulation enforcement — so the lift path
+    gets exercised too.  Rules the filter rejects for *semantic*
+    reasons (wrong examples, broken laws) are still spliced and lifted:
+    a user can install such a rule by hand, so the engine must survive
+    it; only rules too ill-formed to construct skip the dynamic stage."""
+    try:
+        checked = check_candidate(mutated)
+    except ReproError as exc:
+        return FuzzOutcome(
+            op, "rejected-static", f"{type(exc).__name__}: {exc}", mutated
+        )
+    except Exception:
+        return FuzzOutcome(op, "crash", _traceback.format_exc(), mutated)
+    if checked.verdict == "wellformedness" or checked.rule is None:
+        return FuzzOutcome(op, "rejected-static", checked.detail, mutated)
+
+    lift_error = ""
+    try:
+        try:
+            spliced = RuleList(
+                (checked.rule,) + tuple(reference.rules), reference.disjointness
+            )
+        except DisjointnessError:
+            spliced = RuleList(
+                (checked.rule,) + tuple(reference.rules), DisjointnessMode.OFF
+            )
+        engine = Confection(spliced, stepper_factory())
+        for surface, _ in mutated.examples[:2]:
+            engine.lift(
+                surface,
+                max_steps=max_steps,
+                on_budget="truncate",
+                check_emulation=True,
+            )
+    except ReproError as exc:
+        lift_error = f"{type(exc).__name__}: {exc}"
+    except Exception:
+        return FuzzOutcome(op, "crash", _traceback.format_exc(), mutated)
+
+    if checked.verdict in ("laws", "explains-nothing"):
+        return FuzzOutcome(op, "rejected-filter", checked.detail, mutated)
+    if lift_error:
+        return FuzzOutcome(op, "rejected-runtime", lift_error, mutated)
+    return FuzzOutcome(op, "accepted-safe", candidate=mutated)
+
+
+def fuzz_backend(
+    backend_name: str,
+    *,
+    seed: int = 0,
+    trials: int = 500,
+    sugar: Optional[str] = None,
+    backend_options: Optional[Dict] = None,
+    max_list_len: int = 4,
+) -> FuzzReport:
+    """Run ``trials`` perturbation trials against one backend.
+
+    Deterministic in ``seed``: the base rules are synthesized from the
+    built-in seed bank (itself deterministic) and every random choice —
+    base candidate, operator, operator's own picks — draws from one
+    seeded generator."""
+    from repro.synth.pipeline import enumerate_candidates, resolve_backend_name
+
+    backend = get_backend(resolve_backend_name(backend_name))
+    reference = backend.make_rules(sugar, **dict(backend_options or {}))
+    programs = [
+        backend.parse(source) for source in SEED_PROGRAMS.get(backend.name, ())
+    ]
+    buckets = harvest_examples(reference, programs, max_list_len=max_list_len)
+    candidates = enumerate_candidates(buckets)
+    bases = [c.candidate for c in check_candidates(candidates) if c.ok]
+    if not bases:
+        raise ReproError(
+            f"fuzz: no well-formed base candidates for backend "
+            f"{backend.name!r}; nothing to perturb"
+        )
+
+    rng = random.Random(seed)
+    report = FuzzReport(backend=backend.name, seed=seed, trials=0)
+    while report.trials < trials:
+        base = rng.choice(bases)
+        op_name, op = rng.choice(PERTURBATIONS)
+        mutated = op(base, rng)
+        if mutated is None or (
+            mutated.lhs == base.lhs
+            and mutated.rhs == base.rhs
+            and mutated.atomic_vars == base.atomic_vars
+        ):
+            continue  # inapplicable; redraw (does not consume a trial)
+        outcome = run_trial(reference, backend.make_stepper, mutated, op_name)
+        report.trials += 1
+        report.verdicts[outcome.verdict] = (
+            report.verdicts.get(outcome.verdict, 0) + 1
+        )
+        _metrics.SYNTH_FUZZ_TRIALS.inc()
+        if outcome.verdict == "crash":
+            report.crashes.append(outcome)
+            _metrics.SYNTH_FUZZ_CRASHES.inc()
+    return report
+
+
+# --------------------------------------------------------------------------
+# Serialization + minimization (the regression-corpus toolkit)
+
+def pattern_to_json(p: Pattern):
+    if isinstance(p, PVar):
+        return {"var": p.name}
+    if isinstance(p, Const):
+        if isinstance(p.value, Symbol):
+            return {"const": {"type": "Symbol", "value": p.value.name}}
+        return {"const": {"type": type(p.value).__name__, "value": p.value}}
+    if isinstance(p, Node):
+        return {"node": p.label, "children": [pattern_to_json(c) for c in p.children]}
+    if isinstance(p, PList):
+        return {
+            "list": [pattern_to_json(i) for i in p.items],
+            "ellipsis": pattern_to_json(p.ellipsis) if p.ellipsis is not None else None,
+        }
+    raise TypeError(f"not a serializable pattern: {p!r}")
+
+
+_CONST_TYPES = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+    "Symbol": Symbol,
+}
+
+
+def pattern_from_json(data) -> Pattern:
+    if "var" in data:
+        return PVar(data["var"])
+    if "const" in data:
+        spec = data["const"]
+        if spec["type"] == "NoneType":
+            return Const(None)
+        return Const(_CONST_TYPES[spec["type"]](spec["value"]))
+    if "node" in data:
+        return Node(
+            data["node"], tuple(pattern_from_json(c) for c in data["children"])
+        )
+    if "list" in data:
+        ell = (
+            pattern_from_json(data["ellipsis"])
+            if data.get("ellipsis") is not None
+            else None
+        )
+        return PList(tuple(pattern_from_json(i) for i in data["list"]), ell)
+    raise ValueError(f"not a pattern record: {data!r}")
+
+
+def candidate_to_json(c: Candidate):
+    return {
+        "lhs": pattern_to_json(c.lhs),
+        "rhs": pattern_to_json(c.rhs),
+        "atomic_vars": list(c.atomic_vars),
+        "examples": [
+            [pattern_to_json(s), pattern_to_json(core)] for s, core in c.examples
+        ],
+    }
+
+
+def candidate_from_json(data) -> Candidate:
+    return Candidate(
+        lhs=pattern_from_json(data["lhs"]),
+        rhs=pattern_from_json(data["rhs"]),
+        atomic_vars=tuple(data["atomic_vars"]),
+        examples=tuple(
+            (pattern_from_json(s), pattern_from_json(core))
+            for s, core in data["examples"]
+        ),
+    )
+
+
+def _shrink_steps(c: Candidate) -> List[Candidate]:
+    """Single-step structural simplifications, smallest-first-ish."""
+    out: List[Candidate] = []
+    if len(c.examples) > 1:
+        out.append(Candidate(c.lhs, c.rhs, c.atomic_vars, c.examples[:1]))
+    for side_name in ("rhs", "lhs"):
+        side = getattr(c, side_name)
+        for path, sub in _paths(side):
+            if path == () and side_name == "lhs":
+                continue  # the LHS root must stay a labeled node
+            replacements: List[Pattern] = list(_kids(sub))
+            if isinstance(sub, PList) and sub.ellipsis is not None:
+                replacements.append(PList(sub.items, None))
+            if isinstance(sub, PList) and sub.items:
+                replacements.append(PList(sub.items[:-1], sub.ellipsis))
+            for new in replacements:
+                mutated = _put(side, path, new)
+                if side_name == "lhs":
+                    out.append(Candidate(mutated, c.rhs, c.atomic_vars, c.examples))
+                else:
+                    out.append(Candidate(c.lhs, mutated, c.atomic_vars, c.examples))
+    return out
+
+
+def minimize_candidate(
+    candidate: Candidate, still_fails: Callable[[Candidate], bool]
+) -> Candidate:
+    """Greedy structural minimizer: repeatedly apply the first single
+    simplification step that preserves ``still_fails``, until none does.
+    ``still_fails`` must be true of ``candidate`` itself."""
+    current = candidate
+    progress = True
+    while progress:
+        progress = False
+        for smaller in _shrink_steps(current):
+            try:
+                if still_fails(smaller):
+                    current = smaller
+                    progress = True
+                    break
+            except Exception:
+                continue  # a shrink that breaks the predicate harness
+    return current

@@ -1,0 +1,404 @@
+"""Harvesting (surface, core) example pairs from seed programs.
+
+The harvester treats an existing backend's desugarer as a *black-box
+oracle*: feed it a surface term, get back which rule fired and the core
+term it produced.  From a handful of seed programs it manufactures the
+example sets the anti-unifier needs, in three moves:
+
+1. **Skeletonization.**  For every subterm of a seed program that the
+   oracle expands, greedily replace its subtrees with fresh *markers*
+   (unique atoms / unique ``Id`` references) as long as the same rule
+   keeps firing.  What survives is the sugar's fixed syntactic shape
+   (keyword wrappers like ``Else`` or ``Binding``); what was replaced is
+   exactly the rule's variable positions.
+
+2. **List-shape variants.**  A single program only witnesses one length
+   for each list position.  Growing and shrinking the skeleton's lists
+   (drop-first, drop-last, clone-the-first-item-to-the-front) — keeping
+   only variants the oracle still expands — produces the neighboring
+   lengths, which is what lets the anti-unifier see that ``And`` takes
+   *any* number of arms and where its prefix/tail split lies.
+
+3. **Instantiation.**  Each distinct shape is instantiated a few times
+   with freshly renamed markers and desugared; the resulting concrete
+   (surface, core) pairs form one :class:`HarvestedBucket`.  Distinct
+   examples per bucket is what powers the anti-unifier's
+   "identical-across-examples means concrete" rule.
+
+Everything here is deterministic: no randomness, and iteration order
+follows the seed programs.  Randomized seeds enter only through the
+caller (Hypothesis strategies in the test suite, perturbations in fuzz
+mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.rules import RuleList
+from repro.core.terms import Const, Node, Pattern, PList, strip_tags
+from repro.synth.antiunify import Example
+
+__all__ = [
+    "MARKER_PREFIX",
+    "HarvestedBucket",
+    "harvest_examples",
+    "is_marker",
+    "shape_signature",
+    "SEED_PROGRAMS",
+]
+
+MARKER_PREFIX = "~m"
+
+Path = Tuple[int, ...]
+
+SEED_PROGRAMS: Dict[str, Tuple[str, ...]] = {
+    # One representative program per sugar; list-shape variants derive
+    # the neighboring arities automatically.  Mirrors the golden corpus.
+    "lambda": (
+        "(and 1 2 3)",
+        "(or 1 2 3)",
+        "(let ((x 1) (y 2)) 3)",
+        "(letrec ((x 1) (y 2)) 3)",
+        "(function (x y) 1)",
+        "(list 1 2)",
+        "(thunk 1)",
+        "(force 1)",
+        "(when 1 2)",
+        "(while 1 2)",
+        "(cond (1 2) (else 3))",
+        "(lambda (x) (+ x 1))",
+    ),
+    "pyret": (
+        "fun f(a, b): a + b end 1",
+        "fun(a, b): a + b end",
+        "when 1 > 2: 3 end",
+        "if 1 > 2: 1 else if 2 > 1: 2 else: 3 end",
+        "if 1 > 2: 1 else: 2 end",
+        "cases(List) x: | link(f, r) => f | empty() => 0 end",
+        "cases(List) x: | link(f, r) => f | else => 99 end",
+        "for map(x from y): x + 1 end",
+        "not(true)",
+        "true and false",
+        "true or false",
+        "(1)",
+        "x ^ f(1)",
+        "[1, 2]",
+        "x.f(1)",
+        "o.[y]",
+        "1 + 2",
+    ),
+}
+"""Built-in seed banks, one per registered backend."""
+
+
+def is_marker(p: Pattern) -> bool:
+    """Is ``p`` a harvest marker atom (possibly wrapped in ``Id``)?"""
+    if isinstance(p, Node) and p.label == "Id" and len(p.children) == 1:
+        return is_marker(p.children[0])
+    return (
+        isinstance(p, Const)
+        and isinstance(p.value, str)
+        and p.value.startswith(MARKER_PREFIX)
+    )
+
+
+class _Gensym:
+    def __init__(self) -> None:
+        self.n = 0
+
+    def __call__(self) -> str:
+        name = f"{MARKER_PREFIX}{self.n}"
+        self.n += 1
+        return name
+
+    def fresh_int(self) -> int:
+        # Unique integer literals, far from anything a seed program uses.
+        self.n += 1
+        return 7_000_000 + self.n
+
+
+def _children(term: Pattern) -> Tuple[Pattern, ...]:
+    if isinstance(term, Node):
+        return term.children
+    if isinstance(term, PList):
+        return term.items
+    return ()
+
+
+def _replace_child(term: Pattern, k: int, new: Pattern) -> Pattern:
+    if isinstance(term, Node):
+        kids = term.children
+        return Node(term.label, kids[:k] + (new,) + kids[k + 1 :])
+    assert isinstance(term, PList)
+    items = term.items
+    return PList(items[:k] + (new,) + items[k + 1 :], term.ellipsis)
+
+
+def get_at(term: Pattern, path: Path) -> Pattern:
+    for k in path:
+        term = _children(term)[k]
+    return term
+
+
+def replace_at(term: Pattern, path: Path, new: Pattern) -> Pattern:
+    if not path:
+        return new
+    k = path[0]
+    return _replace_child(
+        term, k, replace_at(_children(term)[k], path[1:], new)
+    )
+
+
+def walk_paths(term: Pattern) -> Iterator[Tuple[Path, Pattern]]:
+    """Every proper subterm position of ``term``, pre-order."""
+    stack: List[Tuple[Path, Pattern]] = [
+        ((k,), c) for k, c in enumerate(_children(term))
+    ]
+    while stack:
+        path, sub = stack.pop(0)
+        yield path, sub
+        stack[:0] = [(path + (k,), c) for k, c in enumerate(_children(sub))]
+
+
+def shape_signature(p: Pattern):
+    """Structural fingerprint of a shape with markers normalized, so two
+    skeletons differing only in marker names collapse together."""
+    if is_marker(p):
+        return ("m",)
+    if isinstance(p, Node):
+        return (p.label, tuple(shape_signature(c) for c in p.children))
+    if isinstance(p, PList):
+        return ("()", tuple(shape_signature(i) for i in p.items))
+    if isinstance(p, Const):
+        return ("atom", type(p.value).__name__, p.value)
+    return ("?", repr(p))
+
+
+def _freshen(p: Pattern, gensym: _Gensym, mapping: Dict[str, str]) -> Pattern:
+    """Consistently rename every marker atom in ``p`` to a fresh one."""
+    if isinstance(p, Const):
+        if isinstance(p.value, str) and p.value.startswith(MARKER_PREFIX):
+            if p.value not in mapping:
+                mapping[p.value] = gensym()
+            return Const(mapping[p.value])
+        return p
+    if isinstance(p, Node):
+        return Node(p.label, tuple(_freshen(c, gensym, mapping) for c in p.children))
+    if isinstance(p, PList):
+        return PList(
+            tuple(_freshen(i, gensym, mapping) for i in p.items), p.ellipsis
+        )
+    return p
+
+
+def _marker_replacements(sub: Pattern, gensym: _Gensym) -> Tuple[Pattern, ...]:
+    """Candidate marker stand-ins for one subterm, most faithful first:
+    a name position gets a fresh atom, an expression position a fresh
+    ``Id`` reference."""
+    if isinstance(sub, Const) and isinstance(sub.value, str):
+        return (Const(gensym()), Node("Id", (Const(gensym()),)))
+    if isinstance(sub, Const):
+        return (Node("Id", (Const(gensym()),)), Const(gensym()))
+    if isinstance(sub, Node):
+        return (Node("Id", (Const(gensym()),)),)
+    return ()  # PLists are varied by the shape stage, not replaced
+
+
+def skeletonize(
+    rules: RuleList, term: Pattern, gensym: _Gensym
+) -> Optional[Pattern]:
+    """Greedily abstract ``term``'s subtrees into markers while the same
+    rule keeps expanding it.  ``None`` when no rule expands ``term``."""
+    base = rules.expand(term)
+    if base is None:
+        return None
+    skel = term
+    worklist: List[Path] = [(k,) for k in range(len(_children(term)))]
+    while worklist:
+        path = worklist.pop(0)
+        sub = get_at(skel, path)
+        if is_marker(sub):
+            continue
+        replaced = False
+        for marker in _marker_replacements(sub, gensym):
+            candidate = replace_at(skel, path, marker)
+            expansion = rules.expand(candidate)
+            if expansion is not None and expansion.index == base.index:
+                skel = candidate
+                replaced = True
+                break
+        if not replaced:
+            # The position is part of the sugar's fixed shape; descend.
+            worklist.extend(
+                path + (k,) for k in range(len(_children(sub)))
+            )
+    return skel
+
+
+def _list_variants(
+    rules: RuleList,
+    skeleton: Pattern,
+    gensym: _Gensym,
+    *,
+    max_list_len: int,
+    max_shapes: int,
+) -> List[Pattern]:
+    """Grow/shrink every list position of ``skeleton``, breadth-first,
+    keeping variants some rule still expands.  The expanding rule may
+    differ from the skeleton's — that is the point: each arity that
+    selects a different rule lands in its own bucket."""
+    out = [skeleton]
+    seen = {shape_signature(skeleton)}
+    queue = [skeleton]
+    while queue and len(out) < max_shapes:
+        current = queue.pop(0)
+        for path, sub in walk_paths(current):
+            if not isinstance(sub, PList) or not sub.items:
+                continue
+            variants = [PList(sub.items[1:]), PList(sub.items[:-1])]
+            if len(sub.items) < max_list_len:
+                clone = _freshen(sub.items[0], gensym, {})
+                variants.append(PList((clone,) + sub.items))
+            for variant in variants:
+                candidate = replace_at(current, path, variant)
+                signature = shape_signature(candidate)
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                if rules.expand(candidate) is None:
+                    continue
+                out.append(candidate)
+                queue.append(candidate)
+    return out
+
+
+@dataclass(frozen=True)
+class HarvestedBucket:
+    """All harvested examples for one syntactic shape: the instances of
+    (what the synthesizer will hopefully discover is) one rule at one
+    arity."""
+
+    label: str
+    signature: object
+    examples: Tuple[Example, ...]
+
+
+def harvest_examples(
+    rules: RuleList,
+    programs: Sequence[Pattern],
+    *,
+    max_list_len: int = 5,
+    instances_per_shape: int = 3,
+    max_shapes_per_program: int = 48,
+    recurse_cores: bool = True,
+) -> List[HarvestedBucket]:
+    """Harvest example buckets from ``programs`` against the reference
+    ``rules`` (the oracle).  Deterministic; order follows the programs.
+
+    With ``recurse_cores`` the core side of each expansion is mined too
+    (one level deep), so sugar-defined-in-terms-of-sugar — e.g. a
+    ``While`` whose core reintroduces application of a recursive
+    function — contributes shapes even when no seed program spells the
+    inner sugar directly.
+    """
+    gensym = _Gensym()
+    buckets: List[HarvestedBucket] = []
+    seen_shapes = set()
+
+    def mine(term: Pattern, depth: int) -> None:
+        for sub in [term] + [s for _, s in walk_paths(term)]:
+            if not isinstance(sub, Node):
+                continue
+            expansion = rules.expand(sub)
+            if expansion is None:
+                continue
+            skeleton = skeletonize(rules, sub, gensym)
+            if skeleton is None:
+                continue
+            for shape in _list_variants(
+                rules,
+                skeleton,
+                gensym,
+                max_list_len=max_list_len,
+                max_shapes=max_shapes_per_program,
+            ):
+                signature = shape_signature(shape)
+                if signature in seen_shapes:
+                    continue
+                seen_shapes.add(signature)
+                examples = _instantiate(
+                    rules, shape, gensym, instances_per_shape
+                )
+                if examples:
+                    buckets.append(
+                        HarvestedBucket(
+                            label=shape.label,
+                            signature=signature,
+                            examples=examples,
+                        )
+                    )
+            if recurse_cores and depth == 0:
+                mine(strip_tags(expansion.term), depth + 1)
+
+    for program in programs:
+        mine(program, 0)
+    return buckets
+
+
+def _realize(
+    p: Pattern, gensym: _Gensym, mapping: Dict[str, Pattern], style: int
+) -> Pattern:
+    """Instantiate a shape's markers with fresh concrete terms.
+
+    Style 0 realizes expression markers as ``Id`` references; style 1 as
+    integer literals.  Mixing styles across a bucket's instances is what
+    keeps the anti-unifier from baking the marker's own syntax (the
+    ``Id`` wrapper) into the rule: a position whose values differ *in
+    structure* across examples must become a bare hole."""
+    if isinstance(p, Node) and p.label == "Id" and len(p.children) == 1:
+        inner = p.children[0]
+        if isinstance(inner, Const) and isinstance(inner.value, str) and (
+            inner.value.startswith(MARKER_PREFIX)
+        ):
+            if inner.value not in mapping:
+                mapping[inner.value] = (
+                    Const(gensym.fresh_int())
+                    if style == 1
+                    else Node("Id", (Const(gensym()),))
+                )
+            return mapping[inner.value]
+    if isinstance(p, Const):
+        if isinstance(p.value, str) and p.value.startswith(MARKER_PREFIX):
+            if p.value not in mapping:
+                mapping[p.value] = Const(gensym())
+            return mapping[p.value]
+        return p
+    if isinstance(p, Node):
+        return Node(
+            p.label, tuple(_realize(c, gensym, mapping, style) for c in p.children)
+        )
+    if isinstance(p, PList):
+        return PList(
+            tuple(_realize(i, gensym, mapping, style) for i in p.items), p.ellipsis
+        )
+    return p
+
+
+def _instantiate(
+    rules: RuleList, shape: Pattern, gensym: _Gensym, count: int
+) -> Tuple[Example, ...]:
+    examples: List[Example] = []
+    for k in range(count):
+        instance = _realize(shape, gensym, {}, style=k % 2)
+        expansion = rules.expand(instance)
+        if expansion is None and k % 2 == 1:
+            # The literal realization broke matching (a position that
+            # demands a reference); fall back to the faithful style.
+            instance = _realize(shape, gensym, {}, style=0)
+            expansion = rules.expand(instance)
+        if expansion is None:
+            return ()
+        examples.append((instance, strip_tags(expansion.term)))
+    return tuple(examples)

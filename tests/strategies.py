@@ -165,6 +165,65 @@ def wellformed_rules(draw) -> Rule:
 
 
 @st.composite
+def backend_examples(draw, backend_name: str = "lambda", n_pairs: int = 3):
+    """(surface, core) example pairs, all instances of ONE hand-written
+    rule of a real backend — ground truth for the synthesis tests.
+
+    Each pair instantiates the rule's LHS with fresh leaves (every draw
+    distinct, so no position accidentally looks constant) and asks the
+    full reference ruleset to desugar it one step; the pair is therefore
+    exactly what :mod:`repro.synth.harvest` would have mined, without
+    the mining.  Returns ``(examples, rules)``.
+    """
+    from repro.core.bindings import ListBinding
+    from repro.core.errors import SubstitutionError
+    from repro.core.substitution import subst
+    from repro.core.terms import (
+        pattern_variables,
+        strip_tags,
+        variable_depths,
+    )
+    from repro.engine.registry import get_backend
+
+    backend = get_backend(backend_name)
+    rules = backend.make_rules(None)
+    rule = draw(st.sampled_from(list(rules.rules)))
+    depths = variable_depths(rule.lhs)
+    counter = draw(st.integers(min_value=0, max_value=10_000))
+
+    def fresh_leaf():
+        nonlocal counter
+        counter += 1
+        if draw(st.booleans()):
+            return Const(counter)
+        return Node("Id", (Const(f"v{counter}"),))
+
+    def binding_at_depth(depth):
+        if depth == 0:
+            return fresh_leaf()
+        k = draw(st.integers(min_value=0, max_value=3))
+        return ListBinding(
+            tuple(binding_at_depth(depth - 1) for _ in range(k))
+        )
+
+    examples = []
+    for _ in range(n_pairs):
+        env = {
+            name: binding_at_depth(depths[name])
+            for name in pattern_variables(rule.lhs)
+        }
+        try:
+            surface = subst(env, rule.lhs)
+        except SubstitutionError:
+            assume(False)
+            raise
+        expansion = rules.expand(surface)
+        assume(expansion is not None)
+        examples.append((surface, strip_tags(expansion.term)))
+    return tuple(examples), rules
+
+
+@st.composite
 def disjoint_rulelists(draw) -> RuleList:
     """A rulelist whose rules have pairwise-distinct outer labels (hence
     trivially disjoint LHSs)."""

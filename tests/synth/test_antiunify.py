@@ -1,0 +1,211 @@
+"""Property-based tests for the synthesis core (anti-unification and
+the lens-law filter).
+
+The ground truth comes from the real backends: the
+``backend_examples`` strategy instantiates one hand-written rule with
+fresh leaves and desugars through the full reference ruleset, so every
+drawn example set is exactly what the harvester would have mined.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bindings import ListBinding
+from repro.core.errors import SubstitutionError
+from repro.core.lenses import check_rule_laws
+from repro.core.rules import RuleList
+from repro.core.substitution import subst
+from repro.core.terms import Const, pattern_variables, variable_depths
+from repro.core.wellformed import DisjointnessMode, wellformedness_violation
+from repro.synth import (
+    anti_unify_all,
+    check_candidate,
+    rules_alpha_equal,
+)
+from repro.synth.antiunify import anti_unify, canonical_patterns, hole_name
+
+from tests.strategies import backend_examples
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+def _instantiate(candidate, lengths, start):
+    """Fresh concrete (surface, core) pairs that are instances of
+    ``candidate``: every hole gets a distinct constant, ellipses are
+    repeated ``lengths[k]`` times in the k-th pair."""
+    depths = variable_depths(candidate.lhs)
+    counter = start
+
+    def binding(depth, length):
+        nonlocal counter
+        if depth == 0:
+            counter += 1
+            return Const(counter)
+        return ListBinding(
+            tuple(binding(depth - 1, length) for _ in range(length))
+        )
+
+    pairs = []
+    for length in lengths:
+        env = {
+            name: binding(depths.get(name, 0), length)
+            for name in dict.fromkeys(pattern_variables(candidate.lhs))
+        }
+        try:
+            pairs.append(
+                (subst(env, candidate.lhs), subst(env, candidate.rhs))
+            )
+        except SubstitutionError:
+            assume(False)
+            raise
+    return tuple(pairs)
+
+
+# --------------------------------------------------------------------------
+# Soundness: backend-harvested examples always yield an accepted rule
+
+
+@SETTINGS
+@given(data=backend_examples())
+def test_backend_examples_yield_an_accepted_candidate(data):
+    examples, _ = data
+    candidates = anti_unify_all(examples)
+    assert candidates, "anti-unification produced nothing"
+    assert any(check_candidate(c).ok for c in candidates)
+
+
+@SETTINGS
+@given(data=backend_examples(backend_name="pyret"))
+def test_pyret_examples_yield_an_accepted_candidate(data):
+    examples, _ = data
+    assert any(check_candidate(c).ok for c in anti_unify_all(examples))
+
+
+@SETTINGS
+@given(data=backend_examples())
+def test_every_candidate_generalizes_its_examples(data):
+    """The lgg never *invents* structure: each candidate's LHS matches
+    every example surface it was computed from (checked through the
+    engine's own matcher, via a one-rule rulelist when well-formed)."""
+    examples, _ = data
+    for candidate in anti_unify_all(examples):
+        checked = check_candidate(candidate)
+        if checked.rule is None:
+            continue  # ill-formed generalizations are the filter's job
+        single = RuleList((checked.rule,), DisjointnessMode.OFF)
+        for surface, _core in examples:
+            assert single.expand(surface) is not None
+
+
+# --------------------------------------------------------------------------
+# Round-trip: instantiating a synthesized rule and re-anti-unifying
+# recovers it up to hole renaming
+
+
+@SETTINGS
+@given(data=backend_examples(), start=st.integers(0, 10_000))
+def test_anti_unification_round_trip(data, start):
+    examples, _ = data
+    accepted = [c for c in anti_unify_all(examples) if check_candidate(c).ok]
+    assume(accepted)
+    candidate = accepted[0]
+    fresh = _instantiate(candidate, lengths=(2, 3, 4), start=start)
+    recovered = anti_unify_all(fresh)
+    assert any(rules_alpha_equal(candidate, c) for c in recovered)
+
+
+# --------------------------------------------------------------------------
+# Lens-law filter soundness: an accepted rule obeys GetPut/PutGet on
+# *fresh* instances, not just the examples it was trained on
+
+
+@SETTINGS
+@given(data=backend_examples(), start=st.integers(0, 10_000))
+def test_accepted_rules_satisfy_laws_on_fresh_instances(data, start):
+    examples, _ = data
+    accepted = [
+        check_candidate(c)
+        for c in anti_unify_all(examples)
+        if check_candidate(c).ok
+    ]
+    assume(accepted)
+    checked = accepted[0]
+    single = RuleList((checked.rule,), DisjointnessMode.OFF)
+    for surface, _core in _instantiate(
+        checked.candidate, lengths=(2, 4), start=start
+    ):
+        assert check_rule_laws(single, surface) is True
+
+
+@SETTINGS
+@given(data=backend_examples())
+def test_accepted_candidates_are_wellformed(data):
+    examples, _ = data
+    for candidate in anti_unify_all(examples):
+        if check_candidate(candidate).ok:
+            assert (
+                wellformedness_violation(
+                    candidate.lhs, candidate.rhs, candidate.atomic_vars
+                )
+                is None
+            )
+
+
+# --------------------------------------------------------------------------
+# Canonicalization and determinism
+
+
+@SETTINGS
+@given(data=backend_examples())
+def test_anti_unify_is_deterministic(data):
+    examples, _ = data
+    first = [(c.lhs, c.rhs, c.atomic_vars) for c in anti_unify_all(examples)]
+    second = [(c.lhs, c.rhs, c.atomic_vars) for c in anti_unify_all(examples)]
+    assert first == second
+
+
+@SETTINGS
+@given(data=backend_examples())
+def test_alpha_equality_is_reflexive_and_canonical(data):
+    examples, _ = data
+    for candidate in anti_unify_all(examples):
+        assert rules_alpha_equal(candidate, candidate)
+        # Canonicalization is idempotent, and candidates come out of
+        # anti_unify already canonical.
+        lhs, rhs = canonical_patterns(candidate.lhs, candidate.rhs)
+        assert (lhs, rhs) == canonical_patterns(lhs, rhs)
+        assert (lhs, rhs) == (candidate.lhs, candidate.rhs)
+
+
+def test_default_candidate_is_first_and_most_specific():
+    """The documented contract: anti_unify_all's first result is the
+    default (longest-shared-prefix) candidate."""
+    from repro.core.terms import Node, PList
+
+    examples = (
+        (
+            Node("Foo", (PList((Const(1), Const(2), Const(3))),)),
+            Node("Bar", (Const(1), Node("Foo", (PList((Const(2), Const(3))),)))),
+        ),
+        (
+            Node("Foo", (PList((Const(7), Const(8))),)),
+            Node("Bar", (Const(7), Node("Foo", (PList((Const(8),)),)))),
+        ),
+    )
+    candidates = anti_unify_all(examples)
+    default, _ = anti_unify(examples)
+    assert rules_alpha_equal(candidates[0], default)
+    # The recursive head/tail rule is found among the alternatives.
+    assert any(
+        isinstance(c.lhs.children[0], PList)
+        and c.lhs.children[0].ellipsis is not None
+        for c in candidates
+    )
+
+
+def test_hole_names_exhaust_letters_then_number():
+    assert hole_name(0) == "a"
+    assert hole_name(25) == "z"
+    assert hole_name(26) == "v26"
