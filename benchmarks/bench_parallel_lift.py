@@ -73,6 +73,21 @@ def test_corpus_throughput_across_worker_counts():
         # byte-identical to the sequential loop's.
         assert [o.rendered for o in outcomes] == expected, n_jobs
 
+    # Chunked scheduling: several jobs per pool submission amortizes
+    # pickling; results must stay byte-identical and in order.
+    start = time.perf_counter()
+    chunked = lift_corpus(
+        (RULES, make_stepper()),
+        corpus,
+        jobs=4,
+        chunk=4,
+        payload="rendered",
+        pretty=_pretty,
+    )
+    chunked_s = time.perf_counter() - start
+    assert [o.job_index for o in chunked] == list(range(len(corpus)))
+    assert [o.rendered for o in chunked] == expected
+
     cpu_count = os.cpu_count() or 1
     speedups = {n: sequential_s / batch_seconds[n] for n in WORKER_COUNTS}
     if cpu_count >= 4:
@@ -91,6 +106,8 @@ def test_corpus_throughput_across_worker_counts():
         jobs4_seconds=round(batch_seconds[4], 4),
         jobs1_speedup=round(speedups[1], 2),
         jobs4_steps_per_sec=round(total_core_steps / batch_seconds[4], 1),
+        jobs4_chunked_seconds=round(chunked_s, 4),
+        chunked_steps_per_sec=round(total_core_steps / chunked_s, 1),
     )
     if cpu_count == 1:
         # On a single core extra workers cannot speed anything up; a
@@ -111,5 +128,7 @@ def test_corpus_throughput_across_worker_counts():
                 f"({speedups[n]:.2f}x)"
                 for n in WORKER_COUNTS
             ),
+            f"jobs=4, chunk=4:  {chunked_s:.3f}s  "
+            f"({sequential_s / chunked_s:.2f}x)",
         ],
     )

@@ -1,0 +1,42 @@
+"""Persistent content-addressed caching for lifted evaluation.
+
+Resugaring is deterministic: the surface trace of a (program, ruleset,
+engine-config) triple never changes.  This package makes that pay across
+processes and runs — a :class:`LiftCache` directory holds recorded lift
+event streams plus :class:`~repro.core.incremental.ResugarCache` memo
+snapshots, keyed by content digests so a stale or wrong hit is
+structurally impossible (see :mod:`repro.cache.keys` for the key schema
+and :mod:`repro.cache.store` for the corruption contract).
+
+Entry points: pass ``cache=`` to the :class:`~repro.confection.Confection`
+constructor or to the :mod:`repro.engine.stream` generators, ``--cache
+DIR`` on the ``lift`` / ``lift-batch`` / ``serve`` CLI, or ``cache_dir=``
+on :class:`~repro.parallel.WarmPool`.  ``repro cache stats|clear``
+inspects and empties a directory.  ``docs/caching.md`` documents the
+invalidation contract.
+"""
+
+from repro.cache.keys import (
+    KEY_SCHEMA,
+    engine_fingerprint,
+    lift_key,
+    ruleset_fingerprint,
+    stepper_fingerprint,
+    term_digest,
+)
+from repro.cache.lift import DEFAULT_MAX_MEMO_ENTRIES, LiftCache
+from repro.cache.store import FORMAT_VERSION, MAGIC, CacheStore
+
+__all__ = [
+    "KEY_SCHEMA",
+    "MAGIC",
+    "FORMAT_VERSION",
+    "DEFAULT_MAX_MEMO_ENTRIES",
+    "CacheStore",
+    "LiftCache",
+    "engine_fingerprint",
+    "lift_key",
+    "ruleset_fingerprint",
+    "stepper_fingerprint",
+    "term_digest",
+]

@@ -145,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(lift.steps_total, match.attempts, resugar.cache_hits, ...) "
         "after the lift",
     )
+    lift.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent lift-cache directory: a repeated lift replays "
+        "its recorded trace instead of re-stepping (see docs/caching.md)",
+    )
 
     batch = sub.add_parser(
         "lift-batch",
@@ -198,6 +205,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect per-job span trees (with job/worker attribution "
         "and resugar provenance) and write the merged cross-process "
         "trace to FILE; analyze it with 'repro obs'",
+    )
+    batch.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent lift-cache directory shared by every worker",
+    )
+    batch.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="jobs per pool submission (default: automatic; chunking "
+        "amortizes pickling for large corpora of small jobs)",
     )
 
     obs = sub.add_parser(
@@ -272,8 +292,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="server-side cap clamped onto every request's wall-clock "
-        "budget (applies even when the request sets none; default: 30)",
+        "budget (applies even when the request sets none; default: 30; "
+        "0 disables the cap, which also lets --cache serve whole-lift "
+        "replays — wall-clock-budgeted lifts are uncacheable by design)",
     )
+    serve.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent lift-cache directory shared by sessions and "
+        "batch workers",
+    )
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or empty a persistent lift-cache directory",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="per-tier entry counts and byte sizes, as JSON"
+    )
+    cache_stats.add_argument("cache_dir", help="a lift-cache directory")
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every cache entry under the directory"
+    )
+    cache_clear.add_argument("cache_dir", help="a lift-cache directory")
 
     synth = sub.add_parser(
         "synth",
@@ -332,6 +375,10 @@ def _print_budget_notice(event: events.BudgetExhausted) -> None:
 
 def _cmd_lift(args) -> int:
     confection, backend = _build_confection(args)
+    if args.cache is not None:
+        from repro.cache import LiftCache
+
+        confection.cache = LiftCache(args.cache)
     obs_config = None
     if args.trace or args.metrics:
         from repro.obs import Observability
@@ -494,6 +541,8 @@ def _cmd_lift_batch(args) -> int:
             pretty=backend.pretty,
             collect_metrics=args.metrics,
             collect_spans=args.trace is not None,
+            cache_dir=args.cache,
+            chunk=args.chunk,
         ):
             outcomes.append(outcome)
             name = jobs[outcome.job_index].name
@@ -622,6 +671,20 @@ def _cmd_synth(args) -> int:
     return run_synth(args)
 
 
+def _cmd_cache(args) -> int:
+    import json
+
+    from repro.cache import CacheStore
+
+    store = CacheStore(args.cache_dir)
+    if args.cache_command == "stats":
+        print(json.dumps(store.scan(), indent=2, sort_keys=True))
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} cache file(s) from {args.cache_dir}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -635,8 +698,15 @@ def _cmd_serve(args) -> int:
             max_sessions=args.max_sessions,
             limits=ServerLimits(
                 max_steps_cap=args.max_steps_cap,
-                max_seconds_cap=args.max_seconds_cap,
+                # 0 (or negative) disables the wall-clock cap entirely;
+                # uncapped sessions are whole-lift cacheable.
+                max_seconds_cap=(
+                    args.max_seconds_cap
+                    if args.max_seconds_cap > 0
+                    else None
+                ),
             ),
+            cache_dir=args.cache,
         )
         async with server:
             print(
@@ -672,6 +742,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "check": _cmd_check,
         "serve": _cmd_serve,
         "synth": _cmd_synth,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)

@@ -13,6 +13,7 @@ results can be rendered back to strings with :meth:`Confection.show`.
 from __future__ import annotations
 
 from contextlib import nullcontext
+from os import PathLike
 from typing import Callable, Iterator, List, Optional, Union
 
 from repro.core.desugar import desugar as _desugar
@@ -49,6 +50,12 @@ class Confection:
     runs with observability enabled under it (spans flow to its sinks,
     counters to the metrics registry) and ``obs.snapshot()`` reads the
     numbers afterwards.
+
+    ``cache`` is an optional persistent :class:`repro.cache.LiftCache`
+    (or a directory path, coerced to one): every lift made through this
+    Confection then consults and feeds the content-addressed store —
+    repeated programs replay their recorded event streams instead of
+    re-stepping.  See ``docs/caching.md`` for the invalidation contract.
     """
 
     def __init__(
@@ -57,6 +64,7 @@ class Confection:
         stepper: Optional[Stepper] = None,
         disjointness: DisjointnessMode = DisjointnessMode.PRIORITIZED,
         obs: Optional["Observability"] = None,
+        cache=None,
     ) -> None:
         if isinstance(rules, str):
             rules = parse_rulelist(rules, disjointness)
@@ -65,6 +73,11 @@ class Confection:
         self.rules: RuleList = rules
         self.stepper = stepper
         self.obs = obs
+        if isinstance(cache, (str, PathLike)):
+            from repro.cache import LiftCache
+
+            cache = LiftCache(cache)
+        self.cache = cache
 
     def _obs_scope(self):
         """The active observability context for one lift (no-op when
@@ -132,6 +145,7 @@ class Confection:
                 max_seconds=max_seconds,
                 on_budget=on_budget,
                 stepper_mode=stepper_mode,
+                cache=self.cache,
             )
 
     def lift_stream(
@@ -168,6 +182,7 @@ class Confection:
             incremental=incremental,
             stepper_mode=stepper_mode,
             should_stop=should_stop,
+            cache=self.cache,
         )
         return self._scoped_stream(stream)
 
@@ -203,6 +218,7 @@ class Confection:
                 max_seconds=max_seconds,
                 on_budget=on_budget,
                 stepper_mode=stepper_mode,
+                cache=self.cache,
             )
 
     def lift_tree_stream(
@@ -233,6 +249,7 @@ class Confection:
             incremental=incremental,
             stepper_mode=stepper_mode,
             should_stop=should_stop,
+            cache=self.cache,
         )
         return self._scoped_stream(stream)
 
@@ -249,6 +266,8 @@ class Confection:
         collect_spans: bool = False,
         mp_context: Optional[str] = None,
         window: Optional[int] = None,
+        cache_dir=None,
+        chunk: Optional[int] = None,
     ):
         """Lift a whole corpus of programs, sharded across ``jobs``
         worker processes (default: one per CPU; ``jobs=1`` runs
@@ -267,6 +286,14 @@ class Confection:
         ``collect_spans=True`` to get per-job span trees with job
         attribution (merge into one cross-process trace with
         :func:`repro.parallel.aggregate_trace`).
+
+        ``cache_dir`` points every worker at one shared persistent
+        lift-cache directory (this Confection's own ``cache`` does not
+        cross the process boundary — workers each open their own
+        :class:`~repro.cache.LiftCache` against the shared store), and
+        ``chunk`` batches that many jobs per pool submission to
+        amortize pickling (default: an automatic heuristic; see
+        :class:`repro.parallel.WarmPool`).
         """
         from repro.parallel import lift_corpus
 
@@ -281,6 +308,8 @@ class Confection:
             collect_spans=collect_spans,
             mp_context=mp_context,
             window=window,
+            cache_dir=cache_dir,
+            chunk=chunk,
         )
 
     def lift_corpus_stream(
@@ -294,6 +323,8 @@ class Confection:
         collect_spans: bool = False,
         mp_context: Optional[str] = None,
         window: Optional[int] = None,
+        cache_dir=None,
+        chunk: Optional[int] = None,
     ):
         """Lift a corpus lazily, yielding per-job outcome events in
         submission order as workers finish (the streaming face of
@@ -311,6 +342,8 @@ class Confection:
             collect_spans=collect_spans,
             mp_context=mp_context,
             window=window,
+            cache_dir=cache_dir,
+            chunk=chunk,
         )
 
     def _scoped_stream(

@@ -168,6 +168,7 @@ def lift_evaluation(
     max_seconds: Optional[float] = None,
     on_budget: str = "raise",
     stepper_mode: Optional[str] = None,
+    cache=None,
 ) -> LiftResult:
     """Compute the surface evaluation sequence of ``surface_term``.
 
@@ -194,6 +195,10 @@ def lift_evaluation(
     :class:`~repro.redex.reduction.RedexStepper`; the lifted result is
     byte-identical either way.
 
+    ``cache`` attaches a persistent :class:`repro.cache.LiftCache`: a
+    repeated (program, rules, config) request folds the recorded event
+    stream instead of re-stepping (see :mod:`repro.engine.stream`).
+
     This is an eager fold over :func:`repro.engine.stream.lift_stream`;
     use the stream directly to consume steps as they are produced.
     """
@@ -210,6 +215,7 @@ def lift_evaluation(
         check_emulation=check_emulation,
         incremental=incremental,
         stepper_mode=stepper_mode,
+        cache=cache,
     )
     if _obs.enabled:
         with _obs_span("lift.batch", mode="sequence"):
@@ -311,6 +317,7 @@ def lift_evaluation_tree(
     max_seconds: Optional[float] = None,
     on_budget: str = "raise",
     stepper_mode: Optional[str] = None,
+    cache=None,
 ) -> SurfaceTree:
     """Lift a nondeterministic evaluation into a surface tree
     (section 5.3's breadth-first exploration with bookkeeping).
@@ -324,7 +331,8 @@ def lift_evaluation_tree(
     almost their entire term.
 
     ``max_nodes``/``max_seconds``/``on_budget`` budget the exploration
-    exactly as on :func:`lift_evaluation`.  This is an eager fold over
+    exactly as on :func:`lift_evaluation`, and ``cache`` attaches a
+    persistent lift cache exactly as there.  This is an eager fold over
     :func:`repro.engine.stream.lift_tree_stream`.
     """
     from repro.engine.stream import fold_tree, lift_tree_stream
@@ -339,6 +347,7 @@ def lift_evaluation_tree(
         check_emulation=check_emulation,
         incremental=incremental,
         stepper_mode=stepper_mode,
+        cache=cache,
     )
     if _obs.enabled:
         with _obs_span("lift.batch", mode="tree"):

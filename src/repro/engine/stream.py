@@ -23,6 +23,20 @@ and an ``on_budget`` policy deciding what exhaustion means:
   :class:`~repro.engine.events.BudgetExhausted` event and stop; every
   event already yielded is a valid prefix of the full lift.
 
+Both generators also accept a persistent ``cache``
+(:class:`repro.cache.LiftCache`).  With one attached, a lift first
+consults the whole-lift tier: a hit replays the recorded event stream —
+byte-identical frames, no desugaring, no stepping — and a cold run that
+reaches its terminal event is recorded for next time.  Incremental runs
+additionally hydrate their per-run
+:class:`~repro.core.incremental.ResugarCache` from the memo tier and
+persist it back after the terminal event.  Uncacheable requests
+(unidentifiable stepper, wall-clock budgets — see
+:meth:`repro.cache.LiftCache.lift_key`) run exactly as if no cache were
+attached, and a lift that ends without a terminal event (cancellation,
+``on_budget="raise"`` exhaustion, any raised error) never stores a
+partial stream.
+
 Both also take a *cooperative cancellation hook*: ``should_stop``, a
 zero-argument callable polled once per core step.  When it returns
 true the generator returns immediately — no terminal event, no more
@@ -140,6 +154,38 @@ def _deadline(max_seconds: Optional[float]) -> Optional[float]:
     return monotonic() + max_seconds
 
 
+def _replay(recorded, mode: str, should_stop) -> Iterator[LiftEvent]:
+    """Yield a recorded event stream (a whole-lift cache hit).
+
+    The frames are exactly what the cold run yielded — terms re-interned
+    at load, stats intact — so folds and renderers cannot tell the
+    difference.  Cancellation is still honored between frames.  Per-step
+    instrumentation does not re-fire (nothing was resugared); with
+    observability on, the run appears as a single ``lift`` span marked
+    ``cache="hit"``.
+    """
+    if _obs.enabled:
+        with _span("lift", mode=mode, cache="hit"):
+            pass
+    for event in recorded:
+        if should_stop is not None and should_stop():
+            return
+        yield event
+
+
+def _recording(body, cache, cache_key: str) -> Iterator[LiftEvent]:
+    """Pass ``body``'s events through, and store the whole stream iff it
+    ended in a terminal event.  An abandoned generator, a cooperative
+    cancellation, or any raised error leaves the loop before the
+    terminal check — a partial stream is never persisted."""
+    events = []
+    for event in body:
+        events.append(event)
+        yield event
+    if events and isinstance(events[-1], (Halted, BudgetExhausted)):
+        cache.store_lift(cache_key, tuple(events))
+
+
 def lift_stream(
     rules: RuleList,
     stepper: "Stepper",
@@ -153,6 +199,7 @@ def lift_stream(
     incremental: bool = True,
     stepper_mode: Optional[str] = None,
     should_stop: Optional[Callable[[], bool]] = None,
+    cache=None,
 ) -> Iterator[LiftEvent]:
     """Lazily lift ``surface_term``'s evaluation, yielding events.
 
@@ -169,7 +216,10 @@ def lift_stream(
     stepper's own configuration.  ``should_stop`` is the cooperative
     cancellation hook (see the module docstring): polled before every
     core step, and a true return ends the stream with no terminal
-    event.
+    event.  ``cache`` attaches a persistent
+    :class:`repro.cache.LiftCache` (see the module docstring): a
+    whole-lift hit replays the recorded frames; a cold terminal-reaching
+    run records them.
 
     With observability on (:mod:`repro.obs`), the run is wrapped in a
     ``lift`` span, every core step gets a ``lift.step`` child span
@@ -178,6 +228,21 @@ def lift_stream(
     """
     _check_policy(on_budget)
     stepper = _apply_stepper_mode(stepper, stepper_mode)
+    cache_key = None
+    if cache is not None:
+        # Keyed after stepper_mode resolution, so an explicit mode and
+        # a stepper configured with that same mode share entries.
+        cache_key = cache.lift_key(
+            rules, stepper, surface_term, mode="sequence",
+            dedup=dedup, check_emulation=check_emulation,
+            incremental=incremental, on_budget=on_budget,
+            max_steps=max_steps, max_seconds=max_seconds,
+        )
+        if cache_key is not None:
+            recorded = cache.lookup_lift(cache_key)
+            if recorded is not None:
+                yield from _replay(recorded, "sequence", should_stop)
+                return
     # The provenance run scope opens before desugaring so the initial
     # expansions are attributed to this run too.  The run's per-rule
     # totals are attached while the lift span is still open (attrs must
@@ -189,11 +254,16 @@ def lift_stream(
             "lift", mode="sequence", incremental=incremental, dedup=dedup
         ) as lift_span:
             try:
-                yield from _lift_stream_body(
+                body = _lift_stream_body(
                     rules, stepper, surface_term, max_steps, max_seconds,
                     on_budget, dedup, check_emulation, incremental,
                     lift_span, should_stop,
+                    cache if incremental else None,
                 )
+                if cache_key is not None:
+                    yield from _recording(body, cache, cache_key)
+                else:
+                    yield from body
             finally:
                 if run is not None and lift_span is not None:
                     lift_span.attrs["rule_stats"] = run.rule_stats()
@@ -205,12 +275,21 @@ def lift_stream(
 def _lift_stream_body(
     rules, stepper, surface_term, max_steps, max_seconds,
     on_budget, dedup, check_emulation, incremental, lift_span,
-    should_stop,
+    should_stop, lift_cache=None,
 ):
     core = desugar(rules, surface_term)
     state = stepper.load(core)
     cache = ResugarCache(rules) if incremental else None
     stats = cache.stats if cache else None
+    if cache is not None and lift_cache is not None:
+        lift_cache.hydrate(cache)
+
+    def persist_memo():
+        # Before the terminal yield, not after: a consumer that stops
+        # at the terminal event never resumes the generator.
+        if cache is not None and lift_cache is not None:
+            lift_cache.persist_memo(cache)
+
     deadline = _deadline(max_seconds)
     last_emitted: Optional[Pattern] = None
     index = 0
@@ -251,6 +330,7 @@ def _lift_stream_body(
                 )
             if lift_span is not None:
                 lift_span.attrs["truncated"] = "steps"
+            persist_memo()
             yield BudgetExhausted(index, stats, "steps", max_steps)
             return
         if deadline is not None and monotonic() >= deadline:
@@ -261,6 +341,7 @@ def _lift_stream_body(
                 )
             if lift_span is not None:
                 lift_span.attrs["truncated"] = "seconds"
+            persist_memo()
             yield BudgetExhausted(index, stats, "seconds", max_seconds)
             return
 
@@ -288,6 +369,7 @@ def _lift_stream_body(
         if not successors:
             if lift_span is not None:
                 lift_span.attrs["core_steps"] = index + 1
+            persist_memo()
             yield Halted(index + 1, stats)
             return
         if len(successors) > 1:
@@ -311,6 +393,7 @@ def lift_tree_stream(
     incremental: bool = True,
     stepper_mode: Optional[str] = None,
     should_stop: Optional[Callable[[], bool]] = None,
+    cache=None,
 ) -> Iterator[LiftEvent]:
     """Lazily lift a nondeterministic evaluation tree, breadth-first.
 
@@ -321,9 +404,25 @@ def lift_tree_stream(
     is ``max_nodes`` explored core states (terminal event budget kind:
     ``"nodes"``) plus the optional wall clock.  ``should_stop`` is the
     cooperative cancellation hook, polled once per explored node.
+    ``cache`` attaches a persistent :class:`repro.cache.LiftCache`,
+    exactly as on :func:`lift_stream` (tree and sequence lifts key into
+    disjoint namespaces via the engine fingerprint's ``mode``).
     """
     _check_policy(on_budget)
     stepper = _apply_stepper_mode(stepper, stepper_mode)
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.lift_key(
+            rules, stepper, surface_term, mode="tree",
+            check_emulation=check_emulation, incremental=incremental,
+            on_budget=on_budget, max_nodes=max_nodes,
+            max_seconds=max_seconds,
+        )
+        if cache_key is not None:
+            recorded = cache.lookup_lift(cache_key)
+            if recorded is not None:
+                yield from _replay(recorded, "tree", should_stop)
+                return
     # Same scoping as lift_stream: run provenance opens before
     # desugaring, rule_stats attach while the lift span is open.
     run = _prov.begin_run(rules) if _obs.enabled else None
@@ -332,11 +431,16 @@ def lift_tree_stream(
             "lift", mode="tree", incremental=incremental
         ) as lift_span:
             try:
-                yield from _lift_tree_stream_body(
+                body = _lift_tree_stream_body(
                     rules, stepper, surface_term, max_nodes, max_seconds,
                     on_budget, check_emulation, incremental, lift_span,
                     should_stop,
+                    cache if incremental else None,
                 )
+                if cache_key is not None:
+                    yield from _recording(body, cache, cache_key)
+                else:
+                    yield from body
             finally:
                 if run is not None and lift_span is not None:
                     lift_span.attrs["rule_stats"] = run.rule_stats()
@@ -348,11 +452,19 @@ def lift_tree_stream(
 def _lift_tree_stream_body(
     rules, stepper, surface_term, max_nodes, max_seconds,
     on_budget, check_emulation, incremental, lift_span,
-    should_stop,
+    should_stop, lift_cache=None,
 ):
     core = desugar(rules, surface_term)
     cache = ResugarCache(rules) if incremental else None
     stats = cache.stats if cache else None
+    if cache is not None and lift_cache is not None:
+        lift_cache.hydrate(cache)
+
+    def persist_memo():
+        # Before the terminal yield, as in _lift_stream_body.
+        if cache is not None and lift_cache is not None:
+            lift_cache.persist_memo(cache)
+
     deadline = _deadline(max_seconds)
     # Queue holds (state, nearest surface ancestor id or None).
     queue: deque = deque([(stepper.load(core), None)])
@@ -395,6 +507,7 @@ def _lift_tree_stream_body(
                 )
             if lift_span is not None:
                 lift_span.attrs["truncated"] = "nodes"
+            persist_memo()
             yield BudgetExhausted(explored, stats, "nodes", max_nodes)
             return
         if deadline is not None and monotonic() >= deadline:
@@ -405,6 +518,7 @@ def _lift_tree_stream_body(
                 )
             if lift_span is not None:
                 lift_span.attrs["truncated"] = "seconds"
+            persist_memo()
             yield BudgetExhausted(explored, stats, "seconds", max_seconds)
             return
 
@@ -435,6 +549,7 @@ def _lift_tree_stream_body(
             queue.append((successor, parent))
     if lift_span is not None:
         lift_span.attrs["core_nodes"] = explored
+    persist_memo()
     yield Halted(explored, stats)
 
 

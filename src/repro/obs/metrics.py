@@ -65,6 +65,12 @@ name                          kind       meaning
 ``synth.rules_installed``     counter    rules admitted into a synthesized set
 ``synth.fuzz_trials``         counter    perturbed candidates pushed through
 ``synth.fuzz_crashes``        counter    engine crashes the fuzzer surfaced
+``cache.lift_hits``           counter    whole-lift results served from disk
+``cache.lift_misses``         counter    whole-lift lookups that came up cold
+``cache.stores``              counter    entries written to a persistent store
+``cache.corrupt``             counter    damaged cache entries detected+evicted
+``cache.memo_hydrated``       counter    ResugarCache memo entries preloaded
+``cache.errors``              counter    cache I/O failures contained as misses
 ============================  =========  =====================================
 
 Counters only move when observability is enabled (the instrumentation
@@ -74,9 +80,12 @@ unconditionally: ``trace.truncated_lines``, which
 line should never go unrecorded; the ``server.*`` family, which
 :mod:`repro.server` maintains because serving bookkeeping is not on the
 per-step hot path and a ``/metrics`` scrape must see traffic whether or
-not any lift ran with observability on; and the ``synth.*`` family,
+not any lift ran with observability on; the ``synth.*`` family,
 which :mod:`repro.synth` maintains for the same reason — synthesis runs
-batch-scale, not step-scale, and its counters summarize each run.
+batch-scale, not step-scale, and its counters summarize each run; and
+the ``cache.*`` family, which :mod:`repro.cache` maintains because
+persistent-cache traffic is per-lift (not per-step) and corruption
+events must be visible whether or not observability was on.
 
 :func:`render_prometheus` renders a registry in the Prometheus text
 exposition format (version 0.0.4) for scrape endpoints: counters gain
@@ -405,6 +414,16 @@ SYNTH_REJECTED = REGISTRY.counter("synth.rejected")
 SYNTH_RULES_INSTALLED = REGISTRY.counter("synth.rules_installed")
 SYNTH_FUZZ_TRIALS = REGISTRY.counter("synth.fuzz_trials")
 SYNTH_FUZZ_CRASHES = REGISTRY.counter("synth.fuzz_crashes")
+
+# Persistent-cache instruments (repro.cache).  Unconditional, like the
+# synth family: cache traffic is per-lift, and a corrupt-entry eviction
+# must be recorded whether or not observability was enabled.
+CACHE_LIFT_HITS = REGISTRY.counter("cache.lift_hits")
+CACHE_LIFT_MISSES = REGISTRY.counter("cache.lift_misses")
+CACHE_STORES = REGISTRY.counter("cache.stores")
+CACHE_CORRUPT = REGISTRY.counter("cache.corrupt")
+CACHE_MEMO_HYDRATED = REGISTRY.counter("cache.memo_hydrated")
+CACHE_ERRORS = REGISTRY.counter("cache.errors")
 SERVER_TTFS_SECONDS = REGISTRY.histogram(
     "server.ttfs_seconds", SERVER_TIME_BUCKETS
 )

@@ -124,6 +124,36 @@ _WORKER_PAYLOAD = "result"
 _WORKER_METRICS = False
 _WORKER_SPANS = False
 
+# Largest job batch one chunked submission will carry (see
+# :func:`_auto_chunk`); chosen so a chunk's pickled results stay small.
+MAX_AUTO_CHUNK = 8
+
+
+def _auto_chunk(n_jobs: int, workers: int) -> int:
+    """Jobs per pool submission when the caller did not choose.
+
+    Chunking amortizes per-submission pickling and future overhead,
+    which dominates when jobs are small and plentiful; but oversized
+    chunks serialize work that could balance across workers.  The
+    heuristic only batches once the corpus is several windows deep
+    (``n_jobs // (workers * 4)``), so modest corpora keep today's
+    one-job-per-submission behaviour, and caps at
+    :data:`MAX_AUTO_CHUNK`.
+    """
+    return max(1, min(MAX_AUTO_CHUNK, n_jobs // (workers * 4)))
+
+
+def _attach_cache(engine, cache_dir):
+    """Open this process's :class:`~repro.cache.LiftCache` against the
+    shared store directory.  Live cache objects never cross the process
+    boundary — only the path does, so every worker re-opens its own
+    handle and the on-disk store is the shared state."""
+    if cache_dir is not None:
+        from repro.cache import LiftCache
+
+        engine.cache = LiftCache(cache_dir)
+    return engine
+
 
 def default_worker_count() -> int:
     """The worker count used when ``jobs`` is not given: one per CPU."""
@@ -234,15 +264,18 @@ def _execute_job(
 
 
 def _warm_worker(
-    engine, payload, pretty, collect_metrics, collect_spans
+    engine, payload, pretty, collect_metrics, collect_spans,
+    cache_dir=None,
 ) -> None:
     """Pool initializer: build this worker's engine once (rule tables,
-    stepper) and stash the pool configuration in module globals.  The
-    batch trace id is *not* baked here — a warm pool outlives any one
-    batch, so it rides along per job (:func:`_pool_run`)."""
+    stepper, and — given ``cache_dir`` — a persistent lift cache over
+    the shared store) and stash the pool configuration in module
+    globals.  The batch trace id is *not* baked here — a warm pool
+    outlives any one batch, so it rides along per job
+    (:func:`_pool_run`)."""
     global _WORKER_ENGINE, _WORKER_PRETTY, _WORKER_PAYLOAD, _WORKER_METRICS
     global _WORKER_SPANS
-    _WORKER_ENGINE = _resolve_engine(engine)
+    _WORKER_ENGINE = _attach_cache(_resolve_engine(engine), cache_dir)
     _WORKER_PRETTY = pretty
     _WORKER_PAYLOAD = payload
     _WORKER_METRICS = collect_metrics
@@ -257,6 +290,23 @@ def _pool_run(
     return _execute_job(
         _WORKER_ENGINE, index, job, _WORKER_PAYLOAD, _WORKER_PRETTY,
         _WORKER_METRICS, _WORKER_SPANS, trace_id,
+    )
+
+
+def _pool_run_chunk(
+    start_index: int,
+    jobs_chunk: Sequence[LiftJob],
+    trace_id: Optional[str] = None,
+) -> tuple:
+    """Worker-side chunk entry: run a contiguous batch of jobs in one
+    submission (one pickle round-trip for N jobs), preserving the
+    per-job indices and the per-job fault-isolation contract."""
+    return tuple(
+        _execute_job(
+            _WORKER_ENGINE, start_index + offset, job, _WORKER_PAYLOAD,
+            _WORKER_PRETTY, _WORKER_METRICS, _WORKER_SPANS, trace_id,
+        )
+        for offset, job in enumerate(jobs_chunk)
     )
 
 
@@ -332,6 +382,12 @@ class WarmPool:
     Serialization is exactly the one-worker semantics ``jobs=1``
     promises; concurrent batches queue just as they would on a
     one-worker process pool.
+
+    ``cache_dir`` gives every worker (and the ``jobs=1`` in-process
+    engine) a persistent :class:`~repro.cache.LiftCache` over one
+    shared store directory, and ``chunk`` fixes the jobs-per-submission
+    batch size (default: :func:`_auto_chunk`); see
+    :func:`lift_corpus_stream` for both contracts.
     """
 
     def __init__(
@@ -344,17 +400,23 @@ class WarmPool:
         collect_metrics: bool = False,
         collect_spans: bool = False,
         mp_context: Optional[str] = None,
+        cache_dir=None,
+        chunk: Optional[int] = None,
     ) -> None:
         _check_options(payload, pretty)
         n_workers = default_worker_count() if jobs is None else jobs
         if n_workers < 1:
             raise ValueError(f"jobs must be >= 1, got {n_workers!r}")
+        if chunk is not None and chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk!r}")
         self.engine = engine
         self.jobs = n_workers
         self.payload = payload
         self.pretty = pretty
         self.collect_metrics = collect_metrics
         self.collect_spans = collect_spans
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.chunk = chunk
         self._mp_context = mp_context
         self._executor: Optional[ProcessPoolExecutor] = None
         self._local = None  # resolved engine for the jobs=1 path
@@ -379,6 +441,7 @@ class WarmPool:
                     initargs=(
                         self.engine, self.payload, self.pretty,
                         self.collect_metrics, self.collect_spans,
+                        self.cache_dir,
                     ),
                 )
             return self._executor
@@ -398,7 +461,9 @@ class WarmPool:
             # an abandoned generator is closed).
             with self._run_lock:
                 if self._local is None:
-                    self._local = _resolve_engine(self.engine)
+                    self._local = _attach_cache(
+                        _resolve_engine(self.engine), self.cache_dir
+                    )
                 for index, job in enumerate(jobs_list):
                     yield _execute_job(
                         self._local, index, job, self.payload, self.pretty,
@@ -412,17 +477,29 @@ class WarmPool:
             raise ValueError(f"window must be >= 1, got {window!r}")
 
         pool = self._ensure_executor()
+        chunk = (
+            self.chunk
+            if self.chunk is not None
+            else _auto_chunk(len(jobs_list), self.jobs)
+        )
         pending: deque = deque()
-        upcoming = iter(enumerate(jobs_list))
+        upcoming = iter(
+            (start, jobs_list[start : start + chunk])
+            for start in range(0, len(jobs_list), chunk)
+        )
 
         def submit_next() -> bool:
             try:
-                index, job = next(upcoming)
+                start, chunk_jobs = next(upcoming)
             except StopIteration:
                 return False
-            pending.append(
-                (index, pool.submit(_pool_run, index, job, trace_id))
-            )
+            if len(chunk_jobs) == 1:
+                future = pool.submit(_pool_run, start, chunk_jobs[0], trace_id)
+            else:
+                future = pool.submit(
+                    _pool_run_chunk, start, chunk_jobs, trace_id
+                )
+            pending.append((start, len(chunk_jobs), future))
             return True
 
         try:
@@ -430,30 +507,35 @@ class WarmPool:
                 if not submit_next():
                     break
             while pending:
-                index, future = pending.popleft()
+                start, count, future = pending.popleft()
                 submit_next()
                 try:
-                    outcome = future.result()
+                    result = future.result()
+                    outcomes = (result,) if count == 1 else result
                 except Exception as exc:
                     # The job function never raises; reaching here means
                     # the pool itself broke (a worker died, or a payload
-                    # failed to pickle).  Contain it as this job's
-                    # failure.
-                    outcome = JobError(
-                        job_index=index,
-                        error_type=type(exc).__name__,
-                        error_message=str(exc),
-                        traceback=_traceback.format_exc(),
-                        worker=None,
+                    # failed to pickle).  Contain it as a failure for
+                    # every job the submission carried.
+                    tb = _traceback.format_exc()
+                    outcomes = tuple(
+                        JobError(
+                            job_index=start + offset,
+                            error_type=type(exc).__name__,
+                            error_message=str(exc),
+                            traceback=tb,
+                            worker=None,
+                        )
+                        for offset in range(count)
                     )
-                yield outcome
+                yield from outcomes
         finally:
             # Early exit — the consumer closed the stream, SIGINT landed
             # in future.result(), or an exception escaped the loop.
             # Cancel the queued-but-unstarted tail so the batch stops at
             # the in-flight window instead of running the whole corpus.
             while pending:
-                _, future = pending.popleft()
+                *_, future = pending.popleft()
                 future.cancel()
 
     def map_engine(
@@ -474,7 +556,9 @@ class WarmPool:
         if self.jobs == 1:
             with self._run_lock:
                 if self._local is None:
-                    self._local = _resolve_engine(self.engine)
+                    self._local = _attach_cache(
+                        _resolve_engine(self.engine), self.cache_dir
+                    )
                 return [
                     _call_on_engine(self._local, i, fn, payload)
                     for i, payload in enumerate(payloads)
@@ -548,6 +632,8 @@ def lift_corpus_stream(
     mp_context: Optional[str] = None,
     window: Optional[int] = None,
     pool: Optional[WarmPool] = None,
+    cache_dir=None,
+    chunk: Optional[int] = None,
 ) -> Iterator[BatchOutcome]:
     """Lift every program in ``corpus``, streaming outcomes back in
     submission order.
@@ -565,6 +651,16 @@ def lift_corpus_stream(
     ``spans`` with :func:`aggregate_trace`.  ``window`` bounds how many
     jobs are in flight at once (default ``4 * jobs``), so a long corpus
     never piles up in the call queue.
+
+    ``cache_dir`` points every worker at one shared persistent
+    :class:`~repro.cache.LiftCache` directory (only the path crosses
+    the process boundary; each worker opens its own handle against the
+    shared store).  ``chunk`` batches that many contiguous jobs per
+    pool submission to amortize pickling and future overhead; the
+    default is an automatic heuristic (:func:`_auto_chunk`) that keeps
+    one-job submissions until the corpus is several windows deep.
+    Chunking is invisible in results: outcomes still arrive one per
+    job, in submission order, with per-job fault isolation.
 
     ``pool`` reuses an already-warm :class:`WarmPool` instead of
     building an ephemeral one: the pool's own engine and payload
@@ -586,6 +682,8 @@ def lift_corpus_stream(
         collect_metrics=collect_metrics,
         collect_spans=collect_spans,
         mp_context=mp_context,
+        cache_dir=cache_dir,
+        chunk=chunk,
     )
     try:
         yield from owned.run(corpus, window=window)
@@ -604,6 +702,8 @@ def lift_corpus(
     collect_spans: bool = False,
     mp_context: Optional[str] = None,
     window: Optional[int] = None,
+    cache_dir=None,
+    chunk: Optional[int] = None,
 ) -> List[BatchOutcome]:
     """Eagerly lift ``corpus`` and return outcomes in submission order
     (the list form of :func:`lift_corpus_stream`; same options)."""
@@ -618,6 +718,8 @@ def lift_corpus(
             collect_spans=collect_spans,
             mp_context=mp_context,
             window=window,
+            cache_dir=cache_dir,
+            chunk=chunk,
         )
     )
 

@@ -111,6 +111,11 @@ class ReproServer:
     test hold hundreds of sessions open concurrently while their
     producers sit idle.  ``None`` keeps OS defaults.
 
+    ``cache_dir`` attaches a persistent :class:`~repro.cache.LiftCache`
+    (shared across sessions, and with batch workers via their
+    :class:`~repro.parallel.WarmPool`): a repeated lift request replays
+    its recorded frames instead of re-stepping.  See ``docs/caching.md``.
+
     Use as an async context manager (binds on enter, drains on exit) or
     via :meth:`start` / :meth:`aclose`.
     """
@@ -126,10 +131,22 @@ class ReproServer:
         limits: Optional[ServerLimits] = None,
         stream_buffer_bytes: Optional[int] = None,
         shutdown_grace: float = 5.0,
+        cache_dir=None,
     ) -> None:
         self.host = host
         self.port = port
         self.jobs = jobs
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            from repro.cache import LiftCache
+
+            # One handle per server: in-process sessions share it (and
+            # its hydration bookkeeping); batch workers re-open their
+            # own against the same directory (only the path crosses the
+            # process boundary).
+            self._lift_cache = LiftCache(self.cache_dir)
+        else:
+            self._lift_cache = None
         self.limits = limits or ServerLimits()
         self.stream_buffer_bytes = stream_buffer_bytes
         self.shutdown_grace = shutdown_grace
@@ -211,7 +228,10 @@ class ReproServer:
                 request.sugar, **request.backend_options()
             )
             self._rules_cache[key] = rules
-        return Confection(rules, backend.make_stepper()), backend
+        return (
+            Confection(rules, backend.make_stepper(), cache=self._lift_cache),
+            backend,
+        )
 
     def _make_pool(self, request: BatchRequest) -> Tuple[WarmPool, object]:
         backend = get_backend(request.lang)
@@ -229,6 +249,7 @@ class ReproServer:
                 jobs=self.jobs,
                 payload="rendered",
                 pretty=backend.pretty,
+                cache_dir=self.cache_dir,
             )
             self._pools[key] = pool
         return pool, backend

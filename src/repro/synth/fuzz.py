@@ -17,8 +17,19 @@ Trial verdicts:
 ``rejected-static``   well-formedness or disjointness said no
 ``rejected-filter``   the rule can't reproduce its examples / breaks a lens law
 ``rejected-runtime``  desugar fuel, substitution, or the emulation check said no mid-lift
-``accepted-safe``     the perturbation was harmless; lifts completed, laws held
+``accepted-safe``     the perturbation was harmless; lifts completed, laws held,
+                      and the mutant demonstrably fired during the lifts
+``inert``             the lifts completed, but per-rule provenance shows the
+                      mutant never participated — a vacuous pass, not a safe one
 ``crash``             a non-``ReproError`` escaped — an engine bug
+
+The ``inert`` cross-check closes a soundness hole in the old report:
+``accepted-safe`` used to mean only "nothing blew up", which a mutant
+that never matches anything achieves trivially.  Every trial's verdict
+is now checked against the :mod:`repro.obs.provenance` ``rule_stats``
+table of its own example lifts — the spliced mutant sits at rule index
+0, so a missing ``0:``-keyed row means the dynamic stage proved
+nothing about it.
 """
 
 from __future__ import annotations
@@ -319,6 +330,20 @@ class FuzzReport:
         return not self.crashes
 
 
+def _mutant_fired(records) -> bool:
+    """Did rule index 0 (the spliced mutant) do anything, per the
+    ``rule_stats`` tables on the collected lift spans?  All-zero rows
+    are elided at the source, so key presence is participation."""
+    for record in records:
+        attrs = record.get("attrs")
+        stats = attrs.get("rule_stats") if isinstance(attrs, dict) else None
+        if isinstance(stats, dict) and any(
+            key.partition(":")[0] == "0" for key in stats
+        ):
+            return True
+    return False
+
+
 def run_trial(
     reference: RuleList,
     stepper_factory: Callable,
@@ -349,6 +374,7 @@ def run_trial(
         return FuzzOutcome(op, "rejected-static", checked.detail, mutated)
 
     lift_error = ""
+    mutant_fired = False
     try:
         try:
             spliced = RuleList(
@@ -359,13 +385,21 @@ def run_trial(
                 (checked.rule,) + tuple(reference.rules), DisjointnessMode.OFF
             )
         engine = Confection(spliced, stepper_factory())
-        for surface, _ in mutated.examples[:2]:
-            engine.lift(
-                surface,
-                max_steps=max_steps,
-                on_budget="truncate",
-                check_emulation=True,
-            )
+        # The lifts run under a span collector (reset_metrics=False: the
+        # fuzz loop's own synth.* counters must survive) so the mutant's
+        # participation is provable from rule_stats afterwards.
+        from repro.obs import Observability, SpanCollector
+
+        collector = SpanCollector()
+        with Observability(sinks=[collector], reset_metrics=False):
+            for surface, _ in mutated.examples[:2]:
+                engine.lift(
+                    surface,
+                    max_steps=max_steps,
+                    on_budget="truncate",
+                    check_emulation=True,
+                )
+        mutant_fired = _mutant_fired(collector.records)
     except ReproError as exc:
         lift_error = f"{type(exc).__name__}: {exc}"
     except Exception:
@@ -375,6 +409,14 @@ def run_trial(
         return FuzzOutcome(op, "rejected-filter", checked.detail, mutated)
     if lift_error:
         return FuzzOutcome(op, "rejected-runtime", lift_error, mutated)
+    if not mutant_fired:
+        return FuzzOutcome(
+            op,
+            "inert",
+            "mutant rule recorded no expansions, unexpansions, or "
+            "unexpand failures during its example lifts",
+            mutated,
+        )
     return FuzzOutcome(op, "accepted-safe", candidate=mutated)
 
 

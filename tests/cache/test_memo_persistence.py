@@ -1,0 +1,131 @@
+"""Memo-tier persistence: subterm resugarings survive process restarts.
+
+The memo tier snapshots a run's :class:`ResugarCache` keyed by ruleset
+fingerprint alone, so a *different* program lifted later — or the same
+program in a fresh process with a fresh intern table — warm-starts from
+every subterm any earlier run resugared.  These tests simulate the
+restart with :func:`clear_intern_caches` plus fresh handles, and pin the
+write-back economics: no rewrite when a run learned nothing, no growth
+past the entry cap, last-writer-wins merge across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import LiftCache
+from repro.cache.lift import LIFT_TIER, MEMO_TIER
+from repro.confection import Confection
+from repro.core.incremental import ResugarCache
+from repro.core.intern import clear_intern_caches
+from repro.engine.registry import get_backend
+
+PROGRAM = "(or (not #t) (not #f))"
+OTHER_PROGRAM = "(and (not #f) (or #t #f))"
+
+
+@pytest.fixture()
+def backend():
+    return get_backend("lambda")
+
+
+def _lift(backend, cache, program=PROGRAM):
+    engine = Confection(
+        backend.make_rules(None), backend.make_stepper(), cache=cache
+    )
+    result = engine.lift(backend.parse(program))
+    return [backend.pretty(t) for t in result.surface_sequence]
+
+
+class TestRestartHydration:
+    def test_cold_lift_writes_one_memo_blob(self, tmp_path, backend):
+        _lift(backend, LiftCache(tmp_path))
+        assert len(list((tmp_path / MEMO_TIER).rglob("*.bin"))) == 1
+
+    def test_fresh_process_hydrates_the_snapshot(self, tmp_path, backend):
+        _lift(backend, LiftCache(tmp_path))
+        # "Restart": drop every interned identity, rebuild everything.
+        clear_intern_caches()
+        rules = backend.make_rules(None)
+        fresh = ResugarCache(rules)
+        assert fresh.memo_size() == 0
+        added = LiftCache(tmp_path).hydrate(fresh)
+        assert added > 0
+        assert fresh.memo_size() == added
+
+    def test_engine_reads_memo_on_lift_tier_miss(self, tmp_path, backend):
+        from repro.obs.metrics import CACHE_MEMO_HYDRATED
+
+        rendered = _lift(backend, LiftCache(tmp_path))
+        # Delete the whole-lift recording so the relift must actually
+        # resugar — the only path that consults the memo tier.
+        for path in (tmp_path / LIFT_TIER).rglob("*.bin"):
+            path.unlink()
+        clear_intern_caches()
+        before = CACHE_MEMO_HYDRATED.value
+        again = _lift(backend, LiftCache(tmp_path))
+        assert again == rendered
+        assert CACHE_MEMO_HYDRATED.value > before
+
+    def test_hydrated_run_matches_unhydrated_bytes(self, tmp_path, backend):
+        cold = _lift(backend, LiftCache(tmp_path / "a"))
+        _lift(backend, LiftCache(tmp_path / "b"), program=OTHER_PROGRAM)
+        # Warm-start PROGRAM from OTHER_PROGRAM's memo: any shared
+        # subterm resugars from the snapshot, and the output must not
+        # show the difference.
+        for path in (tmp_path / "b" / LIFT_TIER).rglob("*.bin"):
+            path.unlink()
+        warm = _lift(backend, LiftCache(tmp_path / "b"))
+        assert warm == cold
+
+
+class TestWriteBackEconomics:
+    def test_persist_skipped_when_nothing_learned(self, tmp_path, backend):
+        rules = backend.make_rules(None)
+        run = ResugarCache(rules)
+        Confection(rules, backend.make_stepper()).lift(
+            backend.parse(PROGRAM)
+        )
+        cache = LiftCache(tmp_path)
+        # Populate via a real lift against the same handle instead:
+        _lift(backend, cache)
+        stores = cache.store.counters["stores"]
+        assert stores >= 2  # lift entry + memo blob
+        # A second identical lift through the SAME handle re-hits the
+        # lift tier and never resugars, so the memo blob is untouched.
+        _lift(backend, cache)
+        assert cache.store.counters["stores"] == stores
+        # And an explicit persist of an empty run cache is a no-op.
+        assert cache.persist_memo(run) is False
+
+    def test_persist_skipped_when_hydration_taught_everything(
+        self, tmp_path, backend
+    ):
+        _lift(backend, LiftCache(tmp_path))
+        rules = backend.make_rules(None)
+        fresh = ResugarCache(rules)
+        cache = LiftCache(tmp_path)
+        assert cache.hydrate(fresh) > 0
+        # Hydration alone is not new knowledge; writing it back would
+        # churn the blob for nothing.
+        assert cache.persist_memo(fresh) is False
+
+    def test_entry_cap_stops_growth(self, tmp_path, backend):
+        capped = LiftCache(tmp_path, max_memo_entries=1)
+        _lift(backend, capped)
+        # The run's memo exceeded the cap, so no blob was written …
+        assert list((tmp_path / MEMO_TIER).rglob("*.bin")) == []
+        # … but the whole-lift tier is unaffected by the memo cap.
+        assert len(list((tmp_path / LIFT_TIER).rglob("*.bin"))) == 1
+
+    def test_runs_merge_into_one_blob(self, tmp_path, backend):
+        _lift(backend, LiftCache(tmp_path))
+        first = ResugarCache(backend.make_rules(None))
+        LiftCache(tmp_path).hydrate(first)
+        # A different program through a fresh handle merges its memo
+        # into the same fingerprint-keyed blob rather than replacing it.
+        _lift(backend, LiftCache(tmp_path), program=OTHER_PROGRAM)
+        merged = ResugarCache(backend.make_rules(None))
+        LiftCache(tmp_path).hydrate(merged)
+        assert merged.memo_size() > first.memo_size()
+        assert len(list((tmp_path / MEMO_TIER).rglob("*.bin"))) == 1

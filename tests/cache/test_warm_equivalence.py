@@ -1,0 +1,157 @@
+"""Cold == warm, byte for byte, over the whole golden corpus.
+
+The cache's correctness statement is metamorphic: attaching a cache —
+empty or warm — must never change a single rendered byte of any lifted
+trace.  This suite replays the entire golden-trace corpus (every bundled
+sugar on both backends) through a shared cache directory under a grid of
+engine configurations (both stepper modes × incremental/naive
+resugaring), then again warm, and compares the rendered output of every
+run against the pinned golden trace.  A parallel batch with a shared
+cache directory must agree too, at every worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import LiftCache
+from repro.confection import Confection
+
+from tests.test_golden_traces import (
+    GOLDEN_FILES,
+    _configs,
+    lift_kwargs,
+    parse_golden,
+)
+
+STEPPER_MODES = ("refocus", "naive")
+RESUGAR_MODES = (True, False)  # incremental / naive
+
+
+def _run(path, cache, stepper_mode, incremental):
+    sugar, program, expected, stats, options = parse_golden(path)
+    make_rules, make_stepper, parse, pretty = _configs()[sugar]
+    confection = Confection(make_rules(), make_stepper(), cache=cache)
+    result = confection.lift(
+        parse(program),
+        stepper_mode=stepper_mode,
+        incremental=incremental,
+        **lift_kwargs(options),
+    )
+    rendered = [pretty(t) for t in result.surface_sequence]
+    return rendered, expected, stats, options, result
+
+
+@pytest.mark.parametrize(
+    "path", GOLDEN_FILES, ids=[p.stem for p in GOLDEN_FILES]
+)
+def test_cold_equals_warm_across_engine_grid(path, tmp_path):
+    """One shared cache directory, four engine configurations, two
+    passes each: every pass must reproduce the pinned golden trace
+    exactly, and every cacheable warm pass must come from the cache."""
+    for stepper_mode in STEPPER_MODES:
+        for incremental in RESUGAR_MODES:
+            cold_cache = LiftCache(tmp_path)
+            cold, expected, stats, options, cold_result = _run(
+                path, cold_cache, stepper_mode, incremental
+            )
+            assert cold == expected
+            assert cold_result.truncated == bool(stats.get("truncated", 0))
+
+            warm_cache = LiftCache(tmp_path)
+            warm, _, _, _, warm_result = _run(
+                path, warm_cache, stepper_mode, incremental
+            )
+            assert warm == cold
+            assert warm_result.core_step_count == cold_result.core_step_count
+            assert warm_result.skipped_count == cold_result.skipped_count
+            assert warm_result.truncated == cold_result.truncated
+
+            cacheable = "max_seconds" not in options
+            if cacheable:
+                assert warm_cache.lift_hits == 1, (
+                    f"{path.stem}: warm run missed the cache "
+                    f"(stepper={stepper_mode}, incremental={incremental})"
+                )
+            else:
+                # Wall-clock-budgeted lifts are deliberately uncacheable.
+                assert warm_cache.lift_hits == 0
+                assert cold_cache.store.counters["stores"] == 0
+            assert warm_cache.store.counters["corrupt"] == 0
+
+
+def test_engine_grid_entries_do_not_collide(tmp_path):
+    """The four grid configurations of one program land in four distinct
+    whole-lift entries: a hit under one configuration can never replay a
+    stream recorded under another."""
+    path = GOLDEN_FILES[0]
+    for stepper_mode in STEPPER_MODES:
+        for incremental in RESUGAR_MODES:
+            _run(path, LiftCache(tmp_path), stepper_mode, incremental)
+    entries = list((tmp_path / "lift").rglob("*.bin"))
+    assert len(entries) == len(STEPPER_MODES) * len(RESUGAR_MODES)
+
+
+class TestBatchWarmEquivalence:
+    """lift-batch through a shared cache directory: jobs=1 vs jobs=4,
+    cold vs warm — all four byte-identical."""
+
+    def _corpus(self):
+        from repro.engine.registry import get_backend
+
+        backend = get_backend("lambda")
+        programs = [
+            "(or (not #t) (not #f))",
+            "(and #t (or #f #t))",
+            "(let ((x 1) (y 2)) (+ x y))",
+            "(cond ((not #t) 1) (#t 2))",
+            "(+ 1 (* 2 3))",
+            "(if (not #f) (or #t #f) #f)",
+        ]
+        spec = (backend.make_rules(None), backend.make_stepper())
+        return backend, spec, [backend.parse(p) for p in programs]
+
+    def _render(self, outcomes):
+        return [list(o.rendered) for o in outcomes]
+
+    def test_jobs1_vs_jobs4_shared_cache(self, tmp_path):
+        from repro.parallel import lift_corpus
+
+        backend, spec, corpus = self._corpus()
+        runs = {}
+        for label, jobs in (("seq", 1), ("par", 4)):
+            for phase in ("cold", "warm"):
+                outcomes = lift_corpus(
+                    spec,
+                    corpus,
+                    jobs=jobs,
+                    payload="rendered",
+                    pretty=backend.pretty,
+                    cache_dir=tmp_path / label,
+                )
+                runs[(label, phase)] = self._render(outcomes)
+        baseline = runs[("seq", "cold")]
+        assert all(r == baseline for r in runs.values())
+
+    def test_parallel_workers_share_one_store(self, tmp_path):
+        """jobs=4 warm pass over a directory warmed by jobs=1: every job
+        is served from the store the sequential pass populated."""
+        from repro.parallel import lift_corpus
+
+        backend, spec, corpus = self._corpus()
+        cold = lift_corpus(
+            spec, corpus, jobs=1, payload="rendered",
+            pretty=backend.pretty, cache_dir=tmp_path,
+        )
+        stores_after_cold = len(list((tmp_path / "lift").rglob("*.bin")))
+        assert stores_after_cold == len(corpus)
+        warm = lift_corpus(
+            spec, corpus, jobs=4, payload="rendered",
+            pretty=backend.pretty, cache_dir=tmp_path,
+        )
+        assert self._render(warm) == self._render(cold)
+        # No new entries: every job hit.
+        assert (
+            len(list((tmp_path / "lift").rglob("*.bin")))
+            == stores_after_cold
+        )

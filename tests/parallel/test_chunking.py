@@ -1,0 +1,114 @@
+"""Chunked fan-out is invisible except in throughput.
+
+``WarmPool`` may batch several jobs into one pool submission to
+amortize pickling; the chunk size must never leak into results.  These
+tests sweep explicit chunk sizes (including sizes that do not divide
+the corpus) against the unchunked baseline, pin the auto heuristic,
+and check that a fault inside a chunk is contained to its own job —
+the chunk's healthy neighbours still complete.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import Const
+from repro.engine.events import BatchLifted, JobError
+from repro.parallel import lift_corpus
+from repro.parallel.pool import MAX_AUTO_CHUNK, WarmPool, _auto_chunk
+from repro.engine.registry import get_backend
+
+from tests.parallel.faulty import (
+    POISON_VALUE,
+    make_exploding_confection,
+)
+
+PROGRAMS = [
+    "(or (not #t) (not #f))",
+    "(and #t (or #f #t))",
+    "(let ((x 1) (y 2)) (+ x y))",
+    "(cond ((not #t) 1) (#t 2))",
+    "(+ 1 (* 2 3))",
+    "(if (not #f) (or #t #f) #f)",
+    "(or #f (and #t #t))",
+]
+
+
+def _render(outcomes):
+    return [(o.job_index, list(o.rendered)) for o in outcomes]
+
+
+@pytest.mark.parametrize("chunk", [1, 2, 3, len(PROGRAMS), None])
+def test_chunk_size_is_invisible_in_results(chunk):
+    """Every chunk size — unit, uneven, whole-corpus, and the auto
+    heuristic — yields the same outcomes in submission order."""
+    backend = get_backend("lambda")
+    spec = (backend.make_rules(None), backend.make_stepper())
+    corpus = [backend.parse(p) for p in PROGRAMS]
+    baseline = lift_corpus(
+        spec, corpus, jobs=1, payload="rendered", pretty=backend.pretty
+    )
+    outcomes = lift_corpus(
+        spec,
+        corpus,
+        jobs=2,
+        chunk=chunk,
+        payload="rendered",
+        pretty=backend.pretty,
+    )
+    assert _render(outcomes) == _render(baseline)
+
+
+@pytest.mark.parametrize("chunk", [2, 3])
+def test_fault_inside_chunk_is_contained_to_its_job(chunk):
+    """One poisoned job mid-corpus: with multi-job chunks, the poisoned
+    job's chunk-mates must still return real results, and the JobError
+    must carry the poisoned job's own index."""
+    engine = make_exploding_confection()
+    corpus = [
+        Const(POISON_VALUE - 1),
+        Const(POISON_VALUE + 3),  # steps through the poison value
+        Const(1),
+        Const(0),
+        Const(1),
+    ]
+    outcomes = lift_corpus(engine, corpus, jobs=2, chunk=chunk)
+    kinds = [type(o) for o in outcomes]
+    assert kinds == [BatchLifted, JobError, BatchLifted, BatchLifted,
+                     BatchLifted]
+    assert [o.job_index for o in outcomes] == list(range(len(corpus)))
+    assert outcomes[1].error_type == "InjectedFault"
+
+
+def test_auto_chunk_heuristic_bounds():
+    """Small corpora stay unchunked (latency), large ones batch up to
+    the cap (pickling amortization)."""
+    assert _auto_chunk(1, 4) == 1
+    assert _auto_chunk(8, 4) == 1
+    assert _auto_chunk(64, 4) == 4
+    assert _auto_chunk(10_000, 4) == MAX_AUTO_CHUNK
+    # Never zero, even for degenerate inputs.
+    assert _auto_chunk(0, 4) == 1
+
+
+def test_invalid_chunk_rejected():
+    with pytest.raises(ValueError):
+        WarmPool((None, None), jobs=2, chunk=0)
+
+
+def test_chunked_and_unit_results_agree_with_cache(tmp_path):
+    """Chunking composes with the shared cache: a chunked cold pass and
+    an unchunked warm pass over the same directory agree byte for
+    byte."""
+    backend = get_backend("lambda")
+    spec = (backend.make_rules(None), backend.make_stepper())
+    corpus = [backend.parse(p) for p in PROGRAMS]
+    cold = lift_corpus(
+        spec, corpus, jobs=2, chunk=3, payload="rendered",
+        pretty=backend.pretty, cache_dir=tmp_path,
+    )
+    warm = lift_corpus(
+        spec, corpus, jobs=1, payload="rendered",
+        pretty=backend.pretty, cache_dir=tmp_path,
+    )
+    assert _render(warm) == _render(cold)

@@ -144,6 +144,62 @@ def test_perturbations_keep_examples(base_candidates):
 
 
 # --------------------------------------------------------------------------
+# The inert verdict: dynamic acceptance requires the mutant to fire
+
+
+def test_vacuous_dynamic_check_reports_inert(
+    base_candidates, lambda_reference
+):
+    """A candidate with no examples lifts nothing, so the dynamic stage
+    proved nothing about it — the verdict must be ``inert``, never the
+    false confidence of ``accepted-safe``."""
+    from repro.synth.antiunify import Candidate
+
+    reference, make_stepper = lambda_reference
+    base = base_candidates[0]
+    vacuous = Candidate(
+        lhs=base.lhs,
+        rhs=base.rhs,
+        atomic_vars=base.atomic_vars,
+        examples=(),
+    )
+    outcome = run_trial(reference, make_stepper, vacuous, "identity")
+    assert outcome.verdict == "inert"
+    assert "no expansions" in outcome.detail
+
+
+def test_firing_candidate_reports_accepted_safe(
+    base_candidates, lambda_reference
+):
+    """Unperturbed synthesized rules desugar their own examples when
+    spliced, so the provenance counters prove participation and the
+    verdict stays ``accepted-safe`` — ``inert`` must not over-trigger."""
+    reference, make_stepper = lambda_reference
+    for base in base_candidates[:8]:
+        outcome = run_trial(reference, make_stepper, base, "identity")
+        assert outcome.verdict == "accepted-safe", outcome.detail
+
+
+def test_mutant_fired_keys_on_rule_index_zero():
+    """The helper reads per-rule provenance rows keyed ``index:name``;
+    only index 0 — where the trial splices the mutant — counts."""
+    from repro.synth.fuzz import _mutant_fired
+
+    row = {"expansions": 1}
+    assert not _mutant_fired([])
+    assert not _mutant_fired([{"attrs": None}, {"name": "no attrs"}])
+    assert not _mutant_fired(
+        [{"attrs": {"rule_stats": {"1:synth-x": row}}}]
+    )
+    assert _mutant_fired([{"attrs": {"rule_stats": {"0:synth-x": row}}}])
+    # Rule names may themselves contain colons; only the first field
+    # is the index.
+    assert not _mutant_fired(
+        [{"attrs": {"rule_stats": {"10:synth-x": row}}}]
+    )
+
+
+# --------------------------------------------------------------------------
 # The containment contract, live
 
 
